@@ -1,0 +1,46 @@
+//! Ablation benches for the design choices DESIGN.md calls out: admission
+//! control, EASY backfilling, deadline escalation, Libra+$ β, FirstReward
+//! slack threshold. Prints each study's table, then times the studies.
+
+use ccs_experiments::ablation::{
+    admission_control_ablation, backfilling_ablation, beta_sweep, escalation_ablation,
+    slack_threshold_sweep,
+};
+use ccs_workload::SdscSp2Model;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let base = SdscSp2Model { jobs: 400, ..Default::default() }.generate(42);
+
+    // Print the studies once so the bench log carries the tables.
+    println!("{}", admission_control_ablation(&base, 42, 128).render());
+    println!("{}", backfilling_ablation(&base, 42, 128).render());
+    println!("{}", escalation_ablation(&base, 42, 128).render());
+    println!("{}", beta_sweep(&base, 42, 128, &[0.0, 0.1, 0.3, 0.6, 1.0]).render());
+    println!(
+        "{}",
+        slack_threshold_sweep(&base, 42, 128, &[-1e6, 0.0, 25.0, 1e4]).render()
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("admission_control", |b| {
+        b.iter(|| black_box(admission_control_ablation(&base, 42, 128).rows.len()))
+    });
+    g.bench_function("backfilling", |b| {
+        b.iter(|| black_box(backfilling_ablation(&base, 42, 128).rows.len()))
+    });
+    g.bench_function("escalation", |b| {
+        b.iter(|| black_box(escalation_ablation(&base, 42, 128).rows.len()))
+    });
+    g.bench_function("libra_dollar_beta", |b| {
+        b.iter(|| black_box(beta_sweep(&base, 42, 128, &[0.0, 0.3, 1.0]).rows.len()))
+    });
+    g.bench_function("first_reward_slack", |b| {
+        b.iter(|| black_box(slack_threshold_sweep(&base, 42, 128, &[0.0, 25.0]).rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(ablations, bench_ablations);
+criterion_main!(ablations);

@@ -1,0 +1,76 @@
+//! Benchmarks of the extension modules: conservative backfilling,
+//! Computation-at-Risk, bootstrap intervals, a-priori analysis, timelines,
+//! and diurnal workload synthesis.
+
+use ccs_economy::EconomicModel;
+use ccs_policies::ConservativeBf;
+use ccs_risk::apriori::{forecast, uniform_mix, weight_sensitivity};
+use ccs_risk::bootstrap::bootstrap_separate;
+use ccs_risk::car::{analyze as car_analyze, CarMetric};
+use ccs_risk::RiskMeasure;
+use ccs_simsvc::samples::response_times;
+use ccs_simsvc::{simulate, simulate_with, RunConfig, Timeline};
+use ccs_workload::{apply_diurnal, apply_scenario, DiurnalProfile, ScenarioTransform, SdscSp2Model};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_extensions(c: &mut Criterion) {
+    let base = SdscSp2Model { jobs: 500, ..Default::default() }.generate(42);
+    let jobs = apply_scenario(&base, &ScenarioTransform::default(), 42);
+    let cfg = RunConfig {
+        nodes: 128,
+        econ: EconomicModel::BidBased,
+    };
+    let run = simulate(&jobs, ccs_policies::PolicyKind::EdfBf, &cfg);
+    let rt = response_times(&jobs, &run.records);
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(20);
+
+    g.bench_function("conservative_backfilling_500_jobs", |b| {
+        b.iter(|| {
+            let policy = ConservativeBf::new(cfg.econ, cfg.nodes);
+            black_box(simulate_with(&jobs, Box::new(policy), &cfg).metrics.fulfilled)
+        })
+    });
+
+    g.bench_function("car_analysis", |b| {
+        b.iter(|| black_box(car_analyze(CarMetric::Makespan, &rt).car99))
+    });
+
+    g.bench_function("bootstrap_1000_replicates", |b| {
+        let data = [0.3, 0.5, 0.7, 0.4, 0.9, 0.6];
+        b.iter(|| black_box(bootstrap_separate(&data, 0.95, 1000, 7).performance.width()))
+    });
+
+    g.bench_function("apriori_forecast_and_sensitivity", |b| {
+        let measures: Vec<RiskMeasure> = (0..12)
+            .map(|i| RiskMeasure::new(0.5 + 0.04 * (i % 10) as f64, 0.02 * (i % 5) as f64))
+            .collect();
+        let policies: Vec<(String, Vec<RiskMeasure>)> = (0..5)
+            .map(|p| (format!("P{p}"), measures.iter().take(4).cloned().collect()))
+            .collect();
+        b.iter(|| {
+            let f = forecast(&measures, &uniform_mix(12));
+            let s = weight_sensitivity(&policies, 0, 21);
+            black_box((f.performance, s.points.len()))
+        })
+    });
+
+    g.bench_function("timeline_hourly_buckets", |b| {
+        b.iter(|| {
+            black_box(
+                Timeline::from_run(&jobs, &run.records, cfg.nodes, 3600.0).mean_utilization(),
+            )
+        })
+    });
+
+    g.bench_function("diurnal_resampling_500_jobs", |b| {
+        let profile = DiurnalProfile::office_hours(6.0);
+        b.iter(|| black_box(apply_diurnal(&base, &profile, 9).len()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(extensions, bench_extensions);
+criterion_main!(extensions);

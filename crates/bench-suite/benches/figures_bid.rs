@@ -1,0 +1,62 @@
+//! Regenerates the bid-based figures of the paper (Figures 6, 7, 8) at
+//! benchmark scale, plus Figure 2 (the penalty function), and times their
+//! regeneration.
+
+use ccs_economy::EconomicModel;
+use ccs_experiments::figures::{
+    figure2_curves, integrated3_figure, integrated4_figure, print_figure, separate_figure,
+};
+use ccs_experiments::{analyze, run_grid, EstimateSet, ExperimentConfig, GridAnalysis};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn grids(cfg: &ExperimentConfig) -> (GridAnalysis, GridAnalysis) {
+    (
+        analyze(&run_grid(EconomicModel::BidBased, EstimateSet::A, cfg)),
+        analyze(&run_grid(EconomicModel::BidBased, EstimateSet::B, cfg)),
+    )
+}
+
+fn bench_bid_figures(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick().with_jobs(120);
+
+    let (a, b) = grids(&cfg);
+    println!("{}", print_figure(&separate_figure("fig6", &a, &b)));
+    println!("{}", print_figure(&integrated3_figure("fig7", &a, &b)));
+    println!("{}", print_figure(&integrated4_figure("fig8", &a, &b)));
+    for (label, curve) in figure2_curves() {
+        println!(
+            "fig2 {label}: u(0)={:.0} u(end)={:.0} over {} samples",
+            curve[0].1,
+            curve.last().unwrap().1,
+            curve.len()
+        );
+    }
+
+    let mut g = c.benchmark_group("bid_figures");
+    g.sample_size(10);
+    g.bench_function("fig2_penalty_curves", |bch| {
+        bch.iter(|| black_box(figure2_curves().len()))
+    });
+    g.bench_function("fig6_bid_separate", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(separate_figure("fig6", &a, &b).plots.len())
+        })
+    });
+    g.bench_function("fig7_bid_integrated3", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(integrated3_figure("fig7", &a, &b).plots.len())
+        })
+    });
+    g.bench_function("fig8_bid_integrated4", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(integrated4_figure("fig8", &a, &b).plots.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures_bid, bench_bid_figures);
+criterion_main!(figures_bid);

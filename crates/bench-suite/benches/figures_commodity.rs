@@ -1,0 +1,63 @@
+//! Regenerates the commodity-market figures of the paper (Figures 3, 4, 5)
+//! at benchmark scale and times the full pipeline (grid → risk analysis →
+//! figure assembly).
+//!
+//! Running `cargo bench -p ccs-bench-suite --bench figures_commodity` first
+//! prints each figure's series (policy → (volatility, performance) per
+//! scenario), then benchmarks its regeneration at 120-job scale. For the
+//! paper-scale (5000-job) data use
+//! `cargo run --release -p ccs-experiments --bin all_figures`.
+
+use ccs_experiments::figures::{
+    integrated3_figure, integrated4_figure, print_figure, separate_figure,
+};
+use ccs_experiments::{analyze, run_grid, EstimateSet, ExperimentConfig, GridAnalysis};
+use ccs_economy::EconomicModel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn grids(cfg: &ExperimentConfig) -> (GridAnalysis, GridAnalysis) {
+    (
+        analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, cfg)),
+        analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::B, cfg)),
+    )
+}
+
+fn bench_commodity_figures(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick().with_jobs(120);
+
+    // Print the series once so the bench output contains the figure data.
+    let (a, b) = grids(&cfg);
+    println!("{}", print_figure(&separate_figure("fig3", &a, &b)));
+    println!("{}", print_figure(&integrated3_figure("fig4", &a, &b)));
+    println!("{}", print_figure(&integrated4_figure("fig5", &a, &b)));
+
+    let mut g = c.benchmark_group("commodity_figures");
+    g.sample_size(10);
+    g.bench_function("fig3_commodity_separate", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(separate_figure("fig3", &a, &b).plots.len())
+        })
+    });
+    g.bench_function("fig4_commodity_integrated3", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(integrated3_figure("fig4", &a, &b).plots.len())
+        })
+    });
+    g.bench_function("fig5_commodity_integrated4", |bch| {
+        bch.iter(|| {
+            let (a, b) = grids(&cfg);
+            black_box(integrated4_figure("fig5", &a, &b).plots.len())
+        })
+    });
+    // Analysis-only: how cheap is the risk mathematics itself?
+    let raw_a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+    g.bench_function("risk_analysis_of_one_grid", |bch| {
+        bch.iter(|| black_box(analyze(&raw_a).separate.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(figures_commodity, bench_commodity_figures);
+criterion_main!(figures_commodity);

@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the simulation substrates: event queue, RNG and
+//! distributions, streaming statistics, proportional-share engine, and
+//! synthetic trace generation.
+
+use ccs_cluster::{PsCluster, WeightMode};
+use ccs_des::dist::{Distribution, LogNormal};
+use ccs_des::{CalendarQueue, EventQueue, OnlineStats, SimRng, SimTime};
+use ccs_workload::{Job, SdscSp2Model, Urgency};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 1e6)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::new(t), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("calendar_push_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 1e6)).collect();
+        b.iter(|| {
+            let mut q = CalendarQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::new(t), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("push_cancel_half_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(2);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 1e6)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.push(SimTime::new(t), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                q.cancel(*h);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng_and_dists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("uniform01_100k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.uniform01();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("lognormal_100k", |b| {
+        let mut rng = SimRng::seed_from(4);
+        let d = LogNormal::from_mean_cv(8671.0, 3.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(5);
+    let xs: Vec<f64> = (0..100_000).map(|_| rng.uniform(0.0, 1.0)).collect();
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("welford_100k", |b| {
+        b.iter(|| black_box(OnlineStats::from_slice(&xs).population_std()))
+    });
+    g.finish();
+}
+
+fn bench_ps_engine(c: &mut Criterion) {
+    let job = |id: u32, submit: f64| Job {
+        id,
+        submit,
+        runtime: 500.0,
+        estimate: 600.0,
+        procs: 4,
+        urgency: Urgency::Low,
+        deadline: 5000.0,
+        budget: 1.0,
+        penalty_rate: 1.0,
+    };
+    let mut g = c.benchmark_group("ps_engine");
+    for mode in [WeightMode::Static, WeightMode::Dynamic] {
+        g.bench_function(format!("{mode:?}_500_tasks"), |b| {
+            b.iter(|| {
+                let mut cluster = PsCluster::new(16, mode);
+                for i in 0..500u32 {
+                    let t = i as f64 * 10.0;
+                    cluster.advance_to(t);
+                    let nodes: Vec<usize> = (0..4).map(|k| ((i as usize) + k) % 16).collect();
+                    cluster.submit(&job(i, t), &nodes, t);
+                }
+                black_box(cluster.drain().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(5000));
+    g.bench_function("sdsc_sp2_5000_jobs", |b| {
+        b.iter(|| black_box(SdscSp2Model::default().generate(42).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_event_queue,
+    bench_rng_and_dists,
+    bench_stats,
+    bench_ps_engine,
+    bench_trace_generation
+);
+criterion_main!(kernels);

@@ -1,0 +1,45 @@
+//! Per-policy simulation throughput: one full service-simulation run of a
+//! 1000-job SDSC SP2-like workload per iteration, for every policy in its
+//! economic model (paper Table V).
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_policies(c: &mut Criterion) {
+    let base = SdscSp2Model { jobs: 1000, ..Default::default() }.generate(42);
+    let accurate = apply_scenario(&base, &ScenarioTransform::default(), 42);
+    let trace = apply_scenario(
+        &base,
+        &ScenarioTransform {
+            inaccuracy_pct: 100.0,
+            ..Default::default()
+        },
+        42,
+    );
+
+    for econ in EconomicModel::ALL {
+        let kinds = match econ {
+            EconomicModel::CommodityMarket => PolicyKind::COMMODITY,
+            EconomicModel::BidBased => PolicyKind::BID_BASED,
+        };
+        let mut g = c.benchmark_group(format!("policy_{econ}").replace(' ', "_"));
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(20);
+        for kind in kinds {
+            let cfg = RunConfig { nodes: 128, econ };
+            g.bench_function(format!("{kind}_setA"), |b| {
+                b.iter(|| black_box(simulate(&accurate, kind, &cfg).metrics.fulfilled))
+            });
+            g.bench_function(format!("{kind}_setB"), |b| {
+                b.iter(|| black_box(simulate(&trace, kind, &cfg).metrics.fulfilled))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(policies, bench_policies);
+criterion_main!(policies);

@@ -1,0 +1,34 @@
+//! Regenerates the paper's tables (I–VI) — printing them once and timing
+//! the sample-plot construction, ranking, and rendering paths.
+
+use ccs_experiments::tables::{all_tables, table1, table2, table3, table4, table5, table6};
+use ccs_risk::{rank, sample_figure1, RankBy};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    // Emit the reproduced tables in the bench log.
+    println!("{}", all_tables());
+
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table_fig1_sample_plot", |b| {
+        b.iter(|| black_box(sample_figure1().series.len()))
+    });
+    g.bench_function("table2_extrema", |b| b.iter(|| black_box(table2().len())));
+    g.bench_function("table3_rank_by_performance", |b| {
+        let plot = sample_figure1();
+        b.iter(|| black_box(rank(&plot, RankBy::BestPerformance).len()))
+    });
+    g.bench_function("table4_rank_by_volatility", |b| {
+        let plot = sample_figure1();
+        b.iter(|| black_box(rank(&plot, RankBy::BestVolatility).len()))
+    });
+    g.bench_function("tables_1_5_6_render", |b| {
+        b.iter(|| black_box(table1().len() + table5().len() + table6().len()))
+    });
+    g.bench_function("table3_render", |b| b.iter(|| black_box(table3().len())));
+    g.bench_function("table4_render", |b| b.iter(|| black_box(table4().len())));
+    g.finish();
+}
+
+criterion_group!(tables, bench_tables);
+criterion_main!(tables);

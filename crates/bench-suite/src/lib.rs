@@ -1,0 +1,1 @@
+//! Placeholder lib for the bench-suite crate; benches live in `benches/`.

@@ -1,0 +1,615 @@
+//! Deadline-driven proportional-share execution engine (time-shared nodes).
+//!
+//! Libra (Sherwani et al. 2004) allocates each job a minimum processor-time
+//! share `tr_i / d_i` (runtime estimate over deadline) on each of its nodes
+//! and distributes any remaining free time among the resident jobs — multiple
+//! jobs run on a node at once. This module reproduces that model as an
+//! **event-driven processor-sharing simulation with piecewise-constant
+//! rates**:
+//!
+//! - Each task on a node has a demand weight `w`. Service rates are
+//!   work-conserving and proportional: `r_i = w_i / max(Σw, …)` — every task
+//!   receives *at least* its admitted share while the node is not
+//!   over-committed, and spare capacity accelerates everyone.
+//! - Two weight disciplines exist ([`WeightMode`]):
+//!   [`WeightMode::Static`] (Libra, Libra+$) pins `w = min(est/deadline, 1)`
+//!   for the task's whole life; [`WeightMode::Dynamic`] (LibraRiskD)
+//!   re-evaluates `w = remaining-estimated-work / remaining-time-to-deadline`
+//!   so demand drains as work completes.
+//! - A task that is still incomplete when its deadline passes *escalates* to
+//!   full demand (`w = 1`). This over-commits the node (`Σw > 1`), squeezing
+//!   co-resident tasks below their admitted shares — the mechanism by which
+//!   under-estimated runtimes cascade into further deadline misses, exactly
+//!   the failure mode the paper attributes to Libra under inaccurate
+//!   estimates (Section 5.2).
+//! - Node state advances lazily: rates change only at node events (task
+//!   arrival, task completion, deadline crossing), so the simulation is
+//!   exact for static weights and a tight piecewise approximation for
+//!   dynamic ones.
+//!
+//! Admission-control support: [`PsCluster::free_share`] (current spare
+//! demand capacity of a node) and [`PsCluster::node_at_risk`] (whether any
+//! resident task has already run past its estimate — LibraRiskD's
+//! "risk of deadline delay" signal, Yeo & Buyya ICPP 2006).
+
+use ccs_des::{EventHandle, EventQueue, SimTime};
+use ccs_workload::{Job, JobId};
+use std::collections::HashMap;
+
+/// Weight floor: keeps every incomplete task's rate strictly positive.
+const MIN_WEIGHT: f64 = 1e-6;
+/// Work-units tolerance for declaring a task complete.
+const EPS_WORK: f64 = 1e-6;
+/// Dynamic mode: residual demand fraction for tasks that overran their
+/// estimate (the scheduler no longer knows how much work remains).
+const RESIDUAL_EST_FRACTION: f64 = 0.05;
+
+/// Weight discipline of the proportional-share engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WeightMode {
+    /// Libra / Libra+$: the admitted share `min(est/deadline, 1)` is held
+    /// constant until the deadline passes.
+    Static,
+    /// LibraRiskD: demand is re-evaluated as remaining estimated work over
+    /// remaining time to deadline, draining as the task progresses.
+    Dynamic,
+}
+
+/// A job completing on the time-shared cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobCompletion {
+    /// The finished job.
+    pub job_id: JobId,
+    /// Absolute completion time (when its last task finished).
+    pub finish: f64,
+}
+
+#[derive(Clone, Debug)]
+struct PsTask {
+    job_id: JobId,
+    /// Actual processor-seconds this task needs (the job's runtime).
+    work_total: f64,
+    work_done: f64,
+    /// The user's estimate of `work_total`.
+    est_total: f64,
+    abs_deadline: f64,
+    /// Admitted share (static mode weight).
+    static_w: f64,
+    /// Current service rate (set at the node's last event).
+    rate: f64,
+}
+
+impl PsTask {
+    fn remaining(&self) -> f64 {
+        self.work_total - self.work_done
+    }
+}
+
+#[derive(Debug, Default)]
+struct PsNode {
+    tasks: Vec<PsTask>,
+    last_update: f64,
+    pending_event: Option<EventHandle>,
+}
+
+/// Event-driven processor-sharing cluster.
+pub struct PsCluster {
+    mode: WeightMode,
+    /// Whether incomplete tasks escalate to full demand once their deadline
+    /// passes (the cascade mechanism; disable for ablation studies).
+    escalation: bool,
+    /// Speed rating of each node (1.0 = the reference speed the trace's
+    /// runtimes are expressed in; 2.0 runs jobs twice as fast).
+    ratings: Vec<f64>,
+    nodes: Vec<PsNode>,
+    queue: EventQueue<usize>,
+    /// Tasks still outstanding per job.
+    open_tasks: HashMap<JobId, u32>,
+    completions: Vec<JobCompletion>,
+    now: f64,
+}
+
+impl PsCluster {
+    /// Creates a cluster of `n_nodes` empty time-shared nodes.
+    pub fn new(n_nodes: usize, mode: WeightMode) -> Self {
+        Self::with_escalation(n_nodes, mode, true)
+    }
+
+    /// Creates a cluster with an explicit deadline-escalation setting
+    /// (escalation disabled = ablation: overdue tasks keep their admitted
+    /// share instead of seizing the node).
+    pub fn with_escalation(n_nodes: usize, mode: WeightMode, escalation: bool) -> Self {
+        Self::with_ratings(vec![1.0; n_nodes], mode, escalation)
+    }
+
+    /// Creates a **heterogeneous** cluster: one speed rating per node
+    /// (1.0 = reference speed). A job's task on a node of rating `r`
+    /// progresses `r×` as fast and demands `1/r` the share for the same
+    /// deadline.
+    pub fn with_ratings(ratings: Vec<f64>, mode: WeightMode, escalation: bool) -> Self {
+        assert!(!ratings.is_empty());
+        assert!(
+            ratings.iter().all(|&r| r > 0.0 && r.is_finite()),
+            "node ratings must be positive and finite"
+        );
+        let n_nodes = ratings.len();
+        let mut nodes = Vec::with_capacity(n_nodes);
+        nodes.resize_with(n_nodes, PsNode::default);
+        PsCluster {
+            mode,
+            escalation,
+            ratings,
+            nodes,
+            queue: EventQueue::new(),
+            open_tasks: HashMap::new(),
+            completions: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    /// The speed rating of `node`.
+    pub fn rating(&self, node: usize) -> f64 {
+        self.ratings[node]
+    }
+
+    /// The minimum share of `node` a job with the given estimate and
+    /// relative deadline needs (`est / (deadline × rating)`, capped at 1).
+    pub fn required_share(&self, node: usize, estimate: f64, deadline: f64) -> f64 {
+        (estimate / (deadline * self.ratings[node])).clamp(MIN_WEIGHT, 1.0)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current engine time (time of the last processed event or advance).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The weight discipline this cluster runs.
+    pub fn mode(&self) -> WeightMode {
+        self.mode
+    }
+
+    /// Number of resident (incomplete) tasks on `node`.
+    pub fn resident_tasks(&self, node: usize) -> usize {
+        self.nodes[node].tasks.len()
+    }
+
+    /// Demand weight of `task` as of `now`, given its work done `done`,
+    /// on a node of speed `rating`.
+    fn weight_of(&self, task: &PsTask, now: f64, done: f64, rating: f64) -> f64 {
+        let rem_time = task.abs_deadline - now;
+        if rem_time <= 0.0 {
+            // Deadline passed with work remaining.
+            return if self.escalation {
+                1.0 // escalate: seize the node (the cascade mechanism)
+            } else {
+                task.static_w // ablation: keep the admitted share
+            };
+        }
+        let w = match self.mode {
+            WeightMode::Static => task.static_w,
+            WeightMode::Dynamic => {
+                let rem_est = (task.est_total - done).max(RESIDUAL_EST_FRACTION * task.est_total);
+                (rem_est / (rem_time * rating)).min(1.0)
+            }
+        };
+        w.max(MIN_WEIGHT)
+    }
+
+    /// Projects a task's work done at `now` without mutating it.
+    fn projected_done(task: &PsTask, last_update: f64, now: f64) -> f64 {
+        (task.work_done + task.rate * (now - last_update).max(0.0)).min(task.work_total)
+    }
+
+    /// Spare demand capacity of `node` at `now`: `1 − Σ current weights`
+    /// (may be negative on an over-committed node).
+    ///
+    /// `now` must not precede the last processed event.
+    pub fn free_share(&self, node: usize, now: f64) -> f64 {
+        let n = &self.nodes[node];
+        let rating = self.ratings[node];
+        let used: f64 = n
+            .tasks
+            .iter()
+            .map(|t| self.weight_of(t, now, Self::projected_done(t, n.last_update, now), rating))
+            .sum();
+        1.0 - used
+    }
+
+    /// LibraRiskD's risk signal: true if any resident task has already run
+    /// longer than its estimate (so its true remaining demand is unknown and
+    /// the node may be heading for an escalation).
+    pub fn node_at_risk(&self, node: usize, now: f64) -> bool {
+        let n = &self.nodes[node];
+        n.tasks.iter().any(|t| {
+            let done = Self::projected_done(t, n.last_update, now);
+            done >= t.est_total - EPS_WORK && t.remaining() > EPS_WORK
+        })
+    }
+
+    /// Submits one job to the given nodes (one task per node). The caller is
+    /// responsible for admission control and node selection, and must have
+    /// called [`PsCluster::advance_to`] up to `now` first.
+    ///
+    /// Panics if `now` precedes already-processed events, if `node_ids` is
+    /// empty, or if a node index is out of range.
+    pub fn submit(&mut self, job: &Job, node_ids: &[usize], now: f64) {
+        assert!(!node_ids.is_empty(), "job must occupy at least one node");
+        assert!(
+            now + 1e-9 >= self.now,
+            "submit at {now} before engine time {}",
+            self.now
+        );
+        self.now = self.now.max(now);
+        let prev = self
+            .open_tasks
+            .insert(job.id, node_ids.len() as u32);
+        assert!(prev.is_none(), "job {} submitted twice", job.id);
+        for &nid in node_ids {
+            let static_w = self.required_share(nid, job.estimate, job.deadline);
+            let task = PsTask {
+                job_id: job.id,
+                work_total: job.runtime,
+                work_done: 0.0,
+                est_total: job.estimate,
+                abs_deadline: job.absolute_deadline(),
+                static_w,
+                rate: 0.0,
+            };
+            self.accrue(nid, now);
+            self.nodes[nid].tasks.push(task);
+            self.recompute(nid, now);
+        }
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn next_event_time(&mut self) -> Option<f64> {
+        self.queue.peek_time().map(|t| t.as_secs())
+    }
+
+    /// Processes every internal event up to and including time `t`, then
+    /// returns the job completions that occurred (in completion order).
+    pub fn advance_to(&mut self, t: f64) -> Vec<JobCompletion> {
+        while let Some(et) = self.queue.peek_time() {
+            if et.as_secs() > t {
+                break;
+            }
+            let (et, node) = self.queue.pop().expect("peeked event must pop");
+            let et = et.as_secs();
+            self.now = self.now.max(et);
+            self.nodes[node].pending_event = None;
+            self.accrue(node, et);
+            self.harvest_completions(node, et);
+            self.recompute(node, et);
+        }
+        self.now = self.now.max(t);
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Runs the engine to quiescence (all tasks complete); returns the
+    /// remaining completions.
+    pub fn drain(&mut self) -> Vec<JobCompletion> {
+        self.advance_to(f64::INFINITY)
+    }
+
+    /// Total outstanding (incomplete) jobs.
+    pub fn open_jobs(&self) -> usize {
+        self.open_tasks.len()
+    }
+
+    /// Advances a node's task work to `now` at the current rates.
+    fn accrue(&mut self, node: usize, now: f64) {
+        let n = &mut self.nodes[node];
+        let dt = now - n.last_update;
+        if dt > 0.0 {
+            for t in &mut n.tasks {
+                t.work_done = (t.work_done + t.rate * dt).min(t.work_total);
+            }
+        }
+        n.last_update = now;
+    }
+
+    /// Removes finished tasks on `node`, emitting job completions.
+    fn harvest_completions(&mut self, node: usize, now: f64) {
+        let mut finished: Vec<JobId> = Vec::new();
+        self.nodes[node].tasks.retain(|t| {
+            if t.remaining() <= EPS_WORK {
+                finished.push(t.job_id);
+                false
+            } else {
+                true
+            }
+        });
+        for job_id in finished {
+            let open = self
+                .open_tasks
+                .get_mut(&job_id)
+                .expect("completing task of unknown job");
+            *open -= 1;
+            if *open == 0 {
+                self.open_tasks.remove(&job_id);
+                self.completions.push(JobCompletion { job_id, finish: now });
+            }
+        }
+    }
+
+    /// Recomputes rates on `node` (work must already be accrued to `now`)
+    /// and schedules the node's next event.
+    fn recompute(&mut self, node: usize, now: f64) {
+        if let Some(h) = self.nodes[node].pending_event.take() {
+            self.queue.cancel(h);
+        }
+        if self.nodes[node].tasks.is_empty() {
+            return;
+        }
+        // Pass 1: weights (share fractions of this node).
+        let rating = self.ratings[node];
+        let weights: Vec<f64> = self.nodes[node]
+            .tasks
+            .iter()
+            .map(|t| self.weight_of(t, now, t.work_done, rating))
+            .collect();
+        let sum_w: f64 = weights.iter().sum();
+        // Work-conserving proportional split; a lone task always runs at the
+        // node's full speed. `rate` is a WORK rate: share × node rating.
+        let denom = sum_w.max(MIN_WEIGHT);
+        let n = &mut self.nodes[node];
+        let mut next = f64::INFINITY;
+        for (t, w) in n.tasks.iter_mut().zip(&weights) {
+            t.rate = (w / denom).min(1.0) * rating;
+            let completion = now + t.remaining() / t.rate;
+            next = next.min(completion);
+            if t.abs_deadline > now {
+                next = next.min(t.abs_deadline); // escalation point
+            }
+        }
+        debug_assert!(next > now - 1e-9);
+        n.pending_event = Some(self.queue.push(SimTime::new(next.max(now)), node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_workload::Urgency;
+
+    fn job(id: JobId, submit: f64, runtime: f64, estimate: f64, deadline: f64, procs: u32) -> Job {
+        Job {
+            id,
+            submit,
+            runtime,
+            estimate,
+            procs,
+            urgency: Urgency::Low,
+            deadline,
+            budget: 100.0,
+            penalty_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn lone_task_runs_at_full_speed() {
+        let mut c = PsCluster::new(2, WeightMode::Static);
+        // estimate/deadline = 0.1 but the node is otherwise idle, so the
+        // leftover distribution gives the task the whole processor.
+        let j = job(0, 0.0, 100.0, 100.0, 1000.0, 1);
+        c.submit(&j, &[0], 0.0);
+        let done = c.drain();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finish - 100.0).abs() < 1e-6, "finish {}", done[0].finish);
+    }
+
+    #[test]
+    fn two_tasks_share_proportionally() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        // Equal shares 0.5/0.5 -> both run at rate 0.5 until the first
+        // completes, then the survivor speeds up to 1.
+        let a = job(0, 0.0, 100.0, 100.0, 200.0, 1);
+        let b = job(1, 0.0, 300.0, 300.0, 600.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&b, &[0], 0.0);
+        let done = c.drain();
+        assert_eq!(done.len(), 2);
+        // a: rate 0.5 -> finishes at 200.
+        assert!((done[0].finish - 200.0).abs() < 1e-6, "a at {}", done[0].finish);
+        // b: 100 work done by t=200 (rate .5), remaining 200 at rate 1 -> 400.
+        assert_eq!(done[1].job_id, 1);
+        assert!((done[1].finish - 400.0).abs() < 1e-6, "b at {}", done[1].finish);
+    }
+
+    #[test]
+    fn both_meet_deadlines_when_admitted_within_capacity() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        // shares 0.6 + 0.4 = 1.0: rates exactly the shares.
+        let a = job(0, 0.0, 60.0, 60.0, 100.0, 1);
+        let b = job(1, 0.0, 40.0, 40.0, 100.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&b, &[0], 0.0);
+        let done = c.drain();
+        for d in &done {
+            assert!(d.finish <= 100.0 + 1e-6, "job {} at {}", d.job_id, d.finish);
+        }
+    }
+
+    #[test]
+    fn multi_node_job_completes_when_last_task_does() {
+        let mut c = PsCluster::new(3, WeightMode::Static);
+        let wide = job(0, 0.0, 100.0, 100.0, 500.0, 3);
+        c.submit(&wide, &[0, 1, 2], 0.0);
+        // Load node 2 with a competitor so the wide job's task there is slower.
+        let other = job(1, 0.0, 100.0, 100.0, 200.0, 1);
+        c.submit(&other, &[2], 0.0);
+        let done = c.drain();
+        let wide_done = done.iter().find(|d| d.job_id == 0).unwrap();
+        let other_done = done.iter().find(|d| d.job_id == 1).unwrap();
+        assert!(wide_done.finish > 100.0, "slowed by sharing on node 2");
+        assert!(other_done.finish > 100.0);
+        assert_eq!(c.open_jobs(), 0);
+    }
+
+    #[test]
+    fn free_share_reflects_admitted_weights() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        assert!((c.free_share(0, 0.0) - 1.0).abs() < 1e-12);
+        let a = job(0, 0.0, 100.0, 100.0, 400.0, 1); // w = 0.25
+        c.submit(&a, &[0], 0.0);
+        assert!((c.free_share(0, 0.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_mode_releases_share_as_work_progresses() {
+        let mut c = PsCluster::new(1, WeightMode::Dynamic);
+        let a = job(0, 0.0, 100.0, 100.0, 400.0, 1); // initial w = 0.25
+        c.submit(&a, &[0], 0.0);
+        let f0 = c.free_share(0, 0.0);
+        c.advance_to(50.0);
+        // Task runs at rate 1 (alone): at t=50 half the estimate is done;
+        // remaining est 50 over remaining time 350 -> w ~ 0.143.
+        let f1 = c.free_share(0, 50.0);
+        assert!(f1 > f0, "dynamic share should free up: {f0} -> {f1}");
+    }
+
+    #[test]
+    fn static_mode_holds_share_constant() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        let a = job(0, 0.0, 100.0, 100.0, 400.0, 1);
+        c.submit(&a, &[0], 0.0);
+        let f0 = c.free_share(0, 0.0);
+        c.advance_to(50.0);
+        let f1 = c.free_share(0, 50.0);
+        assert!((f0 - f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underestimated_task_escalates_after_deadline_and_squeezes_neighbours() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        // Task A claims est=10 (deadline 20, w=0.5) but actually needs 100.
+        let a = job(0, 0.0, 100.0, 10.0, 20.0, 1);
+        // Task B honestly needs 50 by 100 (w=0.5).
+        let b = job(1, 0.0, 50.0, 50.0, 100.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&b, &[0], 0.0);
+        let done = c.drain();
+        let b_done = done.iter().find(|d| d.job_id == 1).unwrap();
+        // Without A's overrun B would finish by 100; the escalation of A at
+        // t=20 (w -> 1.0) squeezes B to 1/3 rate and pushes it past its
+        // deadline — the cascade the paper describes.
+        assert!(
+            b_done.finish > 100.0 + 1e-6,
+            "expected B delayed past its deadline, finished at {}",
+            b_done.finish
+        );
+        assert_eq!(c.open_jobs(), 0, "everything still completes eventually");
+    }
+
+    #[test]
+    fn at_risk_flags_overrunning_tasks() {
+        let mut c = PsCluster::new(2, WeightMode::Static);
+        let a = job(0, 0.0, 100.0, 10.0, 1000.0, 1); // overruns at t=10
+        c.submit(&a, &[0], 0.0);
+        c.advance_to(5.0);
+        assert!(!c.node_at_risk(0, 5.0));
+        assert!(!c.node_at_risk(1, 5.0), "idle node never at risk");
+        c.advance_to(50.0);
+        assert!(c.node_at_risk(0, 50.0), "task ran past its estimate");
+        let done = c.drain();
+        assert_eq!(done.len(), 1);
+        assert!(!c.node_at_risk(0, done[0].finish + 1.0), "risk clears on completion");
+    }
+
+    #[test]
+    fn completions_report_in_time_order() {
+        let mut c = PsCluster::new(4, WeightMode::Static);
+        for i in 0..4 {
+            let j = job(i, 0.0, 100.0 * (i + 1) as f64, 100.0 * (i + 1) as f64, 1e6, 1);
+            c.submit(&j, &[i as usize], 0.0);
+        }
+        let done = c.drain();
+        assert_eq!(done.len(), 4);
+        for w in done.windows(2) {
+            assert!(w[0].finish <= w[1].finish);
+        }
+    }
+
+    #[test]
+    fn advance_to_only_processes_due_events() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        let a = job(0, 0.0, 100.0, 100.0, 1000.0, 1);
+        c.submit(&a, &[0], 0.0);
+        assert!(c.advance_to(50.0).is_empty());
+        let done = c.advance_to(150.0);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_submit_panics() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        let a = job(0, 0.0, 10.0, 10.0, 100.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&a, &[0], 0.0);
+    }
+
+    #[test]
+    fn fast_node_finishes_lone_job_proportionally_sooner() {
+        let mut c = PsCluster::with_ratings(vec![1.0, 2.0], WeightMode::Static, true);
+        let slow = job(0, 0.0, 100.0, 100.0, 1000.0, 1);
+        let fast = job(1, 0.0, 100.0, 100.0, 1000.0, 1);
+        c.submit(&slow, &[0], 0.0);
+        c.submit(&fast, &[1], 0.0);
+        let done = c.drain();
+        let f = |id: JobId| done.iter().find(|d| d.job_id == id).unwrap().finish;
+        assert!((f(0) - 100.0).abs() < 1e-6, "reference node: {}", f(0));
+        assert!((f(1) - 50.0).abs() < 1e-6, "2x node halves the runtime: {}", f(1));
+    }
+
+    #[test]
+    fn fast_node_demands_less_share() {
+        let c = PsCluster::with_ratings(vec![1.0, 4.0], WeightMode::Static, true);
+        assert!((c.required_share(0, 100.0, 400.0) - 0.25).abs() < 1e-12);
+        assert!((c.required_share(1, 100.0, 400.0) - 0.0625).abs() < 1e-12);
+        assert_eq!(c.rating(1), 4.0);
+    }
+
+    #[test]
+    fn heterogeneous_sharing_still_conserves_work() {
+        let mut c = PsCluster::with_ratings(vec![2.0], WeightMode::Static, true);
+        // Two equal tasks on a 2x node: each runs at work-rate 1.0.
+        let a = job(0, 0.0, 100.0, 100.0, 400.0, 1);
+        let b = job(1, 0.0, 100.0, 100.0, 400.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&b, &[0], 0.0);
+        let done = c.drain();
+        for d in &done {
+            assert!((d.finish - 100.0).abs() < 1e-6, "each at half of 2x = 1x: {}", d.finish);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_rating_rejected() {
+        let _ = PsCluster::with_ratings(vec![1.0, 0.0], WeightMode::Static, true);
+    }
+
+    #[test]
+    fn staggered_arrivals_accrue_correctly() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        let a = job(0, 0.0, 100.0, 100.0, 300.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.advance_to(50.0);
+        // A has 50 done. B arrives; equal-ish shares from here on.
+        let b = job(1, 50.0, 100.0, 100.0, 350.0, 1);
+        c.submit(&b, &[0], 50.0);
+        let done = c.drain();
+        let a_done = done.iter().find(|d| d.job_id == 0).unwrap().finish;
+        let b_done = done.iter().find(|d| d.job_id == 1).unwrap().finish;
+        // w_a = 1/3, w_b = 2/7 -> r_a ~ 0.538, r_b ~ 0.462 of the node.
+        // A needs 50 more: ~ 50 + 50/0.538 = 142.9; then B speeds to 1.
+        assert!(a_done > 100.0 && a_done < 200.0, "a at {a_done}");
+        assert!(b_done > a_done && b_done <= 350.0 + 1e-6, "b at {b_done}");
+    }
+}

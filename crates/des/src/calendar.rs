@@ -1,0 +1,309 @@
+//! Calendar queue: the classic O(1)-amortized pending-event set
+//! (Brown 1988), as used by large discrete-event simulators.
+//!
+//! A calendar queue hashes events into "days" (buckets) of a fixed width
+//! and sweeps a rotating "year"; with the bucket width tracking the mean
+//! event spacing, enqueue and dequeue are O(1) amortized versus the binary
+//! heap's O(log n). This implementation resizes itself (doubling/halving
+//! the day count and re-estimating the width from a sample) when the queue
+//! population outgrows or undershoots the calendar, and preserves FIFO
+//! order for simultaneous events via sequence numbers.
+//!
+//! [`CalendarQueue`] is a drop-in alternative to
+//! [`EventQueue`](crate::queue::EventQueue) for workloads with many pending
+//! events; `benches/kernels.rs` compares the two, and property tests assert
+//! they dequeue identical orders.
+
+use crate::time::SimTime;
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+/// A self-resizing calendar queue keyed by [`SimTime`].
+pub struct CalendarQueue<T> {
+    /// `buckets[d]` holds the events of day `d`, sorted ascending by
+    /// (time, seq) — cheapest to keep sorted on insert for small days.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Width of one day in seconds.
+    width: f64,
+    /// Index of the day currently being swept.
+    current: usize,
+    /// Start time of the current day.
+    bucket_top: f64,
+    /// Total events stored.
+    len: usize,
+    /// Last dequeued (or initial) time — dequeues are monotone.
+    last_time: f64,
+    next_seq: u64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty calendar with a small initial footprint.
+    pub fn new() -> Self {
+        Self::with_shape(8, 1.0, 0.0)
+    }
+
+    fn with_shape(days: usize, width: f64, start: f64) -> Self {
+        let mut buckets = Vec::with_capacity(days);
+        buckets.resize_with(days, Vec::new);
+        CalendarQueue {
+            buckets,
+            width,
+            current: ((start / width) as usize) % days,
+            bucket_top: (start / width).floor() * width + width,
+            len: 0,
+            last_time: start,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn day_of(&self, time: f64) -> usize {
+        ((time / self.width) as usize) % self.buckets.len()
+    }
+
+    /// Enqueues `payload` at `time`. Unlike the heap queue, times may be in
+    /// the past of the last dequeue only if not earlier than the latest
+    /// dequeued time (monotone simulators never need that anyway); panics
+    /// otherwise.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let t = time.as_secs();
+        assert!(
+            t >= self.last_time,
+            "calendar queue requires monotone enqueue-after-dequeue: {t} < {}",
+            self.last_time
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let day = self.day_of(t);
+        let bucket = &mut self.buckets[day];
+        let pos = bucket
+            .binary_search_by(|e| e.time.total_cmp(&t).then(e.seq.cmp(&seq)))
+            .unwrap_err();
+        bucket.insert(pos, Entry { time: t, seq, payload });
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Dequeues the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Sweep days from the current one; an event in day d belongs to the
+        // current year iff its time is below the day's year boundary.
+        let days = self.buckets.len();
+        loop {
+            let bucket = &mut self.buckets[self.current];
+            if let Some(front) = bucket.first() {
+                if front.time < self.bucket_top {
+                    let e = bucket.remove(0);
+                    self.len -= 1;
+                    self.last_time = e.time;
+                    if self.len < self.buckets.len() / 4 && self.buckets.len() > 8 {
+                        self.resize(self.buckets.len() / 2);
+                    }
+                    return Some((SimTime::new(e.time), e.payload));
+                }
+            }
+            self.current = (self.current + 1) % days;
+            self.bucket_top += self.width;
+            if self.current == 0 {
+                // Completed a year without finding anything below the
+                // boundaries: jump straight to the global minimum (the
+                // standard direct-search fallback for sparse calendars).
+                // The boundary must land strictly above the minimum event
+                // time even when the day width is far below one ulp of it,
+                // so bump by one ulp explicitly.
+                if let Some((day, t)) = self.global_min() {
+                    self.current = day;
+                    let above = f64::from_bits(t.to_bits() + 1);
+                    self.bucket_top = (above + self.width).max(above);
+                }
+            }
+        }
+    }
+
+    fn global_min(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (d, bucket) in self.buckets.iter().enumerate() {
+            if let Some(front) = bucket.first() {
+                if best.is_none_or(|(_, t)| front.time < t) {
+                    best = Some((d, front.time));
+                }
+            }
+        }
+        best
+    }
+
+    fn resize(&mut self, new_days: usize) {
+        // Re-estimate the day width from the spacing of a sample of events.
+        let mut times: Vec<f64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| e.time))
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let width = if times.len() >= 2 {
+            let span = times[times.len() - 1] - times[0];
+            (span / times.len() as f64 * 3.0).max(1e-9)
+        } else {
+            self.width
+        };
+        let mut replacement = CalendarQueue::with_shape(new_days, width, self.last_time);
+        replacement.next_seq = self.next_seq;
+        let mut entries: Vec<Entry<T>> = self
+            .buckets
+            .drain(..)
+            .flatten()
+            .collect();
+        // Preserve (time, seq) order exactly.
+        entries.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        for e in entries {
+            let day = replacement.day_of(e.time);
+            replacement.buckets[day].push(e);
+            replacement.len += 1;
+        }
+        *self = replacement;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        for &t in &[5.0, 1.0, 9.0, 3.0, 7.0] {
+            q.push(SimTime::new(t), t as i64);
+        }
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = CalendarQueue::new();
+        for i in 0..50 {
+            q.push(SimTime::new(4.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(1.0), "a");
+        q.push(SimTime::new(10.0), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::new(5.0), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resize() {
+        let mut q = CalendarQueue::new();
+        let mut rng = SimRng::seed_from(5);
+        for i in 0..5000 {
+            q.push(SimTime::new(rng.uniform(0.0, 1e6)), i);
+        }
+        assert_eq!(q.len(), 5000);
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_secs() >= prev);
+            prev = t.as_secs();
+            n += 1;
+        }
+        assert_eq!(n, 5000);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_heap_queue_on_random_streams() {
+        let mut rng = SimRng::seed_from(77);
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut now = 0.0f64;
+        // Mixed pushes and pops, monotone times (simulation pattern).
+        for step in 0..3000 {
+            if rng.bernoulli(0.6) || cal.is_empty() {
+                let t = now + rng.uniform(0.0, 500.0);
+                cal.push(SimTime::new(t), step);
+                heap.push(SimTime::new(t), step);
+            } else {
+                let a = cal.pop().unwrap();
+                let b = heap.pop().unwrap();
+                assert_eq!(a.0, b.0, "times agree");
+                assert_eq!(a.1, b.1, "payloads agree (FIFO ties)");
+                now = a.0.as_secs();
+            }
+        }
+        while let (Some(a), Some(b)) = (cal.pop(), heap.pop()) {
+            assert_eq!(a.1, b.1);
+        }
+        assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn clustered_times_still_correct() {
+        // Everything lands in a single day; order must survive.
+        let mut q = CalendarQueue::new();
+        for i in 0..200 {
+            q.push(SimTime::new(1000.0 + (i % 7) as f64 * 1e-3), i);
+        }
+        let mut prev = (0.0, 0u64);
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_secs() >= prev.0);
+            prev = (t.as_secs(), 0);
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_monotone_push() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(100.0), ());
+        q.pop();
+        q.push(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(1.0), 1);
+        q.push(SimTime::new(1e9), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2, "year-sweep fallback finds it");
+    }
+}

@@ -1,0 +1,297 @@
+//! Entity layer: message-passing simulation in the style of GridSim.
+//!
+//! GridSim (the substrate the paper's authors used) structures simulations
+//! as *entities* exchanging timestamped messages: users submit to brokers,
+//! brokers to resources, resources reply with completions. This module adds
+//! that programming model on top of the raw [`Simulation`](crate::sim)
+//! clock:
+//!
+//! - An [`Entity`] handles messages addressed to it and can send further
+//!   messages (to itself or others) with a delay.
+//! - The [`World`] owns the entities and the event loop and guarantees
+//!   deterministic delivery order (time, then send order).
+//!
+//! ```
+//! use ccs_des::entity::{Entity, EntityId, Outbox, World};
+//!
+//! // A ping-pong pair: each reply is delayed by 1 s, five rounds.
+//! struct Player { peer: Option<EntityId>, hits: u32 }
+//! impl Entity<&'static str> for Player {
+//!     fn handle(&mut self, _me: EntityId, _from: EntityId, msg: &'static str, out: &mut Outbox<&'static str>) {
+//!         self.hits += 1;
+//!         if self.hits < 5 {
+//!             out.send(self.peer.unwrap(), 1.0, msg);
+//!         }
+//!     }
+//! }
+//!
+//! let mut world = World::new();
+//! let a = world.add(Player { peer: None, hits: 0 });
+//! let b = world.add(Player { peer: Some(a), hits: 0 });
+//! world.entity_mut(a).peer = Some(b);
+//! world.post(a, b, 0.0, "ball"); // b receives at t=0
+//! world.run();
+//! assert_eq!(world.now(), 8.0); // 9 deliveries, 8 of them delayed by 1 s
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Identifier of a registered entity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EntityId(usize);
+
+/// A message in flight.
+struct Envelope<M> {
+    from: EntityId,
+    to: EntityId,
+    msg: M,
+}
+
+/// Messages an entity wants to send, collected during a handler call.
+pub struct Outbox<M> {
+    staged: Vec<(EntityId, f64, M)>,
+    me: EntityId,
+}
+
+impl<M> Outbox<M> {
+    /// Sends `msg` to `to`, delivered `delay ≥ 0` seconds from now.
+    pub fn send(&mut self, to: EntityId, delay: f64, msg: M) {
+        assert!(delay >= 0.0, "negative delay");
+        self.staged.push((to, delay, msg));
+    }
+
+    /// Schedules a message to this entity itself (a timer).
+    pub fn send_self(&mut self, delay: f64, msg: M) {
+        let me = self.me;
+        self.send(me, delay, msg);
+    }
+}
+
+/// A simulation actor.
+pub trait Entity<M> {
+    /// Handles one delivered message. `me` is this entity's id, `from` the
+    /// sender's; further sends go through `out`.
+    fn handle(&mut self, me: EntityId, from: EntityId, msg: M, out: &mut Outbox<M>);
+}
+
+/// The entity container and event loop.
+pub struct World<M, E: Entity<M>> {
+    entities: Vec<E>,
+    queue: EventQueue<Envelope<M>>,
+    clock: f64,
+    delivered: u64,
+}
+
+impl<M, E: Entity<M>> Default for World<M, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M, E: Entity<M>> World<M, E> {
+    /// Creates an empty world at time 0.
+    pub fn new() -> Self {
+        World {
+            entities: Vec::new(),
+            queue: EventQueue::new(),
+            clock: 0.0,
+            delivered: 0,
+        }
+    }
+
+    /// Registers an entity, returning its id.
+    pub fn add(&mut self, entity: E) -> EntityId {
+        self.entities.push(entity);
+        EntityId(self.entities.len() - 1)
+    }
+
+    /// Immutable access to an entity.
+    pub fn entity(&self, id: EntityId) -> &E {
+        &self.entities[id.0]
+    }
+
+    /// Mutable access to an entity (between runs; handlers receive `self`).
+    pub fn entity_mut(&mut self, id: EntityId) -> &mut E {
+        &mut self.entities[id.0]
+    }
+
+    /// Number of registered entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when no entities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Posts an external message (e.g. the initial stimulus).
+    pub fn post(&mut self, from: EntityId, to: EntityId, delay: f64, msg: M) {
+        assert!(to.0 < self.entities.len(), "unknown recipient");
+        self.queue
+            .push(SimTime::new(self.clock + delay), Envelope { from, to, msg });
+    }
+
+    /// Delivers a single message, if any is pending. Returns `false` when
+    /// the simulation has quiesced.
+    pub fn step(&mut self) -> bool {
+        let Some((t, env)) = self.queue.pop() else {
+            return false;
+        };
+        self.clock = t.as_secs();
+        self.delivered += 1;
+        let mut out = Outbox {
+            staged: Vec::new(),
+            me: env.to,
+        };
+        self.entities[env.to.0].handle(env.to, env.from, env.msg, &mut out);
+        for (to, delay, msg) in out.staged {
+            assert!(to.0 < self.entities.len(), "send to unknown entity");
+            self.queue.push(
+                SimTime::new(self.clock + delay),
+                Envelope {
+                    from: env.to,
+                    to,
+                    msg,
+                },
+            );
+        }
+        true
+    }
+
+    /// Runs until no messages remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock would pass `horizon` (messages at exactly
+    /// `horizon` are delivered).
+    pub fn run_until(&mut self, horizon: f64) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t.as_secs() <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        seen: Vec<(f64, u32)>,
+    }
+
+    struct CountingWorld;
+
+    impl Entity<u32> for Counter {
+        fn handle(&mut self, _me: EntityId, _from: EntityId, msg: u32, out: &mut Outbox<u32>) {
+            self.seen.push((0.0, msg));
+            if msg > 0 {
+                out.send_self(2.0, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn self_timers_count_down() {
+        let _ = CountingWorld;
+        let mut w: World<u32, Counter> = World::new();
+        let c = w.add(Counter::default());
+        w.post(c, c, 0.0, 3);
+        w.run();
+        assert_eq!(w.now(), 6.0, "three 2 s timers");
+        assert_eq!(w.delivered(), 4);
+        let msgs: Vec<u32> = w.entity(c).seen.iter().map(|s| s.1).collect();
+        assert_eq!(msgs, vec![3, 2, 1, 0]);
+    }
+
+    struct Relay {
+        next: Option<EntityId>,
+        received_at: Option<f64>,
+    }
+
+    impl Entity<&'static str> for Relay {
+        fn handle(
+            &mut self,
+            _me: EntityId,
+            _from: EntityId,
+            msg: &'static str,
+            out: &mut Outbox<&'static str>,
+        ) {
+            self.received_at = Some(0.0);
+            if let Some(next) = self.next {
+                out.send(next, 5.0, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_of_relays() {
+        let mut w: World<&'static str, Relay> = World::new();
+        let c = w.add(Relay { next: None, received_at: None });
+        let b = w.add(Relay { next: Some(c), received_at: None });
+        let a = w.add(Relay { next: Some(b), received_at: None });
+        w.post(a, a, 0.0, "token");
+        w.run();
+        assert_eq!(w.now(), 10.0, "two 5 s hops");
+        assert_eq!(w.delivered(), 3);
+        assert!(w.entity(c).received_at.is_some());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut w: World<u32, Counter> = World::new();
+        let c = w.add(Counter::default());
+        w.post(c, c, 0.0, 10); // would run to t = 20
+        w.run_until(5.0);
+        assert!(w.now() <= 5.0);
+        assert!(w.delivered() < 11);
+        w.run();
+        assert_eq!(w.now(), 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn posting_to_unknown_entity_panics() {
+        let mut w: World<u32, Counter> = World::new();
+        let c = w.add(Counter::default());
+        w.post(c, EntityId(99), 0.0, 1);
+    }
+
+    #[test]
+    fn deterministic_delivery_order_on_ties() {
+        // Two messages at the same instant deliver in send order.
+        struct Recorder {
+            log: Vec<u32>,
+        }
+        impl Entity<u32> for Recorder {
+            fn handle(&mut self, _m: EntityId, _f: EntityId, msg: u32, _o: &mut Outbox<u32>) {
+                self.log.push(msg);
+            }
+        }
+        let mut w: World<u32, Recorder> = World::new();
+        let r = w.add(Recorder { log: Vec::new() });
+        w.post(r, r, 1.0, 1);
+        w.post(r, r, 1.0, 2);
+        w.post(r, r, 1.0, 3);
+        w.run();
+        assert_eq!(w.entity(r).log, vec![1, 2, 3]);
+    }
+}

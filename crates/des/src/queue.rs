@@ -1,0 +1,218 @@
+//! Pending-event set: a time-ordered priority queue with stable FIFO
+//! tie-breaking and lazy cancellation.
+//!
+//! Events scheduled for the same instant pop in the order they were pushed,
+//! which keeps simulations deterministic regardless of heap internals.
+//! Cancellation is O(1) amortized: cancelled entries are tombstoned and
+//! skipped on pop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable to cancel it later.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest seq)
+        // is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list keyed by [`SimTime`].
+///
+/// ```
+/// use ccs_des::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::new(2.0), "late");
+/// let h = q.push(SimTime::new(1.0), "early");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((SimTime::new(2.0), "late")));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    /// Sequence numbers of events that are scheduled and not yet fired or
+    /// cancelled. Entries in `heap` whose seq is absent here are tombstones.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`. Returns a handle that can
+    /// cancel the event as long as it has not yet been popped.
+    pub fn push(&mut self, time: SimTime, payload: T) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (it will never be popped), `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.time, entry.payload));
+            }
+            // else: tombstone of a cancelled event — skip it.
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones off the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(3.0), 3);
+        q.push(SimTime::new(1.0), 1);
+        q.push(SimTime::new(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_pop() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::new(1.0), "a");
+        q.push(SimTime::new(2.0), "b");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::new(1.0), ());
+        q.pop();
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::new(1.0), "a");
+        q.push(SimTime::new(2.0), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10).map(|i| q.push(SimTime::new(i as f64), i)).collect();
+        assert_eq!(q.len(), 10);
+        for h in handles.iter().take(5) {
+            q.cancel(*h);
+        }
+        assert_eq!(q.len(), 5);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(1.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Bid-based utility and the linear penalty function (paper Figure 2,
+//! Eqs. 9–10).
+//!
+//! For every job `i` the service earns utility
+//! `u_i = b_i − dy_i · pr_i`, where the delay `dy_i = (tf_i − tsu_i) − d_i`
+//! is zero when the job finishes within its deadline. The penalty is
+//! **unbounded**: utility keeps dropping linearly until the job actually
+//! completes, and can become arbitrarily negative — which is why policies in
+//! the bid-based model must be cautious about over-accepting work.
+
+use ccs_workload::Job;
+
+/// Utility earned for completing `job` at absolute time `finish`
+/// (paper Eq. 9). Negative values are net penalties.
+#[inline]
+pub fn bid_utility(job: &Job, finish: f64) -> f64 {
+    job.budget - job.delay_at(finish) * job.penalty_rate
+}
+
+/// Time (since submission) at which the utility of `job` crosses zero —
+/// the break-even point of Figure 2. Returns `None` for a zero penalty rate
+/// (utility never decays).
+pub fn break_even_delay(job: &Job) -> Option<f64> {
+    if job.penalty_rate <= 0.0 {
+        None
+    } else {
+        Some(job.deadline + job.budget / job.penalty_rate)
+    }
+}
+
+/// Samples the utility-vs-completion-time curve of Figure 2 at `samples`
+/// evenly spaced completion times spanning `[0, horizon]` seconds after
+/// submission. Returns `(time-after-submit, utility)` pairs.
+pub fn penalty_curve(job: &Job, horizon: f64, samples: usize) -> Vec<(f64, f64)> {
+    assert!(samples >= 2);
+    (0..samples)
+        .map(|k| {
+            let t = horizon * k as f64 / (samples - 1) as f64;
+            (t, bid_utility(job, job.submit + t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_workload::Urgency;
+
+    fn job(budget: f64, deadline: f64, pr: f64) -> Job {
+        Job {
+            id: 0,
+            submit: 1000.0,
+            runtime: 50.0,
+            estimate: 50.0,
+            procs: 1,
+            urgency: Urgency::High,
+            deadline,
+            budget,
+            penalty_rate: pr,
+        }
+    }
+
+    #[test]
+    fn full_budget_on_time() {
+        let j = job(200.0, 100.0, 2.0);
+        assert_eq!(bid_utility(&j, 1050.0), 200.0);
+        assert_eq!(bid_utility(&j, 1100.0), 200.0, "exactly at deadline");
+    }
+
+    #[test]
+    fn linear_decay_after_deadline() {
+        let j = job(200.0, 100.0, 2.0);
+        assert_eq!(bid_utility(&j, 1150.0), 100.0); // 50 s late × $2/s
+        assert_eq!(bid_utility(&j, 1200.0), 0.0); // break-even
+        assert_eq!(bid_utility(&j, 1300.0), -200.0); // unbounded penalty
+    }
+
+    #[test]
+    fn break_even_matches_curve_zero() {
+        let j = job(200.0, 100.0, 2.0);
+        let be = break_even_delay(&j).unwrap();
+        assert_eq!(be, 200.0);
+        assert!(bid_utility(&j, j.submit + be).abs() < 1e-9);
+        assert!(break_even_delay(&job(200.0, 100.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn curve_is_flat_then_strictly_decreasing() {
+        let j = job(300.0, 100.0, 1.5);
+        let curve = penalty_curve(&j, 400.0, 81);
+        assert_eq!(curve.len(), 81);
+        for w in curve.windows(2) {
+            let (t0, u0) = w[0];
+            let (t1, u1) = w[1];
+            assert!(t1 > t0);
+            if t1 <= j.deadline {
+                assert_eq!(u0, j.budget);
+                assert_eq!(u1, j.budget);
+            } else if t0 >= j.deadline {
+                assert!(u1 < u0, "decay after deadline");
+                let slope = (u1 - u0) / (t1 - t0);
+                assert!((slope + j.penalty_rate).abs() < 1e-9, "constant rate");
+            }
+        }
+    }
+}

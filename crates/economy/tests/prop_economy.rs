@@ -1,0 +1,108 @@
+//! Property-based tests of the economic primitives.
+
+use ccs_economy::penalty::bid_utility;
+use ccs_economy::schedule::PriceSchedule;
+use ccs_economy::{libra_cost, libra_dollar_rate, LibraDollarParams, LibraParams};
+use ccs_workload::{Job, Urgency};
+use proptest::prelude::*;
+
+fn job(budget: f64, deadline: f64, pr: f64, estimate: f64, procs: u32) -> Job {
+    Job {
+        id: 0,
+        submit: 0.0,
+        runtime: estimate,
+        estimate,
+        procs,
+        urgency: Urgency::Low,
+        deadline,
+        budget,
+        penalty_rate: pr,
+    }
+}
+
+proptest! {
+    /// Cost integration is additive: splitting a window anywhere gives the
+    /// same total as integrating it whole.
+    #[test]
+    fn schedule_cost_additivity(
+        start in 0.0f64..200_000.0,
+        d1 in 0.0f64..50_000.0,
+        d2 in 0.0f64..50_000.0,
+        peak in 0.5f64..5.0,
+        off in 0.1f64..0.5,
+        ps in 0u32..12,
+        procs in 1u32..64,
+    ) {
+        let sched = PriceSchedule::PeakOffPeak {
+            peak,
+            off_peak: off,
+            peak_start_hour: ps,
+            peak_end_hour: ps + 8,
+        };
+        let whole = sched.cost(start, d1 + d2, procs);
+        let split = sched.cost(start, d1, procs) + sched.cost(start + d1, d2, procs);
+        prop_assert!((whole - split).abs() < 1e-6 * (1.0 + whole), "{whole} vs {split}");
+    }
+
+    /// The integrated cost is always bounded by the window priced entirely
+    /// at the off-peak and peak rates.
+    #[test]
+    fn schedule_cost_bounds(
+        start in 0.0f64..200_000.0,
+        dur in 0.0f64..100_000.0,
+        peak in 0.5f64..5.0,
+        off in 0.1f64..0.5,
+    ) {
+        let sched = PriceSchedule::PeakOffPeak {
+            peak,
+            off_peak: off,
+            peak_start_hour: 8,
+            peak_end_hour: 18,
+        };
+        let c = sched.cost(start, dur, 1);
+        prop_assert!(c >= off * dur - 1e-6);
+        prop_assert!(c <= peak * dur + 1e-6);
+    }
+
+    /// Bid utility is exactly linear in the delay and equals the budget for
+    /// any on-time completion.
+    #[test]
+    fn penalty_linearity(
+        budget in 1.0f64..1e6,
+        deadline in 1.0f64..1e5,
+        pr in 0.01f64..100.0,
+        delay in 0.0f64..1e5,
+    ) {
+        let j = job(budget, deadline, pr, deadline / 2.0, 1);
+        let on_time = bid_utility(&j, j.submit + deadline);
+        prop_assert_eq!(on_time, budget);
+        let late = bid_utility(&j, j.submit + deadline + delay);
+        prop_assert!((late - (budget - delay * pr)).abs() < 1e-9 * (1.0 + budget));
+        prop_assert!(late <= on_time);
+    }
+
+    /// Libra's incentive price decreases as the deadline relaxes, holding
+    /// everything else fixed.
+    #[test]
+    fn libra_price_monotone_in_deadline(
+        estimate in 1.0f64..1e5,
+        d1 in 1.0f64..1e6,
+        extra in 0.1f64..1e6,
+        procs in 1u32..64,
+    ) {
+        let p = LibraParams::default();
+        let tight = libra_cost(&job(1e12, d1, 1.0, estimate, procs), &p);
+        let relaxed = libra_cost(&job(1e12, d1 + extra, 1.0, estimate, procs), &p);
+        prop_assert!(relaxed <= tight + 1e-9);
+    }
+
+    /// Libra+$'s rate is monotone non-increasing in the free share and
+    /// never drops below the base price.
+    #[test]
+    fn libra_dollar_rate_monotone(f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0) {
+        let p = LibraDollarParams::default();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(libra_dollar_rate(lo, &p) >= libra_dollar_rate(hi, &p) - 1e-12);
+        prop_assert!(libra_dollar_rate(f1, &p) >= 1.0);
+    }
+}

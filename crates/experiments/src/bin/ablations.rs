@@ -1,0 +1,13 @@
+//! Runs the ablation studies of DESIGN.md (admission control, backfilling,
+//! deadline escalation, Libra+$ β sweep, FirstReward slack threshold).
+
+use ccs_experiments::run_all_ablations;
+
+fn main() {
+    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let base = cfg.trace.generate(cfg.seed);
+    for ablation in run_all_ablations(&base, cfg.seed, cfg.nodes) {
+        println!("{}", ablation.render());
+    }
+    println!("{}", ccs_experiments::ablation::car_comparison(&base, cfg.seed, cfg.nodes));
+}

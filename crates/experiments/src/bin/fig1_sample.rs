@@ -1,0 +1,17 @@
+//! Reproduces paper Figure 1 (the sample risk analysis plot) and the
+//! derived Tables II–IV. Pure — no simulation involved.
+
+use ccs_experiments::figures::{figure1, print_figure, write_figure};
+use ccs_experiments::tables;
+
+fn main() {
+    let (_, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let fig = figure1();
+    print!("{}", print_figure(&fig));
+    println!();
+    println!("=== Table II ===\n{}", tables::table2());
+    println!("=== Table III (ranking by best performance) ===\n{}", tables::table3());
+    println!("=== Table IV (ranking by best volatility) ===\n{}", tables::table4());
+    let files = write_figure(&out, &fig).expect("write figure artifacts");
+    eprintln!("wrote {} files under {}", files.len(), out.display());
+}

@@ -1,0 +1,29 @@
+//! Reproduces paper Figure 2: the bid-based penalty function — utility vs
+//! completion time, flat at the budget until the deadline, then decaying
+//! linearly and unboundedly at the penalty rate.
+
+use ccs_experiments::figures::figure2_curves;
+use std::fmt::Write as _;
+
+fn main() {
+    let (_, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let curves = figure2_curves();
+    let mut dat = String::from("# fig2: utility vs completion time (s after submit)\n");
+    for (label, curve) in &curves {
+        println!("--- {label} ---");
+        println!("{:>12} {:>14}", "t (s)", "utility ($)");
+        let _ = writeln!(dat, "\n\n# {label}");
+        for (i, (t, u)) in curve.iter().enumerate() {
+            let _ = writeln!(dat, "{t:.1} {u:.2}");
+            if i % 12 == 0 {
+                println!("{t:>12.0} {u:>14.2}");
+            }
+        }
+    }
+    std::fs::create_dir_all(&out).expect("mkdir");
+    let path = out.join("fig2.dat");
+    std::fs::write(&path, dat).expect("write fig2.dat");
+    let svg = out.join("fig2.svg");
+    std::fs::write(&svg, ccs_experiments::figures::figure2_svg()).expect("write fig2.svg");
+    eprintln!("wrote {} and {}", path.display(), svg.display());
+}

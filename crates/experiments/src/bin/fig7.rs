@@ -1,0 +1,12 @@
+//! Reproduces paper Figure 7. Run with --quick for a small-trace smoke
+//! run; the default regenerates the full 5000-job study for this figure.
+
+use ccs_experiments::figures::{print_figure, write_figure};
+
+fn main() {
+    let (cfg, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let fig = ccs_experiments::build_figure("fig7", &cfg);
+    print!("{}", print_figure(&fig));
+    let files = write_figure(&out, &fig).expect("write figure artifacts");
+    eprintln!("wrote {} files under {}", files.len(), out.display());
+}

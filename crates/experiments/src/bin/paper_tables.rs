@@ -1,0 +1,26 @@
+//! Prints the reproduction of paper Tables I–VI.
+//!
+//! Usage: `paper_tables [--table N]` — without arguments all six tables are
+//! printed; `--table 3` prints only Table III.
+
+use ccs_experiments::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => print!("{}", tables::all_tables()),
+        [flag, n] if flag == "--table" => {
+            let table = match n.as_str() {
+                "1" => tables::table1(),
+                "2" => tables::table2(),
+                "3" => tables::table3(),
+                "4" => tables::table4(),
+                "5" => tables::table5(),
+                "6" => tables::table6(),
+                other => panic!("unknown table {other} (1-6)"),
+            };
+            print!("{table}");
+        }
+        other => panic!("usage: paper_tables [--table N], got {other:?}"),
+    }
+}

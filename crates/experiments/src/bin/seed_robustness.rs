@@ -1,0 +1,21 @@
+//! Re-runs the full evaluation under several independent seeds and reports
+//! each policy's integrated performance as mean ± std across replications —
+//! checking that the reproduced conclusions are not an artifact of one
+//! synthetic trace realization.
+//!
+//! Usage: `seed_robustness [--quick|--jobs N]` (always uses seeds 1..=5).
+
+use ccs_experiments::{replicate, EstimateSet};
+use ccs_economy::EconomicModel;
+
+fn main() {
+    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let seeds = [1u64, 2, 3, 4, 5];
+    for econ in EconomicModel::ALL {
+        for set in EstimateSet::ALL {
+            let r = replicate(econ, set, &cfg, &seeds);
+            println!("{}", r.render());
+            println!("ordering by mean: {}\n", r.ordering().join(" > "));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Prints the mean separate-analysis performance of every policy for every
+//! objective, per economic model and estimate set — the compact summary
+//! used for calibration (DESIGN.md §6a) and cited in EXPERIMENTS.md.
+//!
+//! Usage: `summary_probe [--quick|--jobs N|--seed S]`. The default runs the
+//! full 5000-job study (~1 min single-core).
+use ccs_experiments::*;
+use ccs_risk::Objective;
+
+fn main() {
+    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let t0 = std::time::Instant::now();
+    let ev = run_evaluation(&cfg);
+    eprintln!("full evaluation in {:.1?}", t0.elapsed());
+    for (label, g) in [
+        ("commodity A", &ev.commodity_a),
+        ("commodity B", &ev.commodity_b),
+        ("bid A", &ev.bid_a),
+        ("bid B", &ev.bid_b),
+    ] {
+        println!("\n== {label} ==");
+        print!("{:<12}", "policy");
+        for o in Objective::ALL { print!(" {:>8}", o.abbrev()); }
+        println!(" {:>8}", "ALL4");
+        for name in g.policy_names.clone() {
+            print!("{:<12}", name);
+            let mut sum = 0.0;
+            for o in Objective::ALL {
+                let m = g.mean_performance(&name, o);
+                sum += m;
+                print!(" {:>8.3}", m);
+            }
+            println!(" {:>8.3}", sum / 4.0);
+        }
+    }
+}

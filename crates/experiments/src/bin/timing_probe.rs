@@ -1,0 +1,21 @@
+//! Times one full-size (5000-job, Set B default point) simulation run per
+//! policy and economic model, printing the headline objective values — a
+//! quick sanity check that the simulator is healthy and fast.
+
+use ccs_experiments::*;
+fn main() {
+    let cfg = grid::ExperimentConfig::default();
+    let base = cfg.trace.generate(cfg.seed);
+    let t = scenario::baseline(scenario::EstimateSet::B);
+    let jobs = ccs_workload::apply_scenario(&base, &t, cfg.seed);
+    for econ in ccs_economy::EconomicModel::ALL {
+        for kind in grid::policies_for(econ) {
+            let t0 = std::time::Instant::now();
+            let r = ccs_simsvc::simulate(&jobs, kind, &ccs_simsvc::RunConfig { nodes: 128, econ });
+            println!("{:>18} {:<12} {:>7.1?}  sla={:5.1}% rel={:5.1}% prof={:5.1}% wait={:8.0}s acc={}",
+                format!("{econ}"), kind.name(), t0.elapsed(),
+                r.metrics.sla_pct(), r.metrics.reliability_pct(), r.metrics.profitability_pct(),
+                r.metrics.wait(), r.metrics.accepted);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! `utility-risk` — the umbrella CLI over every reproduction artifact.
+//!
+//! ```text
+//! utility_risk tables [--table N]          Tables I–VI
+//! utility_risk figure <fig1|fig3..fig8>    one figure (+ artifacts)
+//! utility_risk all                         everything (figures + tables + report)
+//! utility_risk ablations                   ablation studies + CaR comparison
+//! utility_risk robustness                  seed-replication study
+//! utility_risk summary                     per-policy objective means
+//! utility_risk dominance                   pairwise stochastic dominance
+//! utility_risk workload                    synthetic-workload statistics
+//! ```
+//!
+//! Every subcommand accepts the shared flags `--quick`, `--jobs N`,
+//! `--seed S`, `--threads T`, `--out DIR`.
+
+use ccs_experiments::figures::{print_figure, write_figure};
+use ccs_experiments::{
+    build_figure, parse_cli, replicate, run_all_ablations, run_evaluation, tables, EstimateSet,
+};
+use ccs_economy::EconomicModel;
+use ccs_risk::Objective;
+use ccs_workload::{apply_scenario, WorkloadSummary};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload> \
+         [--quick] [--jobs N] [--seed S] [--threads T] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    // `figure` consumes one positional argument before the shared flags.
+    let fig_id = if cmd == "figure" {
+        if args.is_empty() || args[0].starts_with("--") {
+            usage();
+        }
+        Some(args.remove(0))
+    } else {
+        None
+    };
+    let (cfg, out) = parse_cli(&args);
+
+    match cmd.as_str() {
+        "tables" => print!("{}", tables::all_tables()),
+        "figure" => {
+            let id = fig_id.expect("parsed above");
+            let fig = build_figure(&id, &cfg);
+            print!("{}", print_figure(&fig));
+            let files = write_figure(&out, &fig).expect("write artifacts");
+            eprintln!("wrote {} files under {}", files.len(), out.display());
+        }
+        "all" => {
+            println!("{}", tables::all_tables());
+            let ev = run_evaluation(&cfg);
+            for fig in ev.paper_figures() {
+                print!("{}", print_figure(&fig));
+                write_figure(&out, &fig).expect("write artifacts");
+            }
+            std::fs::create_dir_all(&out).expect("mkdir");
+            std::fs::write(
+                out.join("report.md"),
+                ccs_experiments::report_md::evaluation_report(&ev),
+            )
+            .expect("write report.md");
+            ccs_experiments::EvaluationExport::from_evaluation(&ev)
+                .write(&out.join("evaluation.json"))
+                .expect("write evaluation.json");
+            eprintln!("artifacts under {}", out.display());
+        }
+        "ablations" => {
+            let base = cfg.trace.generate(cfg.seed);
+            for ablation in run_all_ablations(&base, cfg.seed, cfg.nodes) {
+                println!("{}", ablation.render());
+            }
+            println!(
+                "{}",
+                ccs_experiments::ablation::car_comparison(&base, cfg.seed, cfg.nodes)
+            );
+        }
+        "robustness" => {
+            for econ in EconomicModel::ALL {
+                for set in EstimateSet::ALL {
+                    let r = replicate(econ, set, &cfg, &[1, 2, 3, 4, 5]);
+                    println!("{}", r.render());
+                    println!("ordering by mean: {}\n", r.ordering().join(" > "));
+                }
+            }
+            for econ in EconomicModel::ALL {
+                let s = ccs_experiments::across_trace_models(
+                    econ,
+                    EstimateSet::B,
+                    &cfg,
+                );
+                println!("{}", s.render());
+            }
+            // Sensitivity of the integrated ordering to the wait
+            // normalization (EXPERIMENTS.md deviation #1).
+            for econ in EconomicModel::ALL {
+                println!("=== wait-normalization sensitivity: {econ} / Set B ===");
+                for (scheme, scores) in
+                    ccs_experiments::wait_normalization_study(econ, EstimateSet::B, &cfg)
+                {
+                    let row: Vec<String> = scores
+                        .iter()
+                        .map(|(p, v)| format!("{p}={v:.3}"))
+                        .collect();
+                    println!("{:<34} {}", scheme, row.join("  "));
+                }
+                println!();
+            }
+        }
+        "summary" => {
+            let ev = run_evaluation(&cfg);
+            for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {
+                println!("\n== {} / {} ==", g.econ, g.set);
+                print!("{:<12}", "policy");
+                for o in Objective::ALL {
+                    print!(" {:>13}", o.abbrev());
+                }
+                println!();
+                for name in g.policy_names.clone() {
+                    print!("{:<12}", name);
+                    for o in Objective::ALL {
+                        print!(" {:>13.3}", g.mean_performance(&name, o));
+                    }
+                    println!();
+                }
+            }
+        }
+        "dominance" => {
+            let ev = run_evaluation(&cfg);
+            for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {
+                let plot = g.integrated_plot(&Objective::ALL);
+                println!("\n== {} / {} (integrated, all four objectives) ==", g.econ, g.set);
+                println!("{}", ccs_risk::report::dominance_table(&plot));
+            }
+        }
+        "workload" => {
+            let base = cfg.trace.generate(cfg.seed);
+            let jobs = apply_scenario(
+                &base,
+                &ccs_experiments::baseline(EstimateSet::B),
+                cfg.seed,
+            );
+            println!("{}\n", WorkloadSummary::compute(&jobs, cfg.nodes));
+            println!("{}", ccs_workload::TraceHistograms::of(&base).render(48));
+        }
+        _ => usage(),
+    }
+}

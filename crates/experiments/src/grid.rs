@@ -1,0 +1,212 @@
+//! The experiment grid: 12 scenarios × 6 values × policies, per economic
+//! model and estimate set — and the parallel runner that fills it.
+
+use crate::scenario::{EstimateSet, Scenario};
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, BaseJob, SdscSp2Model};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Cluster size (the paper: 128 nodes).
+    pub nodes: u32,
+    /// Synthetic trace model.
+    pub trace: SdscSp2Model,
+    /// Master seed for trace synthesis and QoS annotation.
+    pub seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            nodes: 128,
+            trace: SdscSp2Model::default(),
+            seed: 42,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration (200 jobs) for tests, examples, and quick
+    /// sanity runs. Preserves the full scenario grid.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            trace: SdscSp2Model::small(),
+            ..Default::default()
+        }
+    }
+
+    /// Override the number of jobs in the synthetic trace.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.trace.jobs = jobs;
+        self
+    }
+}
+
+/// Raw objective measurements for one (economic model, estimate set) pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RawGrid {
+    /// Economic model these measurements were taken under.
+    pub econ: EconomicModel,
+    /// Estimate set (A or B).
+    pub set: EstimateSet,
+    /// The policies, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// `raw[scenario][value][policy] = [wait, SLA, reliability,
+    /// profitability]` — raw objective values (wait in seconds, the rest in
+    /// percent).
+    pub raw: Vec<Vec<Vec<[f64; 4]>>>,
+}
+
+impl RawGrid {
+    /// The policy display names, in column order.
+    pub fn policy_names(&self) -> Vec<&'static str> {
+        self.policies.iter().map(|p| p.name()).collect()
+    }
+}
+
+/// The policies the paper evaluates for `econ` (Table V).
+pub fn policies_for(econ: EconomicModel) -> Vec<PolicyKind> {
+    match econ {
+        EconomicModel::CommodityMarket => PolicyKind::COMMODITY.to_vec(),
+        EconomicModel::BidBased => PolicyKind::BID_BASED.to_vec(),
+    }
+}
+
+/// Runs the full 12 × 6 grid for one (economic model, estimate set) pair.
+///
+/// Experiment points are independent, so they are fanned out over worker
+/// threads; results are deterministic regardless of the thread count.
+pub fn run_grid(econ: EconomicModel, set: EstimateSet, cfg: &ExperimentConfig) -> RawGrid {
+    let base = cfg.trace.generate(cfg.seed);
+    run_grid_with_base(econ, set, cfg, &base)
+}
+
+/// Like [`run_grid`], but over caller-provided base jobs — the hook for
+/// alternative trace models (Lublin, diurnal, real SWF imports).
+pub fn run_grid_with_base(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    base: &[BaseJob],
+) -> RawGrid {
+    let policies = policies_for(econ);
+    let base = base.to_vec();
+    let points: Vec<(usize, usize)> = (0..Scenario::ALL.len())
+        .flat_map(|s| (0..6).map(move |v| (s, v)))
+        .collect();
+
+    let raw: Vec<Vec<Vec<[f64; 4]>>> =
+        vec![vec![vec![[0.0; 4]; policies.len()]; 6]; Scenario::ALL.len()];
+    let raw = Mutex::new(raw);
+    let next = AtomicUsize::new(0);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    }
+    .min(points.len())
+    .max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let (s, v) = points[i];
+                let row = run_point(econ, set, cfg, &base, Scenario::ALL[s], v, &policies);
+                raw.lock()[s][v] = row;
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    RawGrid {
+        econ,
+        set,
+        policies,
+        raw: raw.into_inner(),
+    }
+}
+
+/// Runs one experiment point (one scenario value) for every policy.
+fn run_point(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    base: &[BaseJob],
+    scenario: Scenario,
+    value_idx: usize,
+    policies: &[PolicyKind],
+) -> Vec<[f64; 4]> {
+    let value = scenario.values()[value_idx];
+    let transform = scenario.transform(set, value);
+    let jobs = apply_scenario(base, &transform, cfg.seed);
+    let run_cfg = RunConfig {
+        nodes: cfg.nodes,
+        econ,
+    };
+    policies
+        .iter()
+        .map(|&kind| simulate(&jobs, kind, &run_cfg).metrics.objectives())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let cfg = ExperimentConfig::quick().with_jobs(60);
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        assert_eq!(g.raw.len(), 12);
+        assert_eq!(g.raw[0].len(), 6);
+        assert_eq!(g.raw[0][0].len(), 5);
+        assert_eq!(g.policy_names()[0], "FCFS-BF");
+    }
+
+    #[test]
+    fn objective_values_in_legal_ranges() {
+        let cfg = ExperimentConfig::quick().with_jobs(60);
+        let g = run_grid(EconomicModel::BidBased, EstimateSet::B, &cfg);
+        for s in &g.raw {
+            for v in s {
+                for p in v {
+                    let [wait, sla, rel, prof] = *p;
+                    assert!(wait >= 0.0);
+                    assert!((0.0..=100.0).contains(&sla), "sla {sla}");
+                    assert!((0.0..=100.0).contains(&rel), "rel {rel}");
+                    assert!((0.0..=100.0 + 1e-9).contains(&prof), "prof {prof}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let one = ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let many = ExperimentConfig {
+            threads: 4,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &one);
+        let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &many);
+        assert_eq!(a.raw, b.raw);
+    }
+}

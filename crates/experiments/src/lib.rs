@@ -1,0 +1,183 @@
+//! # ccs-experiments — reproduction harness for every table and figure
+//!
+//! Drives the full evaluation of the paper (Sections 5–6): the 12-scenario ×
+//! 6-value experiment grid over both economic models and both estimate sets,
+//! the separate/integrated risk analyses, and the renderers that regenerate
+//! every paper table (I–VI) and figure (1–8).
+//!
+//! Entry points:
+//!
+//! - [`run_evaluation`] — the whole study (use
+//!   [`ExperimentConfig::quick`] for a small-trace smoke run).
+//! - [`figures`] — assemble/print/write Figures 1–8.
+//! - [`tables`] — render Tables I–VI.
+//!
+//! Binaries (`cargo run -p ccs-experiments --release --bin …`):
+//! `fig1_sample`, `fig2_penalty`, `fig3` … `fig8`, `all_figures`,
+//! `paper_tables`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod analysis;
+pub mod export;
+pub mod figures;
+pub mod grid;
+pub mod replications;
+pub mod report_md;
+pub mod scenario;
+pub mod tables;
+
+pub use ablation::{run_all as run_all_ablations, Ablation};
+pub use analysis::{analyze, analyze_with, GridAnalysis};
+pub use export::EvaluationExport;
+pub use grid::{policies_for, run_grid, run_grid_with_base, ExperimentConfig, RawGrid};
+pub use replications::{across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy};
+pub use scenario::{baseline, EstimateSet, QosAttr, Scenario};
+
+use ccs_economy::EconomicModel;
+
+/// The four grids of the full study: each economic model in each set.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Commodity market, Set A (accurate estimates).
+    pub commodity_a: GridAnalysis,
+    /// Commodity market, Set B (trace estimates).
+    pub commodity_b: GridAnalysis,
+    /// Bid-based, Set A.
+    pub bid_a: GridAnalysis,
+    /// Bid-based, Set B.
+    pub bid_b: GridAnalysis,
+}
+
+/// Runs all four grids (2 economic models × 2 estimate sets) and their
+/// separate risk analyses. With the default config this is the paper's full
+/// study: 12 scenarios × 6 values × 5 policies × 4 grids = 1440 simulation
+/// runs of 5000 jobs each — run in release mode.
+pub fn run_evaluation(cfg: &ExperimentConfig) -> Evaluation {
+    let run = |econ, set| analyze(&run_grid(econ, set, cfg));
+    Evaluation {
+        commodity_a: run(EconomicModel::CommodityMarket, EstimateSet::A),
+        commodity_b: run(EconomicModel::CommodityMarket, EstimateSet::B),
+        bid_a: run(EconomicModel::BidBased, EstimateSet::A),
+        bid_b: run(EconomicModel::BidBased, EstimateSet::B),
+    }
+}
+
+impl Evaluation {
+    /// Figures 3–8 assembled from this evaluation.
+    pub fn paper_figures(&self) -> Vec<figures::Figure> {
+        vec![
+            figures::figure1(),
+            figures::separate_figure("fig3", &self.commodity_a, &self.commodity_b),
+            figures::integrated3_figure("fig4", &self.commodity_a, &self.commodity_b),
+            figures::integrated4_figure("fig5", &self.commodity_a, &self.commodity_b),
+            figures::separate_figure("fig6", &self.bid_a, &self.bid_b),
+            figures::integrated3_figure("fig7", &self.bid_a, &self.bid_b),
+            figures::integrated4_figure("fig8", &self.bid_a, &self.bid_b),
+        ]
+    }
+}
+
+/// Builds one paper figure by id (`"fig1"`, `"fig3"` ... `"fig8"`), running
+/// only the grids that figure needs. Panics on an unknown id; `"fig2"` is
+/// not a risk plot — use [`figures::figure2_curves`] instead.
+pub fn build_figure(id: &str, cfg: &ExperimentConfig) -> figures::Figure {
+    let pair = |econ| {
+        (
+            analyze(&run_grid(econ, EstimateSet::A, cfg)),
+            analyze(&run_grid(econ, EstimateSet::B, cfg)),
+        )
+    };
+    match id {
+        "fig1" => figures::figure1(),
+        "fig3" => {
+            let (a, b) = pair(EconomicModel::CommodityMarket);
+            figures::separate_figure("fig3", &a, &b)
+        }
+        "fig4" => {
+            let (a, b) = pair(EconomicModel::CommodityMarket);
+            figures::integrated3_figure("fig4", &a, &b)
+        }
+        "fig5" => {
+            let (a, b) = pair(EconomicModel::CommodityMarket);
+            figures::integrated4_figure("fig5", &a, &b)
+        }
+        "fig6" => {
+            let (a, b) = pair(EconomicModel::BidBased);
+            figures::separate_figure("fig6", &a, &b)
+        }
+        "fig7" => {
+            let (a, b) = pair(EconomicModel::BidBased);
+            figures::integrated3_figure("fig7", &a, &b)
+        }
+        "fig8" => {
+            let (a, b) = pair(EconomicModel::BidBased);
+            figures::integrated4_figure("fig8", &a, &b)
+        }
+        other => panic!("unknown figure id {other}"),
+    }
+}
+
+/// Parses the tiny CLI convention shared by the experiment binaries:
+/// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`.
+pub fn parse_cli(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
+    let mut cfg = ExperimentConfig::default();
+    let mut out = std::path::PathBuf::from("target/figures");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--jobs" => {
+                i += 1;
+                cfg.trace.jobs = args[i].parse().expect("--jobs N");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed S");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads T");
+            }
+            "--out" => {
+                i += 1;
+                out = std::path::PathBuf::from(&args[i]);
+            }
+            other => panic!("unknown argument {other} (supported: --quick --jobs --seed --threads --out)"),
+        }
+        i += 1;
+    }
+    (cfg, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_evaluation_end_to_end() {
+        let cfg = ExperimentConfig::quick().with_jobs(40);
+        let ev = run_evaluation(&cfg);
+        let figs = ev.paper_figures();
+        assert_eq!(figs.len(), 7);
+        assert_eq!(figs[1].plots.len(), 8, "fig3 has 8 sub-plots");
+        assert_eq!(figs[6].plots.len(), 2, "fig8 has 2 sub-plots");
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let (cfg, out) = parse_cli(&[
+            "--jobs".into(),
+            "100".into(),
+            "--seed".into(),
+            "7".into(),
+            "--out".into(),
+            "/tmp/x".into(),
+        ]);
+        assert_eq!(cfg.trace.jobs, 100);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(out, std::path::PathBuf::from("/tmp/x"));
+    }
+}

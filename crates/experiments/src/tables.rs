@@ -1,0 +1,161 @@
+//! Text reproduction of the paper's tables.
+//!
+//! Tables II–IV derive from the Figure 1 sample plot and live in
+//! `ccs_risk::report`; this module renders Tables I (objectives), V (policy
+//! × model matrix), and VI (scenario grid), plus a convenience that prints
+//! all six.
+
+use crate::scenario::{EstimateSet, Scenario};
+use ccs_policies::PolicyKind;
+use ccs_risk::report::{extrema_table, ranking_table};
+use ccs_risk::{rank, sample_figure1, Focus, Objective, RankBy};
+use std::fmt::Write as _;
+
+/// Table I: focus of the four essential objectives.
+pub fn table1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<17} {:<40} {:<14}", "Focus", "Objective", "Abbreviation");
+    for obj in Objective::ALL {
+        let focus = match obj.focus() {
+            Focus::UserCentric => "User-centric",
+            Focus::ProviderCentric => "Provider-centric",
+        };
+        let _ = writeln!(s, "{:<17} {:<40} {:<14}", focus, obj.description(), obj.abbrev());
+    }
+    s
+}
+
+/// Table II: performance/volatility extrema of the Figure 1 sample.
+pub fn table2() -> String {
+    extrema_table(&sample_figure1())
+}
+
+/// Table III: sample policies ranked by best performance.
+pub fn table3() -> String {
+    ranking_table(
+        &rank(&sample_figure1(), RankBy::BestPerformance),
+        "max perf",
+        "min vol",
+    )
+}
+
+/// Table IV: sample policies ranked by best volatility.
+pub fn table4() -> String {
+    ranking_table(
+        &rank(&sample_figure1(), RankBy::BestVolatility),
+        "min vol",
+        "max perf",
+    )
+}
+
+/// Table V: policies × economic model × primary scheduling parameter.
+pub fn table5() -> String {
+    let param = |k: PolicyKind| match k {
+        PolicyKind::FcfsBf => "arrival time",
+        PolicyKind::SjfBf => "runtime",
+        PolicyKind::EdfBf | PolicyKind::Libra | PolicyKind::LibraDollar | PolicyKind::LibraRiskD => {
+            "deadline"
+        }
+        PolicyKind::FirstReward => "budget with penalty",
+    };
+    let kinds = [
+        PolicyKind::FcfsBf,
+        PolicyKind::SjfBf,
+        PolicyKind::EdfBf,
+        PolicyKind::Libra,
+        PolicyKind::LibraDollar,
+        PolicyKind::LibraRiskD,
+        PolicyKind::FirstReward,
+    ];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<13} {:<11} {:<10} Primary scheduling parameter",
+        "Policy", "Commodity", "Bid-based"
+    );
+    for k in kinds {
+        let com = if PolicyKind::COMMODITY.contains(&k) { "x" } else { "" };
+        let bid = if PolicyKind::BID_BASED.contains(&k) { "x" } else { "" };
+        let _ = writeln!(s, "{:<13} {:<11} {:<10} {}", k.name(), com, bid, param(k));
+    }
+    s
+}
+
+/// Table VI: the twelve scenarios and their varying values.
+pub fn table6() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<36} Values (defaults: see DESIGN.md §4)", "Scenario (varying parameter)");
+    for sc in Scenario::ALL {
+        let vals: Vec<String> = sc.values().iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(s, "{:<36} {}", sc.label(), vals.join(", "));
+    }
+    let _ = writeln!(
+        s,
+        "\nSet defaults: inaccuracy {} % (Set A) / {} % (Set B)",
+        EstimateSet::A.default_inaccuracy(),
+        EstimateSet::B.default_inaccuracy()
+    );
+    s
+}
+
+/// All six tables, concatenated with headers.
+pub fn all_tables() -> String {
+    let mut s = String::new();
+    for (n, t) in [
+        ("Table I — Focus of four essential objectives", table1()),
+        ("Table II — Performance and volatility of sample policies", table2()),
+        ("Table III — Ranking by best performance", table3()),
+        ("Table IV — Ranking by best volatility", table4()),
+        ("Table V — Policies for performance evaluation", table5()),
+        ("Table VI — Varying values of twelve scenarios", table6()),
+    ] {
+        let _ = writeln!(s, "=== {n} ===\n{t}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_objectives() {
+        let t = table1();
+        assert!(t.contains("User-centric"));
+        assert!(t.contains("Provider-centric"));
+        assert!(t.contains("Manage wait time for SLA acceptance"));
+        assert!(t.contains("profitability"));
+    }
+
+    #[test]
+    fn table3_and_4_rank_a_first() {
+        assert!(table3().lines().nth(1).unwrap().starts_with("1     A"));
+        assert!(table4().lines().nth(1).unwrap().starts_with("1     A"));
+    }
+
+    #[test]
+    fn table5_matches_paper_matrix() {
+        let t = table5();
+        let row = |name: &str| t.lines().find(|l| l.starts_with(name)).unwrap().to_string();
+        assert!(row("SJF-BF").contains('x'), "SJF in commodity");
+        assert!(row("FirstReward").contains("budget with penalty"));
+        assert!(row("Libra+$").contains('x'));
+    }
+
+    #[test]
+    fn table6_lists_twelve_scenarios() {
+        let t = table6();
+        // Header + 12 scenario rows at least.
+        assert!(t.lines().count() >= 13);
+        assert!(t.contains("deadline bias"));
+        assert!(t.contains("penalty low-value mean"));
+    }
+
+    #[test]
+    fn all_tables_concatenates() {
+        let t = all_tables();
+        for n in ["Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI"] {
+            assert!(t.contains(&format!("=== {n} ")), "{n}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The policy interface the service simulator drives.
+//!
+//! A policy owns its cluster model and scheduling state. The simulator
+//! (ccs-simsvc) feeds it job submissions in arrival order, advancing the
+//! policy's internal clock between arrivals, and finally drains it. The
+//! policy reports everything that happens through [`Outcome`] events, from
+//! which the four paper objectives are computed.
+
+use ccs_workload::{Job, JobId};
+
+/// Something observable that happened inside a policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Outcome {
+    /// The SLA was accepted (job admitted) at time `at`.
+    Accepted {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time of acceptance.
+        at: f64,
+    },
+    /// The job was rejected (SLA not accepted) at time `at`.
+    Rejected {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time of rejection.
+        at: f64,
+    },
+    /// The job began executing at time `at` (this is `tst_i` in the paper's
+    /// wait objective, Eq. 1).
+    Started {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute start time.
+        at: f64,
+    },
+    /// The job finished executing.
+    Completed {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time execution began.
+        start: f64,
+        /// Absolute completion time (`tf_i`).
+        finish: f64,
+        /// Amount charged under commodity-market pricing, fixed at start
+        /// time from the runtime estimate. `None` in the bid-based model,
+        /// where utility is derived from the completion time instead.
+        charged: Option<f64>,
+    },
+}
+
+/// A resource-management policy under evaluation.
+pub trait Policy {
+    /// Short display name, matching the paper (e.g. `"SJF-BF"`).
+    fn name(&self) -> &'static str;
+
+    /// Handles a job submitted at `now`. The simulator guarantees
+    /// `advance_to(now)` has already been called.
+    fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>);
+
+    /// Time of the policy's next internal event (a completion, a share
+    /// re-evaluation, …), if any.
+    fn next_event_time(&mut self) -> Option<f64>;
+
+    /// Processes internal events up to and including `t`.
+    fn advance_to(&mut self, t: f64, out: &mut Vec<Outcome>);
+
+    /// Runs the policy to quiescence after the last arrival.
+    fn drain(&mut self, out: &mut Vec<Outcome>);
+}
+
+/// Identifier of each concrete policy, as listed in paper Table V.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// First-Come-First-Serve with EASY backfilling.
+    FcfsBf,
+    /// Shortest-Job-First with EASY backfilling.
+    SjfBf,
+    /// Earliest-Deadline-First with EASY backfilling.
+    EdfBf,
+    /// Libra: deadline-driven proportional share with admission control.
+    Libra,
+    /// Libra with the enhanced utilization-adaptive pricing function.
+    LibraDollar,
+    /// Libra considering the risk of deadline delay on node selection.
+    LibraRiskD,
+    /// FirstReward: reward-ranked admission balancing earnings vs penalties.
+    FirstReward,
+}
+
+impl PolicyKind {
+    /// Display name used in figures and reports (paper naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::FcfsBf => "FCFS-BF",
+            PolicyKind::SjfBf => "SJF-BF",
+            PolicyKind::EdfBf => "EDF-BF",
+            PolicyKind::Libra => "Libra",
+            PolicyKind::LibraDollar => "Libra+$",
+            PolicyKind::LibraRiskD => "LibraRiskD",
+            PolicyKind::FirstReward => "FirstReward",
+        }
+    }
+
+    /// The five policies the paper evaluates in the commodity market model.
+    pub const COMMODITY: [PolicyKind; 5] = [
+        PolicyKind::FcfsBf,
+        PolicyKind::SjfBf,
+        PolicyKind::EdfBf,
+        PolicyKind::Libra,
+        PolicyKind::LibraDollar,
+    ];
+
+    /// The five policies the paper evaluates in the bid-based model.
+    pub const BID_BASED: [PolicyKind; 5] = [
+        PolicyKind::FcfsBf,
+        PolicyKind::EdfBf,
+        PolicyKind::FirstReward,
+        PolicyKind::Libra,
+        PolicyKind::LibraRiskD,
+    ];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_policy_sets() {
+        assert_eq!(PolicyKind::COMMODITY.len(), 5);
+        assert_eq!(PolicyKind::BID_BASED.len(), 5);
+        assert!(PolicyKind::COMMODITY.contains(&PolicyKind::LibraDollar));
+        assert!(!PolicyKind::COMMODITY.contains(&PolicyKind::FirstReward));
+        assert!(PolicyKind::BID_BASED.contains(&PolicyKind::LibraRiskD));
+        assert!(!PolicyKind::BID_BASED.contains(&PolicyKind::SjfBf));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PolicyKind::LibraDollar.name(), "Libra+$");
+        assert_eq!(PolicyKind::SjfBf.name(), "SJF-BF");
+        assert_eq!(format!("{}", PolicyKind::FirstReward), "FirstReward");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the scheduling policies at the policy-trait
+//! level (capacity safety, admission monotonicity, reservation integrity).
+
+use ccs_economy::EconomicModel;
+use ccs_policies::{
+    BackfillPolicy, ConservativeBf, FirstRewardParams, FirstRewardPolicy, LibraPolicy,
+    LibraVariant, Outcome, Policy, PriorityOrder,
+};
+use ccs_workload::{Job, Urgency};
+use proptest::prelude::*;
+
+fn jobs_strategy(max_procs: u32) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            1.0f64..500.0,   // gap
+            10.0f64..800.0,  // runtime
+            0.3f64..3.0,     // estimate factor
+            1.5f64..12.0,    // deadline factor
+            1u32..=8,        // procs
+        ),
+        1..25,
+    )
+    .prop_map(move |raw| {
+        let mut t = 0.0;
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(gap, rt, ef, df, procs))| {
+                t += gap;
+                Job {
+                    id: i as u32,
+                    submit: t,
+                    runtime: rt,
+                    estimate: (rt * ef).max(1.0),
+                    procs: procs.min(max_procs),
+                    urgency: Urgency::Low,
+                    deadline: rt * df,
+                    budget: rt * procs as f64 * 8.0,
+                    penalty_rate: procs as f64,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Drives a policy through a job stream.
+fn run_policy(mut policy: Box<dyn Policy>, jobs: &[Job]) -> Vec<Outcome> {
+    let mut out = Vec::new();
+    for j in jobs {
+        policy.advance_to(j.submit, &mut out);
+        policy.on_submit(j, j.submit, &mut out);
+    }
+    policy.drain(&mut out);
+    out
+}
+
+/// Drives a policy through a job stream, tracking concurrent processor use
+/// from the outcome stream. Only valid for space-shared policies — the PS
+/// engine time-shares nodes by design.
+fn run_and_audit(policy: Box<dyn Policy>, jobs: &[Job], nodes: u32) -> Vec<Outcome> {
+    let out = run_policy(policy, jobs);
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for o in &out {
+        match o {
+            Outcome::Started { job, at } => {
+                events.push((*at, jobs[*job as usize].procs as i64));
+            }
+            Outcome::Completed { job, finish, .. } => {
+                events.push((*finish, -(jobs[*job as usize].procs as i64)));
+            }
+            _ => {}
+        }
+    }
+    // Releases at the same instant happen before starts.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut used = 0i64;
+    for (t, d) in events {
+        used += d;
+        assert!(
+            used <= nodes as i64,
+            "capacity violated: {used} procs in use at t={t}"
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Space-shared policies never oversubscribe the machine.
+    #[test]
+    fn space_shared_capacity_safety(jobs in jobs_strategy(8)) {
+        let nodes = 8;
+        for order in [PriorityOrder::Fcfs, PriorityOrder::Sjf, PriorityOrder::Edf] {
+            let p = BackfillPolicy::new(order, EconomicModel::BidBased, nodes);
+            run_and_audit(Box::new(p), &jobs, nodes);
+        }
+        run_and_audit(
+            Box::new(ConservativeBf::new(EconomicModel::BidBased, nodes)),
+            &jobs,
+            nodes,
+        );
+        run_and_audit(Box::new(FirstRewardPolicy::new(nodes)), &jobs, nodes);
+    }
+
+    /// Every policy emits exactly one decision per job, and accepted jobs
+    /// start and complete exactly once.
+    #[test]
+    fn outcome_stream_discipline(jobs in jobs_strategy(8)) {
+        let nodes = 8;
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, nodes)),
+            Box::new(ConservativeBf::new(EconomicModel::BidBased, nodes)),
+            Box::new(LibraPolicy::new(LibraVariant::Plain, EconomicModel::BidBased, nodes)),
+            Box::new(FirstRewardPolicy::new(nodes)),
+        ];
+        let _ = nodes;
+        for p in policies {
+            let name = p.name();
+            let out = run_policy(p, &jobs);
+            for j in &jobs {
+                let accepts = out.iter().filter(|o| matches!(o, Outcome::Accepted { job, .. } if *job == j.id)).count();
+                let rejects = out.iter().filter(|o| matches!(o, Outcome::Rejected { job, .. } if *job == j.id)).count();
+                let starts = out.iter().filter(|o| matches!(o, Outcome::Started { job, .. } if *job == j.id)).count();
+                let completes = out.iter().filter(|o| matches!(o, Outcome::Completed { job, .. } if *job == j.id)).count();
+                prop_assert_eq!(accepts + rejects, 1, "{}: job {} decisions", name, j.id);
+                prop_assert_eq!(starts, accepts, "{}: job {} starts", name, j.id);
+                prop_assert_eq!(completes, accepts, "{}: job {} completions", name, j.id);
+            }
+        }
+    }
+
+    /// FirstReward acceptance is monotone non-increasing in the slack
+    /// threshold.
+    #[test]
+    fn first_reward_threshold_monotonicity(jobs in jobs_strategy(8), t1 in -1e5f64..1e5, t2 in -1e5f64..1e5) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let accepted = |threshold: f64| {
+            let p = FirstRewardPolicy::with_params(
+                8,
+                FirstRewardParams { slack_threshold: threshold, ..Default::default() },
+            );
+            let out = run_and_audit(Box::new(p), &jobs, 8);
+            out.iter().filter(|o| matches!(o, Outcome::Accepted { .. })).count()
+        };
+        prop_assert!(accepted(lo) >= accepted(hi), "lenient threshold accepts no fewer");
+    }
+
+    /// Conservative backfilling with accurate estimates never breaks an
+    /// accepted job's deadline (each reservation is deadline-checked).
+    #[test]
+    fn conservative_accurate_estimates_keep_promises(jobs in jobs_strategy(8)) {
+        let accurate: Vec<Job> = jobs
+            .iter()
+            .map(|j| Job { estimate: j.runtime, ..*j })
+            .collect();
+        let p = ConservativeBf::new(EconomicModel::BidBased, 8);
+        let out = run_and_audit(Box::new(p), &accurate, 8);
+        for o in &out {
+            if let Outcome::Completed { job, finish, .. } = o {
+                let j = &accurate[*job as usize];
+                prop_assert!(
+                    *finish <= j.submit + j.deadline + 1e-6,
+                    "job {} finished at {finish} past its deadline {}",
+                    j.id,
+                    j.submit + j.deadline
+                );
+            }
+        }
+    }
+}

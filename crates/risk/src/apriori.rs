@@ -1,0 +1,344 @@
+//! A-priori risk analysis — forecasting risk for *future* situations.
+//!
+//! The paper closes by noting that its (a posteriori) evaluation results
+//! "can later be used to generate an a priori risk analysis of policies by
+//! identifying possible risks for future utility computing situations".
+//! This module implements that step:
+//!
+//! - [`forecast`] — given the measured per-scenario risk of a policy and a
+//!   probability mix over scenarios (how likely each operating condition is
+//!   expected to be), produce the policy's *expected* risk measure. The
+//!   forecast volatility uses the law of total variance, so both
+//!   within-scenario volatility and between-scenario performance dispersion
+//!   are accounted for.
+//! - [`weight_sensitivity`] — sweep the importance weight of one objective
+//!   (the provider's knob from paper Section 4.2) and report which policy
+//!   is best at every weighting, including the crossover points where the
+//!   recommendation flips.
+//! - [`pareto_front`] — the set of policies not dominated in the
+//!   (performance ↑, volatility ↓) plane; everything off the front is never
+//!   the right choice for any risk appetite.
+//! - [`kendall_tau`] — rank correlation between two policy orderings (e.g.
+//!   best-performance vs best-volatility), quantifying how much the choice
+//!   of ranking criterion matters.
+
+use crate::integrated::integrated;
+use crate::measure::RiskMeasure;
+use serde::{Deserialize, Serialize};
+
+/// Expected risk of one policy under a probability mix over scenarios.
+///
+/// `scenario_risk[s]` is the policy's measured (a posteriori) separate or
+/// integrated risk in scenario `s`; `mix[s]` is the anticipated probability
+/// of operating under scenario `s` (must sum to 1).
+///
+/// Forecast performance is the mixture mean; forecast volatility follows
+/// the law of total variance:
+/// `σ² = Σ p_s σ_s²  +  Σ p_s (μ_s − μ̄)²`.
+pub fn forecast(scenario_risk: &[RiskMeasure], mix: &[f64]) -> RiskMeasure {
+    assert_eq!(
+        scenario_risk.len(),
+        mix.len(),
+        "one probability per scenario"
+    );
+    assert!(!mix.is_empty(), "forecast needs at least one scenario");
+    let total: f64 = mix.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "scenario probabilities must sum to 1 (got {total})"
+    );
+    assert!(mix.iter().all(|&p| p >= 0.0), "probabilities must be >= 0");
+
+    let mean: f64 = scenario_risk
+        .iter()
+        .zip(mix)
+        .map(|(m, p)| p * m.performance)
+        .sum();
+    let within: f64 = scenario_risk
+        .iter()
+        .zip(mix)
+        .map(|(m, p)| p * m.volatility * m.volatility)
+        .sum();
+    let between: f64 = scenario_risk
+        .iter()
+        .zip(mix)
+        .map(|(m, p)| p * (m.performance - mean) * (m.performance - mean))
+        .sum();
+    RiskMeasure {
+        performance: mean,
+        volatility: (within + between).sqrt(),
+    }
+}
+
+/// Uniform scenario mix of length `n`.
+pub fn uniform_mix(n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    vec![1.0 / n as f64; n]
+}
+
+/// One row of a weight-sensitivity sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Weight assigned to the objective under study (the rest of the weight
+    /// is split equally among the other objectives).
+    pub weight: f64,
+    /// Name of the best policy at this weighting.
+    pub best: String,
+    /// The best policy's integrated measure at this weighting.
+    pub measure: RiskMeasure,
+}
+
+/// Result of [`weight_sensitivity`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// The sweep, in increasing weight order.
+    pub points: Vec<SensitivityPoint>,
+    /// Weights at which the recommended policy changes (midpoint of the
+    /// bracketing sweep steps).
+    pub crossovers: Vec<f64>,
+}
+
+/// Sweeps the importance weight of objective `focus` (index into each
+/// policy's measure array) from 0 to 1 in `steps` increments, integrating
+/// the remaining objectives at equal residual weights, and reports the best
+/// policy (highest integrated performance, ties broken by lower volatility)
+/// at each point.
+///
+/// `policies` maps a name to its per-objective separate risk measures (all
+/// policies must provide the same number of objectives, ≥ 2).
+pub fn weight_sensitivity(
+    policies: &[(String, Vec<RiskMeasure>)],
+    focus: usize,
+    steps: usize,
+) -> Sensitivity {
+    assert!(steps >= 2, "need at least two sweep steps");
+    assert!(!policies.is_empty());
+    let k = policies[0].1.len();
+    assert!(k >= 2, "sensitivity needs at least two objectives");
+    assert!(focus < k, "focus objective out of range");
+    for (name, ms) in policies {
+        assert_eq!(ms.len(), k, "policy {name} has a different objective count");
+    }
+
+    let mut points = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let w = i as f64 / (steps - 1) as f64;
+        let rest = (1.0 - w) / (k - 1) as f64;
+        let mut best: Option<(&str, RiskMeasure)> = None;
+        for (name, ms) in policies {
+            let parts: Vec<(RiskMeasure, f64)> = ms
+                .iter()
+                .enumerate()
+                .map(|(j, m)| (*m, if j == focus { w } else { rest }))
+                .collect();
+            let m = integrated(&parts);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    m.performance > b.performance + 1e-12
+                        || ((m.performance - b.performance).abs() <= 1e-12
+                            && m.volatility < b.volatility)
+                }
+            };
+            if better {
+                best = Some((name, m));
+            }
+        }
+        let (name, measure) = best.expect("at least one policy");
+        points.push(SensitivityPoint {
+            weight: w,
+            best: name.to_string(),
+            measure,
+        });
+    }
+
+    let crossovers = points
+        .windows(2)
+        .filter(|w| w[0].best != w[1].best)
+        .map(|w| (w[0].weight + w[1].weight) / 2.0)
+        .collect();
+    Sensitivity { points, crossovers }
+}
+
+/// Returns the indices of the policies on the Pareto front of the
+/// (performance ↑, volatility ↓) plane: no other policy has both higher (or
+/// equal) performance and lower (or equal) volatility with at least one
+/// strict improvement.
+pub fn pareto_front(measures: &[RiskMeasure]) -> Vec<usize> {
+    (0..measures.len())
+        .filter(|&i| {
+            !measures.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && other.performance >= measures[i].performance
+                    && other.volatility <= measures[i].volatility
+                    && (other.performance > measures[i].performance
+                        || other.volatility < measures[i].volatility)
+            })
+        })
+        .collect()
+}
+
+/// Kendall rank-correlation coefficient τ between two orderings of the same
+/// item set (each a list of names, best first). Returns a value in
+/// [−1, 1]: 1 = identical order, −1 = exactly reversed.
+///
+/// Panics if the orderings are not permutations of each other.
+pub fn kendall_tau(a: &[String], b: &[String]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pos_b = |name: &str| {
+        b.iter()
+            .position(|x| x == name)
+            .unwrap_or_else(|| panic!("{name} missing from second ranking"))
+    };
+    let ranks: Vec<usize> = a.iter().map(|name| pos_b(name)).collect();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if ranks[i] < ranks[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(p: f64, v: f64) -> RiskMeasure {
+        RiskMeasure::new(p, v)
+    }
+
+    #[test]
+    fn forecast_of_identical_scenarios_is_identity() {
+        let risk = vec![m(0.8, 0.1); 4];
+        let f = forecast(&risk, &uniform_mix(4));
+        assert!((f.performance - 0.8).abs() < 1e-12);
+        assert!((f.volatility - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_adds_between_scenario_dispersion() {
+        // Two scenarios with zero within-volatility but different means:
+        // the forecast volatility must capture the spread.
+        let risk = [m(1.0, 0.0), m(0.0, 0.0)];
+        let f = forecast(&risk, &[0.5, 0.5]);
+        assert!((f.performance - 0.5).abs() < 1e-12);
+        assert!((f.volatility - 0.5).abs() < 1e-12, "between-variance = 0.25");
+    }
+
+    #[test]
+    fn forecast_weights_scenarios_by_probability() {
+        let risk = [m(1.0, 0.0), m(0.0, 0.0)];
+        let f = forecast(&risk, &[0.9, 0.1]);
+        assert!((f.performance - 0.9).abs() < 1e-12);
+        // total var = 0.9*0.01... within=0; between = .9*(.1)^2+.1*(.9)^2 = 0.09.
+        assert!((f.volatility - 0.09f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forecast_rejects_bad_mix() {
+        forecast(&[m(1.0, 0.0)], &[0.5]);
+    }
+
+    #[test]
+    fn sensitivity_finds_crossover() {
+        // "Steady" wins on objective 0, "Spiky" wins on objective 1: the
+        // recommendation must flip as the focus weight rises.
+        let policies = vec![
+            ("Steady".to_string(), vec![m(0.4, 0.0), m(0.9, 0.0)]),
+            ("Spiky".to_string(), vec![m(0.8, 0.0), m(0.3, 0.0)]),
+        ];
+        let s = weight_sensitivity(&policies, 0, 21);
+        assert_eq!(s.points.first().unwrap().best, "Steady");
+        assert_eq!(s.points.last().unwrap().best, "Spiky");
+        assert_eq!(s.crossovers.len(), 1);
+        // Crossover where 0.4w+0.9(1-w) = 0.8w+0.3(1-w) -> w = 0.6.
+        assert!((s.crossovers[0] - 0.6).abs() < 0.06);
+    }
+
+    #[test]
+    fn sensitivity_stable_when_one_policy_dominates() {
+        let policies = vec![
+            ("Best".to_string(), vec![m(0.9, 0.0), m(0.9, 0.0)]),
+            ("Worse".to_string(), vec![m(0.5, 0.0), m(0.5, 0.0)]),
+        ];
+        let s = weight_sensitivity(&policies, 1, 11);
+        assert!(s.crossovers.is_empty());
+        assert!(s.points.iter().all(|p| p.best == "Best"));
+    }
+
+    #[test]
+    fn sensitivity_ties_break_toward_lower_volatility() {
+        let policies = vec![
+            ("Volatile".to_string(), vec![m(0.7, 0.4), m(0.7, 0.4)]),
+            ("Calm".to_string(), vec![m(0.7, 0.1), m(0.7, 0.1)]),
+        ];
+        let s = weight_sensitivity(&policies, 0, 5);
+        assert!(s.points.iter().all(|p| p.best == "Calm"));
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_policies() {
+        let ms = [
+            m(0.9, 0.3), // A: front (best perf)
+            m(0.7, 0.1), // B: front (best vol among high perf)
+            m(0.6, 0.2), // C: dominated by B
+            m(0.5, 0.05), // D: front (lowest vol)
+            m(0.5, 0.5), // E: dominated by everything useful
+        ];
+        assert_eq!(pareto_front(&ms), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_front_of_single_point_is_itself() {
+        assert_eq!(pareto_front(&[m(0.1, 0.5)]), vec![0]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto_duplicates_both_survive() {
+        let ms = [m(0.5, 0.2), m(0.5, 0.2)];
+        assert_eq!(pareto_front(&ms), vec![0, 1], "equal points do not dominate each other");
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let rev: Vec<String> = a.iter().rev().cloned().collect();
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+    }
+
+    #[test]
+    fn kendall_tau_partial_agreement() {
+        let a: Vec<String> = ["1", "2", "3", "4"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["1", "2", "4", "3"].iter().map(|s| s.to_string()).collect();
+        // 5 concordant, 1 discordant of 6 pairs -> tau = 4/6.
+        assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_rankings_tau() {
+        // Tables III vs IV of the paper: mostly concordant orderings.
+        let t3: Vec<String> = ["A", "B", "E", "G", "F", "C", "D", "H"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let t4: Vec<String> = ["A", "E", "B", "F", "G", "C", "D", "H"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let tau = kendall_tau(&t3, &t4);
+        assert!(tau > 0.8, "the two criteria mostly agree: {tau}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Integrated risk analysis (paper Section 4.2, Eqs. 7–8).
+//!
+//! Combines the separate risk measures of several objectives into one,
+//! through objective weights `w_i` with `0 ≤ w_i ≤ 1` and `Σ w_i = 1`:
+//!
+//! ```text
+//! μ_int = Σ w_i · μ_sep,i        (Eq. 7)
+//! σ_int = Σ w_i · σ_sep,i        (Eq. 8)
+//! ```
+//!
+//! Weights let a provider prioritize objectives; the paper's experiments use
+//! equal weights (1/3 for three objectives, 1/4 for all four).
+
+use crate::measure::RiskMeasure;
+
+/// Tolerance on `Σ w_i = 1`.
+const WEIGHT_EPS: f64 = 1e-9;
+
+/// Integrates separate risk measures under explicit weights.
+///
+/// Panics unless every weight is in `[0, 1]` and the weights sum to 1.
+pub fn integrated(parts: &[(RiskMeasure, f64)]) -> RiskMeasure {
+    assert!(!parts.is_empty(), "integration needs at least one objective");
+    let total: f64 = parts.iter().map(|(_, w)| *w).sum();
+    assert!(
+        (total - 1.0).abs() < WEIGHT_EPS,
+        "objective weights must sum to 1 (got {total})"
+    );
+    let mut perf = 0.0;
+    let mut vol = 0.0;
+    for (m, w) in parts {
+        assert!((0.0..=1.0 + WEIGHT_EPS).contains(w), "weight {w} outside [0, 1]");
+        perf += w * m.performance;
+        vol += w * m.volatility;
+    }
+    RiskMeasure {
+        performance: perf,
+        volatility: vol,
+    }
+}
+
+/// Integrates with the paper's equal weights (`1/n` each).
+pub fn integrated_equal(measures: &[RiskMeasure]) -> RiskMeasure {
+    let w = 1.0 / measures.len() as f64;
+    let parts: Vec<(RiskMeasure, f64)> = measures.iter().map(|m| (*m, w)).collect();
+    integrated(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_average() {
+        let a = RiskMeasure::new(1.0, 0.0);
+        let b = RiskMeasure::new(0.5, 0.2);
+        let c = RiskMeasure::new(0.0, 0.4);
+        let m = integrated_equal(&[a, b, c]);
+        assert!((m.performance - 0.5).abs() < 1e-12);
+        assert!((m.volatility - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_weights_shift_the_blend() {
+        let good = RiskMeasure::new(1.0, 0.0);
+        let bad = RiskMeasure::new(0.0, 0.5);
+        let m = integrated(&[(good, 0.9), (bad, 0.1)]);
+        assert!((m.performance - 0.9).abs() < 1e-12);
+        assert!((m.volatility - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integration_of_ideals_is_ideal() {
+        let m = integrated_equal(&[RiskMeasure::IDEAL; 4]);
+        assert_eq!(m, RiskMeasure::IDEAL);
+    }
+
+    #[test]
+    fn integrated_is_convex_combination() {
+        // The integrated measure lies within the min/max of its parts.
+        let parts = [
+            RiskMeasure::new(0.2, 0.1),
+            RiskMeasure::new(0.7, 0.3),
+            RiskMeasure::new(0.9, 0.05),
+        ];
+        let m = integrated_equal(&parts);
+        assert!(m.performance >= 0.2 && m.performance <= 0.9);
+        assert!(m.volatility >= 0.05 && m.volatility <= 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_weights_not_summing_to_one() {
+        integrated(&[(RiskMeasure::IDEAL, 0.5), (RiskMeasure::IDEAL, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        integrated(&[]);
+    }
+
+    #[test]
+    fn paper_equal_weights() {
+        // 3 objectives -> 1/3 each; 4 objectives -> 1/4 each.
+        let m3 = integrated_equal(&[RiskMeasure::new(0.9, 0.0); 3]);
+        assert!((m3.performance - 0.9).abs() < 1e-12);
+        let m4 = integrated_equal(&[RiskMeasure::new(0.9, 0.1); 4]);
+        assert!((m4.volatility - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Policy ranking over a risk analysis plot (paper Section 4.3,
+//! Tables III & IV).
+//!
+//! Two orderings exist:
+//!
+//! - **Best performance** (Table III): (i) maximum performance ↓,
+//!   (ii) minimum volatility ↑, (iii) performance difference ↑,
+//!   (iv) volatility difference ↑, (v) gradient preference
+//!   (decreasing, increasing, zero), and finally (vi) point concentration
+//!   near the policy's best corner (the paper's C-before-D argument).
+//! - **Best volatility** (Table IV): volatility is considered before
+//!   performance: (i) minimum volatility ↑, (ii) maximum performance ↓,
+//!   (iii) volatility difference ↑, (iv) performance difference ↑,
+//!   (v) gradient, (vi) concentration.
+
+use crate::plot::{PolicySeries, RiskPlot};
+use crate::trend::Gradient;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// One row of a ranking table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankedPolicy {
+    /// 1-based rank.
+    pub rank: usize,
+    /// Policy name.
+    pub name: String,
+    /// Maximum performance across scenarios.
+    pub max_performance: f64,
+    /// Minimum volatility across scenarios.
+    pub min_volatility: f64,
+    /// Performance difference (max − min).
+    pub performance_difference: f64,
+    /// Volatility difference (max − min).
+    pub volatility_difference: f64,
+    /// Trend-line gradient classification.
+    pub gradient: Gradient,
+    /// Concentration tie-break value (lower = tighter cluster at the best
+    /// corner).
+    pub concentration: f64,
+}
+
+/// Which criterion leads the ranking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RankBy {
+    /// Table III ordering.
+    BestPerformance,
+    /// Table IV ordering.
+    BestVolatility,
+}
+
+fn keys(series: &PolicySeries) -> RankedPolicy {
+    let e = series.extrema();
+    RankedPolicy {
+        rank: 0,
+        name: series.name.clone(),
+        max_performance: e.max_performance,
+        min_volatility: e.min_volatility,
+        performance_difference: e.performance_difference(),
+        volatility_difference: e.volatility_difference(),
+        gradient: series.gradient(),
+        concentration: series.concentration(),
+    }
+}
+
+fn cmp_chain(pairs: &[(f64, f64)]) -> Ordering {
+    for (a, b) in pairs {
+        match a.total_cmp(b) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Ranks the plot's policies. Ties after all six criteria break by name so
+/// the output order is total and deterministic.
+pub fn rank(plot: &RiskPlot, by: RankBy) -> Vec<RankedPolicy> {
+    let mut rows: Vec<RankedPolicy> = plot.series.iter().map(keys).collect();
+    rows.sort_by(|a, b| {
+        let primary = match by {
+            RankBy::BestPerformance => cmp_chain(&[
+                (b.max_performance, a.max_performance), // higher first
+                (a.min_volatility, b.min_volatility),   // lower first
+                (a.performance_difference, b.performance_difference),
+                (a.volatility_difference, b.volatility_difference),
+            ]),
+            RankBy::BestVolatility => cmp_chain(&[
+                (a.min_volatility, b.min_volatility),
+                (b.max_performance, a.max_performance),
+                (a.volatility_difference, b.volatility_difference),
+                (a.performance_difference, b.performance_difference),
+            ]),
+        };
+        primary
+            .then(a.gradient.preference().cmp(&b.gradient.preference()))
+            .then(a.concentration.total_cmp(&b.concentration))
+            .then(a.name.cmp(&b.name))
+    });
+    for (i, r) in rows.iter_mut().enumerate() {
+        r.rank = i + 1;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::sample_figure1;
+
+    fn order(by: RankBy) -> Vec<String> {
+        rank(&sample_figure1(), by)
+            .into_iter()
+            .map(|r| r.name)
+            .collect()
+    }
+
+    #[test]
+    fn table_iii_best_performance_order() {
+        // Applying the paper's stated rules to the Figure 1 sample:
+        // A (ideal), B (0.9), then the 0.7-tier broken by min volatility
+        // (E: 0.1), then perf difference (G: 0.3 < 0.5), then vol difference
+        // (F: 0.4 < 0.7), then gradient (C, D decreasing before H
+        // increasing), then concentration (C before D).
+        assert_eq!(order(RankBy::BestPerformance), ["A", "B", "E", "G", "F", "C", "D", "H"]);
+    }
+
+    #[test]
+    fn table_iv_best_volatility_order() {
+        // Paper Table IV: A, E, B, F, G, C, D, H.
+        assert_eq!(order(RankBy::BestVolatility), ["A", "E", "B", "F", "G", "C", "D", "H"]);
+    }
+
+    #[test]
+    fn ranks_are_dense_and_one_based() {
+        let rows = rank(&sample_figure1(), RankBy::BestPerformance);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.rank, i + 1);
+        }
+    }
+
+    #[test]
+    fn ranking_row_carries_table_columns() {
+        let rows = rank(&sample_figure1(), RankBy::BestVolatility);
+        let e = rows.iter().find(|r| r.name == "E").unwrap();
+        assert_eq!(e.rank, 2);
+        assert!((e.min_volatility - 0.1).abs() < 1e-9);
+        assert!((e.max_performance - 0.7).abs() < 1e-9);
+        assert!((e.volatility_difference - 0.2).abs() < 1e-9);
+        assert!((e.performance_difference - 0.2).abs() < 1e-9);
+        assert_eq!(e.gradient, Gradient::Decreasing);
+    }
+
+    #[test]
+    fn deterministic_on_exact_ties() {
+        use crate::measure::RiskMeasure;
+        use crate::plot::PolicySeries;
+        let twin = |name: &str| {
+            PolicySeries::new(name, vec![RiskMeasure::new(0.5, 0.2), RiskMeasure::new(0.6, 0.3)])
+        };
+        let plot = RiskPlot::new("ties", vec![twin("Z"), twin("Y")]);
+        let rows = rank(&plot, RankBy::BestPerformance);
+        assert_eq!(rows[0].name, "Y", "name breaks exact ties");
+        assert_eq!(rows[1].name, "Z");
+    }
+}

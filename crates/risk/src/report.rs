@@ -1,0 +1,168 @@
+//! Text rendering of risk-analysis artefacts: extrema tables (Table II),
+//! ranking tables (Tables III/IV), and an ASCII scatter of a risk plot.
+
+use crate::dominance::{dominance_matrix, Dominance};
+use crate::plot::RiskPlot;
+use crate::rank::RankedPolicy;
+use std::fmt::Write as _;
+
+/// Renders the per-policy extrema table (paper Table II layout).
+pub fn extrema_table(plot: &RiskPlot) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}",
+        "Policy", "max perf", "min perf", "diff", "max vol", "min vol", "diff"
+    );
+    for series in &plot.series {
+        let e = series.extrema();
+        let _ = writeln!(
+            s,
+            "{:<12} {:>9.3} {:>9.3} {:>9.3}   {:>9.3} {:>9.3} {:>9.3}",
+            series.name,
+            e.max_performance,
+            e.min_performance,
+            e.performance_difference(),
+            e.max_volatility,
+            e.min_volatility,
+            e.volatility_difference()
+        );
+    }
+    s
+}
+
+/// Renders a ranking table (paper Table III/IV layout).
+pub fn ranking_table(rows: &[RankedPolicy], primary: &str, secondary: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<5} {:<12} {:>10} {:>10} {:>10} {:>10}  {:<12}",
+        "Rank", "Policy", primary, secondary, "prim diff", "sec diff", "Gradient"
+    );
+    for r in rows {
+        let (p1, p2, d1, d2) = if primary.contains("perf") {
+            (
+                r.max_performance,
+                r.min_volatility,
+                r.performance_difference,
+                r.volatility_difference,
+            )
+        } else {
+            (
+                r.min_volatility,
+                r.max_performance,
+                r.volatility_difference,
+                r.performance_difference,
+            )
+        };
+        let _ = writeln!(
+            s,
+            "{:<5} {:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  {:<12}",
+            r.rank, r.name, p1, p2, d1, d2, r.gradient
+        );
+    }
+    s
+}
+
+/// Renders the pairwise stochastic-dominance table of a plot.
+pub fn dominance_table(plot: &RiskPlot) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:<12} {:<12} {:>7} {:>7}",
+        "policy A", "policy B", "FSD verdict", "A wins", "B wins"
+    );
+    for pair in dominance_matrix(plot) {
+        let verdict = match pair.verdict {
+            Dominance::First => "A ≻ B",
+            Dominance::Second => "B ≻ A",
+            Dominance::Equal => "equal",
+            Dominance::Neither => "crossing",
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:<12} {:<12} {:>7} {:>7}",
+            pair.a, pair.b, verdict, pair.wins_a, pair.wins_b
+        );
+    }
+    s
+}
+
+/// Renders an ASCII scatter of the plot: volatility on x (0..max), normalized
+/// performance on y (0..1). Each policy is drawn with a distinct glyph.
+pub fn ascii_plot(plot: &RiskPlot, width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', '*', '+', 'x', 'o'];
+    let max_vol = plot
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.volatility))
+        .fold(0.0_f64, f64::max)
+        .max(0.5);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, series) in plot.series.iter().enumerate() {
+        let glyph = series
+            .name
+            .chars()
+            .next()
+            .filter(|c| c.is_ascii_uppercase())
+            .unwrap_or(GLYPHS[si % GLYPHS.len()]);
+        for p in &series.points {
+            let x = ((p.volatility / max_vol) * (width - 1) as f64).round() as usize;
+            let y = ((1.0 - p.performance.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+    let mut s = String::with_capacity((width + 8) * (height + 3));
+    let _ = writeln!(s, "{} (perf ↑ vs volatility →, x-max {:.2})", plot.title, max_vol);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        let _ = writeln!(s, "{label} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(s, "     {}", "-".repeat(width));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::sample_figure1;
+    use crate::rank::{rank, RankBy};
+
+    #[test]
+    fn extrema_table_lists_all_policies() {
+        let t = extrema_table(&sample_figure1());
+        for name in ["A", "B", "C", "D", "E", "F", "G", "H"] {
+            assert!(t.lines().any(|l| l.starts_with(name)), "{name} missing");
+        }
+        assert!(t.contains("max perf"));
+    }
+
+    #[test]
+    fn ranking_table_renders_both_orders() {
+        let plot = sample_figure1();
+        let t3 = ranking_table(&rank(&plot, RankBy::BestPerformance), "max perf", "min vol");
+        assert!(t3.lines().nth(1).unwrap().contains('A'), "rank 1 is A");
+        let t4 = ranking_table(&rank(&plot, RankBy::BestVolatility), "min vol", "max perf");
+        assert!(t4.lines().nth(2).unwrap().contains('E'), "rank 2 is E");
+    }
+
+    #[test]
+    fn dominance_table_covers_all_pairs() {
+        let t = dominance_table(&sample_figure1());
+        assert_eq!(t.lines().count(), 1 + 28, "header + C(8,2) pairs");
+        assert!(t.contains("A ≻ B") || t.contains("B ≻ A"));
+    }
+
+    #[test]
+    fn ascii_plot_has_requested_dimensions() {
+        let s = ascii_plot(&sample_figure1(), 60, 20);
+        assert_eq!(s.lines().count(), 22); // title + 20 rows + axis
+        assert!(s.contains('A') && s.contains('H'));
+    }
+}

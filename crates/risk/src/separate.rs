@@ -1,0 +1,99 @@
+//! Separate risk analysis (paper Section 4.1, Eqs. 5–6).
+//!
+//! For a single objective in a particular scenario — a sweep over `n`
+//! values of one experimental parameter — the performance is the mean of
+//! the `n` normalized results and the volatility is their **population**
+//! standard deviation:
+//!
+//! ```text
+//! μ_sep = (Σ normalized_i) / n                               (Eq. 5)
+//! σ_sep = sqrt( (Σ normalized_i²) / n − μ_sep² )             (Eq. 6)
+//! ```
+
+use crate::measure::RiskMeasure;
+
+/// Computes the separate risk analysis of one objective for one scenario
+/// from its normalized experiment results (each in `[0, 1]`).
+///
+/// Panics if `normalized` is empty or any value falls outside `[0, 1]`
+/// (normalization must happen first — see [`crate::normalize`]).
+pub fn separate(normalized: &[f64]) -> RiskMeasure {
+    assert!(
+        !normalized.is_empty(),
+        "separate risk analysis needs at least one result"
+    );
+    for &x in normalized {
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "normalized result {x} outside [0, 1]"
+        );
+    }
+    let n = normalized.len() as f64;
+    let mean = normalized.iter().sum::<f64>() / n;
+    let mean_sq = normalized.iter().map(|x| x * x).sum::<f64>() / n;
+    // Guard the subtraction against tiny negative rounding.
+    let var = (mean_sq - mean * mean).max(0.0);
+    RiskMeasure {
+        performance: mean,
+        volatility: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_results_have_zero_volatility() {
+        let m = separate(&[0.8; 6]);
+        assert!((m.performance - 0.8).abs() < 1e-12);
+        assert!(m.volatility < 1e-7, "volatility {}", m.volatility);
+    }
+
+    #[test]
+    fn ideal_policy() {
+        let m = separate(&[1.0; 5]);
+        assert_eq!(m, RiskMeasure::IDEAL);
+    }
+
+    #[test]
+    fn eq5_eq6_match_hand_computation() {
+        // results: 0, 0.5, 1 -> mean 0.5, var = (0+0.25+1)/3 - 0.25 = 1/6.
+        let m = separate(&[0.0, 0.5, 1.0]);
+        assert!((m.performance - 0.5).abs() < 1e-12);
+        assert!((m.volatility - (1.0f64 / 6.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volatility_is_population_not_sample() {
+        // Two points 0 and 1: population sd = 0.5 (sample sd would be ~0.707).
+        let m = separate(&[0.0, 1.0]);
+        assert!((m.volatility - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_result_is_legal() {
+        let m = separate(&[0.3]);
+        assert_eq!(m.performance, 0.3);
+        assert_eq!(m.volatility, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unnormalized_input() {
+        separate(&[0.5, 42.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_input() {
+        separate(&[]);
+    }
+
+    #[test]
+    fn volatility_bounded_by_half() {
+        // For values in [0,1] the population sd is at most 0.5.
+        let m = separate(&[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!(m.volatility <= 0.5 + 1e-12);
+    }
+}

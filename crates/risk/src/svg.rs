@@ -1,0 +1,359 @@
+//! Minimal SVG scatter-plot writer for risk analysis plots.
+//!
+//! Produces self-contained SVG documents in the visual style of the paper's
+//! figures: performance (0–1) on the y axis, volatility on the x axis, one
+//! marker shape/colour per policy, optional trend lines, and a legend. No
+//! external dependencies.
+
+use crate::plot::RiskPlot;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Upper bound of the volatility (x) axis; the paper uses 0.5.
+    pub x_max: f64,
+    /// Draw least-squares trend lines where defined.
+    pub trend_lines: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 640,
+            height: 480,
+            x_max: 0.5,
+            trend_lines: true,
+        }
+    }
+}
+
+const COLORS: &[&str] = &[
+    "#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#f39c12", "#16a085", "#2c3e50", "#d35400",
+];
+
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Renders `plot` as an SVG document.
+pub fn render(plot: &RiskPlot, opt: &SvgOptions) -> String {
+    let w = opt.width as f64;
+    let h = opt.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let x_max = opt
+        .x_max
+        .max(
+            plot.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.volatility))
+                .fold(0.0_f64, f64::max)
+                * 1.05,
+        )
+        .max(1e-6);
+
+    let to_x = |v: f64| MARGIN_L + (v / x_max).min(1.0) * plot_w;
+    let to_y = |p: f64| MARGIN_T + (1.0 - p.clamp(0.0, 1.0)) * plot_h;
+
+    let mut s = String::with_capacity(8192);
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        opt.width, opt.height
+    );
+    let _ = writeln!(s, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        s,
+        r#"<text x="{:.1}" y="22" text-anchor="middle" font-size="14">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(&plot.title)
+    );
+    // Axes + grid.
+    for i in 0..=5 {
+        let fy = i as f64 / 5.0;
+        let y = to_y(fy);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_L,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{fy:.1}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+        let fx = x_max * i as f64 / 5.0;
+        let x = to_x(fx);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{fx:.2}</text>"#,
+            MARGIN_T + plot_h + 18.0
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black"/>"#,
+        MARGIN_L, MARGIN_T
+    );
+    // Axis labels.
+    let _ = writeln!(
+        s,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">Volatility (Standard Deviation)</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">Performance</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    );
+
+    // Series.
+    for (i, series) in plot.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        if opt.trend_lines {
+            if let Some(line) = series.trend() {
+                let (v0, v1) = (0.0, x_max);
+                let p0 = line.intercept + line.slope * v0;
+                let p1 = line.intercept + line.slope * v1;
+                let _ = writeln!(
+                    s,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-dasharray="4 3" opacity="0.5"/>"#,
+                    to_x(v0),
+                    to_y(p0),
+                    to_x(v1),
+                    to_y(p1)
+                );
+            }
+        }
+        for p in &series.points {
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{color}" fill-opacity="0.8"/>"#,
+                to_x(p.volatility),
+                to_y(p.performance)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + 18.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 14.0;
+        let _ = writeln!(s, r#"<circle cx="{lx:.1}" cy="{ly:.1}" r="4" fill="{color}"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            lx + 10.0,
+            ly + 4.0,
+            xml_escape(&series.name)
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders a simple multi-series line chart (used for the paper's Figure 2,
+/// which is a function plot rather than a risk scatter). Each series is a
+/// list of `(x, y)` points drawn as a polyline with a legend entry.
+pub fn render_lines(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    opt: &SvgOptions,
+) -> String {
+    let w = opt.width as f64;
+    let h = opt.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    let all = series.iter().flat_map(|(_, pts)| pts.iter());
+    let (mut x_min, mut x_max, mut y_min, mut y_max) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if !x_min.is_finite() {
+        (x_min, x_max, y_min, y_max) = (0.0, 1.0, 0.0, 1.0);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let to_x = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let to_y = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut s = String::with_capacity(8192);
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        opt.width, opt.height
+    );
+    let _ = writeln!(s, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{:.1}" y="22" text-anchor="middle" font-size="14">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(title)
+    );
+    // Frame + zero line if it is inside the range.
+    let _ = writeln!(
+        s,
+        r#"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black"/>"#,
+        MARGIN_L, MARGIN_T
+    );
+    if y_min < 0.0 && y_max > 0.0 {
+        let zy = to_y(0.0);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{:.1}" y1="{zy:.1}" x2="{:.1}" y2="{zy:.1}" stroke="#999" stroke-dasharray="2 2"/>"##,
+            MARGIN_L,
+            MARGIN_L + plot_w
+        );
+    }
+    // Axis extremes as tick labels.
+    for (fx, anchor) in [(x_min, "start"), (x_max, "end")] {
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="{anchor}">{fx:.0}</text>"#,
+            to_x(fx),
+            MARGIN_T + plot_h + 18.0
+        );
+    }
+    for fy in [y_min, y_max] {
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{fy:.0}</text>"#,
+            MARGIN_L - 6.0,
+            to_y(fy) + 4.0
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+    for (i, (label, pts)) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", to_x(x), to_y(y)))
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        let ly = MARGIN_T + 14.0 + 18.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 14.0;
+        let _ = writeln!(
+            s,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 16.0
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            lx + 22.0,
+            ly + 4.0,
+            xml_escape(label)
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn xml_escape(raw: &str) -> String {
+    raw.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::sample_figure1;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&sample_figure1(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        // 8 policies × 5 points + 8 legend dots = 48 circles.
+        assert_eq!(svg.matches("<circle").count(), 48);
+    }
+
+    #[test]
+    fn escapes_titles() {
+        let mut plot = sample_figure1();
+        plot.title = "wait & <SLA>".to_string();
+        let svg = render(&plot, &SvgOptions::default());
+        assert!(svg.contains("wait &amp; &lt;SLA&gt;"));
+    }
+
+    #[test]
+    fn line_chart_renders_polylines_and_legend() {
+        let series = vec![
+            ("flat".to_string(), vec![(0.0, 5.0), (10.0, 5.0)]),
+            ("decay".to_string(), vec![(0.0, 5.0), (5.0, 5.0), (10.0, -5.0)]),
+        ];
+        let svg = render_lines("penalty", "t (s)", "utility ($)", &series, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("penalty"));
+        assert!(svg.contains("decay"));
+        // Zero line drawn because the y range crosses zero.
+        assert!(svg.contains("stroke-dasharray=\"2 2\""));
+    }
+
+    #[test]
+    fn line_chart_handles_degenerate_input() {
+        let svg = render_lines("empty", "x", "y", &[], &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+        let one = vec![("p".to_string(), vec![(3.0, 3.0)])];
+        let svg = render_lines("one", "x", "y", &one, &SvgOptions::default());
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn trend_lines_toggle() {
+        let with = render(&sample_figure1(), &SvgOptions::default());
+        let without = render(
+            &sample_figure1(),
+            &SvgOptions {
+                trend_lines: false,
+                ..Default::default()
+            },
+        );
+        assert!(with.matches("stroke-dasharray").count() > without.matches("stroke-dasharray").count());
+    }
+}

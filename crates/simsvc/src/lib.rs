@@ -1,0 +1,37 @@
+//! # ccs-simsvc — the commercial computing service simulator
+//!
+//! Glues the substrates together: a workload (ccs-workload) is fed job by
+//! job into a policy (ccs-policies) operating a cluster (ccs-cluster) under
+//! an economic model (ccs-economy). The output is a [`RunResult`]: the
+//! aggregate [`RunMetrics`] from which the paper's four objectives (wait,
+//! SLA, reliability, profitability) are computed, plus per-job
+//! [`JobRecord`]s for drill-down.
+//!
+//! ```
+//! use ccs_simsvc::{simulate, RunConfig};
+//! use ccs_policies::PolicyKind;
+//! use ccs_economy::EconomicModel;
+//! use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
+//!
+//! let base = SdscSp2Model::small().generate(42);
+//! let jobs = apply_scenario(&base, &ScenarioTransform::default(), 42);
+//! let cfg = RunConfig { nodes: 128, econ: EconomicModel::CommodityMarket };
+//! let result = simulate(&jobs, PolicyKind::Libra, &cfg);
+//! let [wait, sla, reliability, profitability] = result.metrics.objectives();
+//! assert!(sla <= 100.0 && reliability <= 100.0 && profitability <= 100.0);
+//! assert!(wait >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod record;
+pub mod runner;
+pub mod samples;
+pub mod timeline;
+
+pub use metrics::RunMetrics;
+pub use record::JobRecord;
+pub use runner::{simulate, simulate_with, RunConfig, RunResult};
+pub use timeline::{TimePoint, Timeline};

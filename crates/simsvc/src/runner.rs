@@ -1,0 +1,304 @@
+//! The service simulator: drives one workload through one policy.
+
+use crate::metrics::RunMetrics;
+use crate::record::JobRecord;
+use ccs_economy::{bid_utility, EconomicModel, Ledger};
+use ccs_policies::{build_policy, Outcome, Policy, PolicyKind};
+use ccs_workload::{Job, JobId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of one simulation run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Cluster size in processors (the paper simulates 128).
+    pub nodes: u32,
+    /// Economic model in force.
+    pub econ: EconomicModel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            nodes: 128,
+            econ: EconomicModel::CommodityMarket,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Aggregate metrics (inputs to the four objectives).
+    pub metrics: RunMetrics,
+    /// Per-job outcome records, indexed in submission order.
+    pub records: Vec<JobRecord>,
+    /// Billing ledger: one invoice per decided job, in decision order.
+    pub ledger: Ledger,
+}
+
+/// Simulates `jobs` (must be sorted by submit time) under `kind` and returns
+/// the run result. Deterministic: identical inputs give identical outputs.
+pub fn simulate(jobs: &[Job], kind: PolicyKind, cfg: &RunConfig) -> RunResult {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    simulate_with(jobs, policy, cfg)
+}
+
+/// Like [`simulate`], but with a caller-constructed policy — the hook for
+/// downstream users evaluating their own [`Policy`] implementations.
+pub fn simulate_with(jobs: &[Job], mut policy: Box<dyn Policy>, cfg: &RunConfig) -> RunResult {
+    let mut out: Vec<Outcome> = Vec::with_capacity(jobs.len() * 4);
+    let mut prev_submit = f64::NEG_INFINITY;
+    for job in jobs {
+        assert!(
+            job.submit >= prev_submit,
+            "jobs must be sorted by submit time"
+        );
+        prev_submit = job.submit;
+        policy.advance_to(job.submit, &mut out);
+        policy.on_submit(job, job.submit, &mut out);
+    }
+    policy.drain(&mut out);
+    collect(jobs, cfg, &out)
+}
+
+/// Folds the outcome stream into metrics and per-job records.
+fn collect(jobs: &[Job], cfg: &RunConfig, out: &[Outcome]) -> RunResult {
+    let by_id: HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut records: HashMap<JobId, JobRecord> = HashMap::with_capacity(jobs.len());
+    let mut ledger = Ledger::new();
+
+    let mut metrics = RunMetrics {
+        submitted: jobs.len() as u32,
+        budget_total: jobs.iter().map(|j| j.budget).sum(),
+        ..Default::default()
+    };
+
+    for o in out {
+        match *o {
+            Outcome::Accepted { job, at } => {
+                metrics.accepted += 1;
+                let r = records.entry(job).or_insert_with(|| JobRecord {
+                    id: job,
+                    accepted: true,
+                    decided_at: at,
+                    started_at: None,
+                    finished_at: None,
+                    fulfilled: false,
+                    utility: 0.0,
+                });
+                r.accepted = true;
+                r.decided_at = at;
+            }
+            Outcome::Rejected { job, at } => {
+                let prev = records.insert(job, JobRecord::rejected(job, at));
+                assert!(prev.is_none(), "job {job} decided twice");
+                ledger.reject(job, by_id[&job].budget);
+            }
+            Outcome::Started { job, at } => {
+                records
+                    .get_mut(&job)
+                    .expect("started before accepted")
+                    .started_at = Some(at);
+            }
+            Outcome::Completed {
+                job,
+                start,
+                finish,
+                charged,
+            } => {
+                let j = by_id[&job];
+                let fulfilled = j.fulfilled_by(finish);
+                let utility = match cfg.econ {
+                    EconomicModel::CommodityMarket => {
+                        charged.expect("commodity completion must carry its charge")
+                    }
+                    EconomicModel::BidBased => bid_utility(j, finish),
+                };
+                metrics.utility_total += utility;
+                metrics.delay_sum += j.delay_at(finish);
+                ledger.complete(
+                    cfg.econ,
+                    job,
+                    j.budget,
+                    charged,
+                    j.delay_at(finish),
+                    j.penalty_rate,
+                );
+                if fulfilled {
+                    metrics.fulfilled += 1;
+                    metrics.wait_sum_fulfilled += (start - j.submit).max(0.0);
+                }
+                let r = records.get_mut(&job).expect("completed before accepted");
+                r.started_at.get_or_insert(start);
+                r.finished_at = Some(finish);
+                r.fulfilled = fulfilled;
+                r.utility = utility;
+            }
+        }
+    }
+
+    debug_assert_eq!(
+        records.len(),
+        jobs.len(),
+        "every job must be decided exactly once"
+    );
+    let mut ordered: Vec<JobRecord> = jobs
+        .iter()
+        .map(|j| {
+            records
+                .remove(&j.id)
+                .unwrap_or_else(|| panic!("job {} has no outcome", j.id))
+        })
+        .collect();
+    ordered.sort_by_key(|r| r.id);
+    RunResult {
+        metrics,
+        records: ordered,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_workload::Urgency;
+
+    fn job(id: JobId, submit: f64, runtime: f64, deadline: f64, procs: u32, budget: f64) -> Job {
+        Job {
+            id,
+            submit,
+            runtime,
+            estimate: runtime,
+            procs,
+            urgency: Urgency::Low,
+            deadline,
+            budget,
+            penalty_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn single_job_commodity_run() {
+        let jobs = vec![job(0, 0.0, 100.0, 1000.0, 4, 1000.0)];
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::CommodityMarket,
+        };
+        let res = simulate(&jobs, PolicyKind::FcfsBf, &cfg);
+        assert_eq!(res.metrics.submitted, 1);
+        assert_eq!(res.metrics.accepted, 1);
+        assert_eq!(res.metrics.fulfilled, 1);
+        assert_eq!(res.metrics.wait(), 0.0);
+        assert_eq!(res.metrics.utility_total, 400.0); // 100 s × 4 procs × $1
+        assert_eq!(res.metrics.sla_pct(), 100.0);
+        assert!(res.records[0].fulfilled);
+    }
+
+    #[test]
+    fn bid_based_pays_penalty_for_late_jobs() {
+        // Two whole-machine jobs: the second starts late and misses its
+        // deadline, dragging utility below its budget.
+        let jobs = vec![
+            job(0, 0.0, 100.0, 1000.0, 8, 500.0),
+            job(1, 1.0, 100.0, 120.0, 8, 500.0),
+        ];
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::BidBased,
+        };
+        let res = simulate(&jobs, PolicyKind::FcfsBf, &cfg);
+        // Job 1: est completion from queue = 100+100 = 200 > 1+120 -> the
+        // generous admission control rejects it instead.
+        assert_eq!(res.metrics.accepted, 1);
+        assert_eq!(res.metrics.fulfilled, 1);
+        assert_eq!(res.metrics.utility_total, 500.0);
+    }
+
+    #[test]
+    fn bid_based_penalty_applies_when_underestimated() {
+        // Job claims est 50 (fits deadline) but actually runs 200 -> late.
+        let mut j = job(0, 0.0, 200.0, 100.0, 8, 500.0);
+        j.estimate = 50.0;
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::BidBased,
+        };
+        let res = simulate(&[j], PolicyKind::FcfsBf, &cfg);
+        assert_eq!(res.metrics.accepted, 1);
+        assert_eq!(res.metrics.fulfilled, 0);
+        // delay = 200 - 100 = 100 s at $1/s -> utility 400.
+        assert_eq!(res.metrics.utility_total, 400.0);
+        assert_eq!(res.metrics.delay_sum, 100.0);
+        assert_eq!(res.metrics.reliability_pct(), 0.0);
+    }
+
+    #[test]
+    fn every_policy_decides_every_job() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, i as f64 * 50.0, 200.0, 2000.0, 1 + (i % 8), 1e6))
+            .collect();
+        for econ in EconomicModel::ALL {
+            let kinds = match econ {
+                EconomicModel::CommodityMarket => PolicyKind::COMMODITY,
+                EconomicModel::BidBased => PolicyKind::BID_BASED,
+            };
+            for kind in kinds {
+                let cfg = RunConfig { nodes: 16, econ };
+                let res = simulate(&jobs, kind, &cfg);
+                assert_eq!(res.records.len(), 50, "{kind} {econ}");
+                let decided = res.records.iter().filter(|r| r.accepted).count() as u32;
+                assert_eq!(decided, res.metrics.accepted, "{kind} {econ}");
+                assert!(res.metrics.fulfilled <= res.metrics.accepted);
+                assert!(res.metrics.accepted <= res.metrics.submitted);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| job(i, i as f64 * 100.0, 500.0, 4000.0, 1 + (i % 4), 1e5))
+            .collect();
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::BidBased,
+        };
+        let a = simulate(&jobs, PolicyKind::Libra, &cfg);
+        let b = simulate(&jobs, PolicyKind::Libra, &cfg);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn ledger_agrees_with_metrics() {
+        let jobs: Vec<Job> = (0..25)
+            .map(|i| job(i, i as f64 * 100.0, 300.0, 2000.0, 2, 5000.0))
+            .collect();
+        for econ in EconomicModel::ALL {
+            let cfg = RunConfig { nodes: 8, econ };
+            let kind = match econ {
+                EconomicModel::CommodityMarket => PolicyKind::SjfBf,
+                EconomicModel::BidBased => PolicyKind::EdfBf,
+            };
+            let res = simulate(&jobs, kind, &cfg);
+            let st = res.ledger.statement();
+            assert_eq!(st.invoices, 25);
+            assert_eq!(st.rejected as u32, 25 - res.metrics.accepted);
+            assert!(
+                (st.net_revenue - res.metrics.utility_total).abs() < 1e-6,
+                "{econ}: ledger {} vs metrics {}",
+                st.net_revenue,
+                res.metrics.utility_total
+            );
+            assert!((st.total_budget - res.metrics.budget_total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_jobs_panic() {
+        let jobs = vec![job(0, 100.0, 10.0, 100.0, 1, 1.0), job(1, 0.0, 10.0, 100.0, 1, 1.0)];
+        let cfg = RunConfig::default();
+        simulate(&jobs, PolicyKind::FcfsBf, &cfg);
+    }
+}

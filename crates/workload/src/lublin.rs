@@ -1,0 +1,213 @@
+//! A Lublin–Feitelson-style workload model.
+//!
+//! Lublin & Feitelson (JPDC 2003) is the canonical parametric model of
+//! rigid supercomputer jobs. This module implements its *structure* —
+//! parameters are freely configurable and the defaults are adapted to match
+//! the SDSC SP2 summary statistics rather than copied verbatim:
+//!
+//! - **width**: a job is serial with probability `p_serial`; parallel
+//!   widths draw a uniform log₂ size in `[1, log₂(nodes)]` and round to a
+//!   power of two with probability `p_pow2` (real traces strongly favour
+//!   powers of two).
+//! - **runtime**: a hyper-gamma — a two-component [`Gamma`] mixture of
+//!   "short" and "long" jobs — whose long-component probability grows with
+//!   the job's width (wide jobs run longer), the model's signature
+//!   correlation.
+//! - **arrivals**: gamma-distributed inter-arrival gaps (burstier than
+//!   Poisson); compose with [`crate::diurnal`] for the daily cycle.
+//! - **estimates**: delegated to the same over/under-estimation machinery
+//!   as the SDSC model.
+
+use crate::job::{BaseJob, JobId};
+use ccs_des::dist::{Distribution, Exponential, Gamma, Mixture, Uniform};
+use ccs_des::SimRng;
+
+/// Configuration of the Lublin-style model.
+#[derive(Clone, Copy, Debug)]
+pub struct LublinModel {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Cluster size (bounds the widths).
+    pub nodes: u32,
+    /// Probability of a serial (1-processor) job.
+    pub p_serial: f64,
+    /// Probability a parallel width rounds to a power of two.
+    pub p_pow2: f64,
+    /// Short-runtime gamma component.
+    pub short: (f64, f64),
+    /// Long-runtime gamma component.
+    pub long: (f64, f64),
+    /// Long-component probability for a serial job; grows linearly with
+    /// log₂(width) up to `p_long_wide` at full machine width.
+    pub p_long_serial: f64,
+    /// Long-component probability at the widest jobs.
+    pub p_long_wide: f64,
+    /// Gamma shape of the inter-arrival gaps (1 = Poisson; < 1 = bursty).
+    pub arrival_shape: f64,
+    /// Mean inter-arrival gap (seconds).
+    pub mean_interarrival: f64,
+    /// Maximum runtime (seconds).
+    pub max_runtime: f64,
+    /// Fraction of under-estimating users.
+    pub underestimate_fraction: f64,
+    /// Mean of the over-estimation surplus.
+    pub overestimate_surplus_mean: f64,
+}
+
+impl Default for LublinModel {
+    fn default() -> Self {
+        LublinModel {
+            jobs: 5000,
+            nodes: 128,
+            p_serial: 0.24,
+            p_pow2: 0.75,
+            // Short jobs: mean ~ 12 × 90 = 1080 s; long: ~ 6 × 4000 = 24 000 s.
+            short: (1.5, 720.0),
+            long: (6.0, 4000.0),
+            p_long_serial: 0.25,
+            p_long_wide: 0.65,
+            arrival_shape: 0.6, // bursty
+            mean_interarrival: 1969.0,
+            max_runtime: 64_800.0,
+            underestimate_fraction: 0.08,
+            overestimate_surplus_mean: 3.0,
+        }
+    }
+}
+
+impl LublinModel {
+    /// Generates the workload; deterministic in `(model, seed)`.
+    pub fn generate(&self, seed: u64) -> Vec<BaseJob> {
+        assert!(self.nodes.is_power_of_two(), "width model assumes a power-of-two machine");
+        let master = SimRng::seed_from(seed ^ 0x1B1B_1B1B);
+        let log2_max = (self.nodes as f64).log2();
+        // Gamma inter-arrivals with the configured mean: scale = mean/shape.
+        let ia = Gamma::new(self.arrival_shape, self.mean_interarrival / self.arrival_shape);
+        let under = Uniform::new(0.1, 0.9);
+        let surplus = Exponential::new(self.overestimate_surplus_mean);
+
+        let mut submit = 0.0;
+        let mut out = Vec::with_capacity(self.jobs);
+        for k in 0..self.jobs {
+            let mut rng = master.fork(k as u64);
+            submit += ia.sample(&mut rng);
+
+            // Width.
+            let procs = if rng.bernoulli(self.p_serial) {
+                1
+            } else {
+                let l = rng.uniform(0.0, log2_max);
+                let exact = 2f64.powf(l);
+                let w = if rng.bernoulli(self.p_pow2) {
+                    2f64.powf(l.round())
+                } else {
+                    exact.round().max(2.0)
+                };
+                (w as u32).clamp(2, self.nodes)
+            };
+
+            // Runtime: hyper-gamma with width-dependent long probability.
+            let frac = (procs as f64).log2() / log2_max;
+            let p_long = self.p_long_serial + (self.p_long_wide - self.p_long_serial) * frac;
+            let runtime_dist = Mixture::new(
+                1.0 - p_long,
+                Gamma::new(self.short.0, self.short.1),
+                Gamma::new(self.long.0, self.long.1),
+            );
+            let runtime = runtime_dist.sample(&mut rng).clamp(30.0, self.max_runtime);
+
+            // Estimates: same methodology as the SDSC model.
+            let trace_estimate = if rng.bernoulli(self.underestimate_fraction) {
+                (runtime * under.sample(&mut rng)).max(1.0)
+            } else {
+                (runtime * (1.0 + surplus.sample(&mut rng))).min(self.max_runtime * 4.0)
+            };
+
+            out.push(BaseJob {
+                id: k as JobId,
+                submit,
+                runtime,
+                trace_estimate,
+                procs,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Vec<BaseJob> {
+        LublinModel::default().generate(42)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(LublinModel::default().generate(1), LublinModel::default().generate(1));
+        assert_ne!(LublinModel::default().generate(1), LublinModel::default().generate(2));
+    }
+
+    #[test]
+    fn serial_fraction_matches() {
+        let jobs = workload();
+        let serial = jobs.iter().filter(|j| j.procs == 1).count() as f64 / jobs.len() as f64;
+        assert!((serial - 0.24).abs() < 0.03, "serial fraction {serial}");
+    }
+
+    #[test]
+    fn widths_favour_powers_of_two() {
+        let jobs = workload();
+        let parallel: Vec<&BaseJob> = jobs.iter().filter(|j| j.procs > 1).collect();
+        let pow2 = parallel.iter().filter(|j| j.procs.is_power_of_two()).count() as f64
+            / parallel.len() as f64;
+        assert!(pow2 > 0.7, "power-of-two fraction {pow2}");
+        assert!(jobs.iter().all(|j| j.procs >= 1 && j.procs <= 128));
+    }
+
+    #[test]
+    fn wide_jobs_run_longer() {
+        // The hyper-gamma's width correlation: mean runtime of wide jobs
+        // exceeds that of serial jobs.
+        let jobs = workload();
+        let mean = |f: &dyn Fn(&&BaseJob) -> bool| {
+            let v: Vec<f64> = jobs.iter().filter(f).map(|j| j.runtime).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let serial = mean(&|j| j.procs == 1);
+        let wide = mean(&|j| j.procs >= 32);
+        assert!(
+            wide > serial * 1.3,
+            "wide {wide:.0}s vs serial {serial:.0}s"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_have_high_cv() {
+        let jobs = workload();
+        let gaps: Vec<f64> = jobs.windows(2).map(|w| w[1].submit - w[0].submit).collect();
+        let n = gaps.len() as f64;
+        let mean = gaps.iter().sum::<f64>() / n;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+        let cv = var.sqrt() / mean;
+        assert!((mean / 1969.0 - 1.0).abs() < 0.1, "mean gap {mean}");
+        assert!(cv > 1.1, "gamma(0.6) arrivals are burstier than Poisson: cv {cv}");
+    }
+
+    #[test]
+    fn feeds_the_standard_pipeline() {
+        use crate::scenario::{apply_scenario, ScenarioTransform};
+        let base = LublinModel { jobs: 100, ..Default::default() }.generate(3);
+        let jobs = apply_scenario(&base, &ScenarioTransform::default(), 3);
+        assert_eq!(jobs.len(), 100);
+        assert!(jobs.iter().all(|j| j.deadline > 0.0 && j.budget > 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_machine_rejected() {
+        let m = LublinModel { nodes: 100, ..Default::default() };
+        let _ = m.generate(1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Workload summary statistics.
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate description of a workload, as printed by the experiment
+/// harness and used by tests to validate the synthetic SDSC SP2 model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean inter-arrival time (s).
+    pub mean_interarrival: f64,
+    /// Mean runtime (s).
+    pub mean_runtime: f64,
+    /// Mean processor count.
+    pub mean_procs: f64,
+    /// Fraction of jobs whose estimate under-estimates the runtime.
+    pub underestimate_fraction: f64,
+    /// Offered load: total work / (nodes × span).
+    pub offered_load: f64,
+    /// Fraction of jobs in the high-urgency class.
+    pub high_urgency_fraction: f64,
+    /// Mean deadline/runtime factor.
+    pub mean_deadline_factor: f64,
+}
+
+impl WorkloadSummary {
+    /// Computes the summary of `jobs` against a cluster of `nodes` nodes.
+    pub fn compute(jobs: &[Job], nodes: u32) -> Self {
+        if jobs.is_empty() {
+            return WorkloadSummary {
+                jobs: 0,
+                mean_interarrival: 0.0,
+                mean_runtime: 0.0,
+                mean_procs: 0.0,
+                underestimate_fraction: 0.0,
+                offered_load: 0.0,
+                high_urgency_fraction: 0.0,
+                mean_deadline_factor: 0.0,
+            };
+        }
+        let n = jobs.len() as f64;
+        let span = (jobs.last().unwrap().submit - jobs[0].submit).max(1.0);
+        let total_work: f64 = jobs.iter().map(|j| j.work()).sum();
+        WorkloadSummary {
+            jobs: jobs.len(),
+            mean_interarrival: span / (n - 1.0).max(1.0),
+            mean_runtime: jobs.iter().map(|j| j.runtime).sum::<f64>() / n,
+            mean_procs: jobs.iter().map(|j| j.procs as f64).sum::<f64>() / n,
+            underestimate_fraction: jobs.iter().filter(|j| j.is_underestimated()).count() as f64
+                / n,
+            offered_load: total_work / (nodes as f64 * span),
+            high_urgency_fraction: jobs
+                .iter()
+                .filter(|j| j.urgency == crate::job::Urgency::High)
+                .count() as f64
+                / n,
+            mean_deadline_factor: jobs.iter().map(|j| j.deadline / j.runtime).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "jobs                 : {}", self.jobs)?;
+        writeln!(f, "mean inter-arrival   : {:.1} s", self.mean_interarrival)?;
+        writeln!(f, "mean runtime         : {:.1} s", self.mean_runtime)?;
+        writeln!(f, "mean processors      : {:.2}", self.mean_procs)?;
+        writeln!(f, "under-estimates      : {:.1} %", self.underestimate_fraction * 100.0)?;
+        writeln!(f, "offered load         : {:.2}", self.offered_load)?;
+        writeln!(f, "high-urgency jobs    : {:.1} %", self.high_urgency_fraction * 100.0)?;
+        write!(f, "mean deadline factor : {:.2}", self.mean_deadline_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{apply_scenario, ScenarioTransform};
+    use crate::synth::SdscSp2Model;
+
+    #[test]
+    fn empty_workload_summary_is_zero() {
+        let s = WorkloadSummary::compute(&[], 128);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.offered_load, 0.0);
+    }
+
+    #[test]
+    fn summary_of_default_workload_matches_paper_stats() {
+        let base = SdscSp2Model::default().generate(42);
+        let jobs = apply_scenario(
+            &base,
+            &ScenarioTransform {
+                arrival_delay_factor: 1.0,
+                inaccuracy_pct: 100.0, // use the trace's own estimates
+                ..Default::default()
+            },
+            42,
+        );
+        let s = WorkloadSummary::compute(&jobs, 128);
+        assert_eq!(s.jobs, 5000);
+        assert!((s.mean_interarrival / 1969.0 - 1.0).abs() < 0.1);
+        assert!((s.mean_runtime / 8671.0 - 1.0).abs() < 0.15);
+        assert!((s.mean_procs - 17.0).abs() < 2.5);
+        assert!((s.underestimate_fraction - 0.08).abs() < 0.02);
+        // Offered load of the un-compressed subset is ~0.6 of the cluster;
+        // the default experiment compresses arrivals 10x (see DESIGN.md).
+        assert!(s.offered_load > 0.4 && s.offered_load < 0.9, "load {}", s.offered_load);
+    }
+
+    #[test]
+    fn display_renders() {
+        let base = SdscSp2Model::small().generate(1);
+        let jobs = apply_scenario(&base, &ScenarioTransform::default(), 1);
+        let text = format!("{}", WorkloadSummary::compute(&jobs, 128));
+        assert!(text.contains("offered load"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Commodity market model: sweep the workload level and rank the paper's
+//! five commodity policies by separate risk analysis of profitability.
+//!
+//! This is a miniature of the paper's Figure 3g/h methodology: one scenario
+//! (varying arrival-delay factor), six experiment points, normalized
+//! per-point across policies, then performance/volatility per policy.
+//!
+//! ```sh
+//! cargo run --release -p ccs-experiments --example commodity_market
+//! ```
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_risk::report::{ascii_plot, ranking_table};
+use ccs_risk::{normalize::normalize, rank, separate, Objective, PolicySeries, RankBy, RiskPlot};
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
+
+fn main() {
+    let base = SdscSp2Model { jobs: 1500, ..Default::default() }.generate(7);
+    let cfg = RunConfig {
+        nodes: 128,
+        econ: EconomicModel::CommodityMarket,
+    };
+    let factors = [0.02, 0.10, 0.25, 0.50, 0.75, 1.00];
+
+    // raw[point][policy] = profitability %.
+    let mut raw = Vec::new();
+    for &f in &factors {
+        let jobs = apply_scenario(
+            &base,
+            &ScenarioTransform {
+                arrival_delay_factor: f,
+                ..Default::default()
+            },
+            7,
+        );
+        let row: Vec<f64> = PolicyKind::COMMODITY
+            .iter()
+            .map(|&k| simulate(&jobs, k, &cfg).metrics.profitability_pct())
+            .collect();
+        println!(
+            "arrival factor {f:>5}: profitability % = {}",
+            row.iter()
+                .zip(PolicyKind::COMMODITY)
+                .map(|(v, k)| format!("{}={v:.1}", k.name()))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        raw.push(row);
+    }
+
+    // Normalize per experiment point, then separate analysis per policy.
+    let series: Vec<PolicySeries> = PolicyKind::COMMODITY
+        .iter()
+        .enumerate()
+        .map(|(p, kind)| {
+            let normalized: Vec<f64> = raw
+                .iter()
+                .map(|row| normalize(Objective::Profitability, row)[p])
+                .collect();
+            PolicySeries::new(kind.name(), vec![separate(&normalized)])
+        })
+        .collect();
+    let plot = RiskPlot::new("profitability across workload levels", series);
+
+    println!("\n{}", ascii_plot(&plot, 64, 16));
+    let rows = rank(&plot, RankBy::BestPerformance);
+    println!("{}", ranking_table(&rows, "max perf", "min vol"));
+    println!(
+        "winner: {} — the utilization-adaptive pricing of Libra+$ extracts \
+         more revenue as the cluster saturates (paper Section 6.1).",
+        rows[0].name
+    );
+}

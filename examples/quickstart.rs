@@ -1,0 +1,51 @@
+//! Quickstart: simulate a commercial computing service and measure the four
+//! objectives of Yeo & Buyya (IPDPS 2007).
+//!
+//! ```sh
+//! cargo run --release -p ccs-experiments --example quickstart
+//! ```
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_risk::{normalize::normalize, separate, Objective};
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model, WorkloadSummary};
+
+fn main() {
+    // 1. Synthesize an SDSC SP2-like trace (the paper's workload) and
+    //    annotate it with QoS attributes: deadline, budget, penalty rate.
+    let base = SdscSp2Model { jobs: 1000, ..Default::default() }.generate(42);
+    let jobs = apply_scenario(&base, &ScenarioTransform::default(), 42);
+    println!("--- workload ---\n{}\n", WorkloadSummary::compute(&jobs, 128));
+
+    // 2. Run it through a policy on a 128-node service.
+    let cfg = RunConfig {
+        nodes: 128,
+        econ: EconomicModel::CommodityMarket,
+    };
+    println!("--- objectives (commodity market, accurate estimates) ---");
+    println!(
+        "{:<12} {:>10} {:>8} {:>12} {:>14}",
+        "policy", "wait (s)", "SLA %", "reliability %", "profitability %"
+    );
+    let mut sla_by_policy = Vec::new();
+    for kind in PolicyKind::COMMODITY {
+        let res = simulate(&jobs, kind, &cfg);
+        let [wait, sla, rel, prof] = res.metrics.objectives();
+        println!("{:<12} {:>10.0} {:>8.1} {:>12.1} {:>14.1}", kind.name(), wait, sla, rel, prof);
+        sla_by_policy.push(sla);
+    }
+
+    // 3. Normalize across policies and compute a separate risk analysis —
+    //    the paper's performance (μ) / volatility (σ) pair.
+    let normalized = normalize(Objective::Sla, &sla_by_policy);
+    println!("\n--- separate risk analysis of the SLA objective ---");
+    for (kind, norm) in PolicyKind::COMMODITY.iter().zip(&normalized) {
+        println!("{:<12} normalized SLA = {norm:.3}", kind.name());
+    }
+    let across = separate(&normalized);
+    println!(
+        "\nspread across policies: performance {:.3}, volatility {:.3}",
+        across.performance, across.volatility
+    );
+}

@@ -1,0 +1,56 @@
+//! Service monitoring: a diurnal (office-hours) workload driven through a
+//! policy, with the utilization / running / waiting timeline the paper's
+//! "monitoring mechanisms" assumption implies (Section 3.3).
+//!
+//! ```sh
+//! cargo run --release -p ccs-experiments --example service_monitor
+//! ```
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig, Timeline};
+use ccs_workload::{
+    apply_diurnal, apply_scenario, DiurnalProfile, ScenarioTransform, SdscSp2Model,
+};
+
+fn main() {
+    // Two days of arrivals with a strong office-hours cycle.
+    let base = SdscSp2Model { jobs: 400, ..Default::default() }.generate(21);
+    let diurnal = apply_diurnal(&base, &DiurnalProfile::office_hours(6.0), 21);
+    let jobs = apply_scenario(
+        &diurnal,
+        &ScenarioTransform {
+            arrival_delay_factor: 0.05, // compress to ~2 simulated days
+            ..Default::default()
+        },
+        21,
+    );
+
+    let cfg = RunConfig {
+        nodes: 128,
+        econ: EconomicModel::CommodityMarket,
+    };
+    for kind in [PolicyKind::SjfBf, PolicyKind::Libra] {
+        let res = simulate(&jobs, kind, &cfg);
+        let tl = Timeline::from_run(&jobs, &res.records, cfg.nodes, 3600.0);
+        println!("=== {} ===", kind.name());
+        println!(
+            "mean utilization {:.1} %, peak waiting queue {} jobs, SLA {:.1} %",
+            tl.mean_utilization() * 100.0,
+            tl.peak_waiting(),
+            res.metrics.sla_pct()
+        );
+        // Hourly sparkline of the first 36 buckets.
+        let head = Timeline {
+            bucket: tl.bucket,
+            points: tl.points.iter().take(36).cloned().collect(),
+        };
+        print!("{}", head.render(40));
+        println!();
+    }
+    println!(
+        "The diurnal peaks show up as utilization waves; the backfilling \
+         policy builds a waiting queue during the daily peak while Libra's \
+         admit-at-submission model never queues (waiting stays 0)."
+    );
+}

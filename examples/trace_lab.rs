@@ -1,0 +1,57 @@
+//! Trace laboratory: characterize the bundled workload models and watch how
+//! the same policy behaves across them.
+//!
+//! ```sh
+//! cargo run --release -p ccs-experiments --example trace_lab
+//! ```
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{
+    apply_diurnal, apply_scenario, BaseJob, DiurnalProfile, LublinModel, ScenarioTransform,
+    SdscSp2Model, TraceHistograms, WorkloadSummary,
+};
+
+fn main() {
+    let sdsc = SdscSp2Model { jobs: 2000, ..Default::default() }.generate(31);
+    let lublin = LublinModel { jobs: 2000, ..Default::default() }.generate(31);
+    let diurnal = apply_diurnal(&sdsc, &DiurnalProfile::office_hours(6.0), 31);
+
+    let models: Vec<(&str, &Vec<BaseJob>)> = vec![
+        ("SDSC SP2 synthetic", &sdsc),
+        ("Lublin-Feitelson", &lublin),
+        ("SDSC + diurnal", &diurnal),
+    ];
+
+    // 1. Characterize each model.
+    for (name, base) in &models {
+        println!("=== {name} ===");
+        let jobs = apply_scenario(base, &ScenarioTransform::default(), 31);
+        println!("{}\n", WorkloadSummary::compute(&jobs, 128));
+        let h = TraceHistograms::of(base);
+        println!("runtime histogram (log bins):\n{}", h.runtime.render(40));
+    }
+
+    // 2. The same policy across the three models.
+    let cfg = RunConfig {
+        nodes: 128,
+        econ: EconomicModel::CommodityMarket,
+    };
+    println!(
+        "{:<22} {:>8} {:>10} {:>13} {:>10}",
+        "model", "SLA %", "wait (s)", "reliability %", "profit %"
+    );
+    for (name, base) in &models {
+        let jobs = apply_scenario(base, &ScenarioTransform::default(), 31);
+        let res = simulate(&jobs, PolicyKind::SjfBf, &cfg);
+        let [w, s, r, p] = res.metrics.objectives();
+        println!("{:<22} {:>8.1} {:>10.0} {:>13.1} {:>10.1}", name, s, w, r, p);
+    }
+    println!(
+        "\nThe Lublin model's bursty gamma arrivals and width-correlated \
+         runtimes stress the scheduler differently from the smoother SDSC \
+         synthetic — yet the policy orderings survive (see \
+         `utility_risk robustness`)."
+    );
+}

@@ -1,0 +1,182 @@
+//! Adversarial / pathological-input integration tests: the stack must
+//! behave sensibly on degenerate workloads, extreme parameters, and
+//! malformed external data.
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, Job, ScenarioTransform, SdscSp2Model, Urgency};
+
+fn all_policy_econ_pairs() -> Vec<(PolicyKind, EconomicModel)> {
+    let mut v: Vec<(PolicyKind, EconomicModel)> = PolicyKind::COMMODITY
+        .iter()
+        .map(|&k| (k, EconomicModel::CommodityMarket))
+        .collect();
+    v.extend(PolicyKind::BID_BASED.iter().map(|&k| (k, EconomicModel::BidBased)));
+    v
+}
+
+fn job(id: u32, submit: f64, runtime: f64, estimate: f64, deadline: f64, procs: u32) -> Job {
+    Job {
+        id,
+        submit,
+        runtime,
+        estimate,
+        procs,
+        urgency: Urgency::Low,
+        deadline,
+        budget: 1e6,
+        penalty_rate: 1.0,
+    }
+}
+
+#[test]
+fn empty_workload() {
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 8, econ };
+        let res = simulate(&[], kind, &cfg);
+        assert_eq!(res.metrics.submitted, 0, "{kind}");
+        assert_eq!(res.metrics.sla_pct(), 0.0);
+        assert_eq!(res.metrics.reliability_pct(), 100.0);
+    }
+}
+
+#[test]
+fn jobs_wider_than_the_cluster_are_rejected_not_stuck() {
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 4, econ };
+        let jobs = vec![
+            job(0, 0.0, 100.0, 100.0, 1e6, 64), // impossible
+            job(1, 1.0, 100.0, 100.0, 1e6, 2),  // fine
+        ];
+        let res = simulate(&jobs, kind, &cfg);
+        assert!(!res.records[0].accepted, "{kind}: impossible job accepted");
+        assert!(
+            res.records[1].finished_at.is_some() || !res.records[1].accepted,
+            "{kind}: feasible job must not be wedged behind the impossible one"
+        );
+    }
+}
+
+#[test]
+fn all_jobs_arrive_at_the_same_instant() {
+    let jobs: Vec<Job> = (0..40)
+        .map(|i| job(i, 0.0, 50.0, 50.0, 1e5, 1 + (i % 4)))
+        .collect();
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 16, econ };
+        let res = simulate(&jobs, kind, &cfg);
+        assert_eq!(res.metrics.submitted, 40, "{kind}");
+        assert_eq!(res.records.len(), 40);
+    }
+}
+
+#[test]
+fn zero_deadline_slack_jobs() {
+    // deadline == estimate == runtime: only an instant start fulfils.
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| job(i, i as f64 * 1000.0, 100.0, 100.0, 100.0, 4))
+        .collect();
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 8, econ };
+        let res = simulate(&jobs, kind, &cfg);
+        // No panic, and whatever was fulfilled met its deadline exactly.
+        for (r, j) in res.records.iter().zip(&jobs) {
+            if r.fulfilled {
+                assert!(r.finished_at.unwrap() <= j.submit + j.deadline + 1e-6, "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn grossly_underestimated_monsters_do_not_wedge_the_service() {
+    // Jobs claim 1 s but run for 10 000 s.
+    let mut jobs: Vec<Job> = (0..20)
+        .map(|i| job(i, i as f64 * 100.0, 10_000.0, 1.0, 50_000.0, 4))
+        .collect();
+    jobs.extend((20..40).map(|i| job(i, i as f64 * 100.0, 100.0, 100.0, 10_000.0, 2)));
+    jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit));
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = i as u32;
+    }
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 16, econ };
+        let res = simulate(&jobs, kind, &cfg);
+        // Every accepted job eventually completes (drain terminates).
+        for r in &res.records {
+            if r.accepted {
+                assert!(r.finished_at.is_some(), "{kind}: accepted job never finished");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_node_cluster() {
+    let jobs: Vec<Job> = (0..15).map(|i| job(i, i as f64 * 10.0, 30.0, 30.0, 5000.0, 1)).collect();
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 1, econ };
+        let res = simulate(&jobs, kind, &cfg);
+        assert!(res.metrics.fulfilled > 0, "{kind} on a 1-node cluster");
+    }
+}
+
+#[test]
+fn extreme_scenario_parameters_stay_sane() {
+    let base = SdscSp2Model { jobs: 60, ..Default::default() }.generate(3);
+    // Most extreme corner of Table VI: everything at its max, heaviest load.
+    let mut t = ScenarioTransform {
+        arrival_delay_factor: 0.02,
+        inaccuracy_pct: 100.0,
+        ..Default::default()
+    };
+    t.qos.pct_high_urgency = 100.0;
+    for attr in [&mut t.qos.deadline, &mut t.qos.budget, &mut t.qos.penalty] {
+        attr.bias = 10.0;
+        attr.high_low_ratio = 10.0;
+        attr.low_mean = 10.0;
+    }
+    let jobs = apply_scenario(&base, &t, 3);
+    for (kind, econ) in all_policy_econ_pairs() {
+        let cfg = RunConfig { nodes: 128, econ };
+        let [wait, sla, rel, prof] = simulate(&jobs, kind, &cfg).metrics.objectives();
+        assert!(wait >= 0.0 && wait.is_finite(), "{kind}");
+        assert!((0.0..=100.0).contains(&sla), "{kind}: sla {sla}");
+        assert!((0.0..=100.0).contains(&rel), "{kind}: rel {rel}");
+        assert!((0.0..=100.0 + 1e-9).contains(&prof), "{kind}: prof {prof}");
+    }
+}
+
+#[test]
+fn malformed_swf_is_rejected_cleanly() {
+    for bad in [
+        "1 2 3",                                         // too few fields
+        "a b c d e f g h i j k l m n o p q r",           // non-numeric
+        "1 0 0 100 4 -1 -1 4 120 -1 1 1 1 1 1 1 -1",     // 17 fields
+    ] {
+        assert!(ccs_workload::swf::parse(bad).is_err(), "{bad:?} must fail");
+    }
+    // Comments, blanks, and CRLF text survive.
+    let ok = "; header\r\n\r\n1 0 0 100 4 -1 -1 4 120 -1 1 1 1 1 1 1 -1 -1\r\n";
+    assert_eq!(ccs_workload::swf::parse(ok).unwrap().len(), 1);
+}
+
+#[test]
+fn risk_math_rejects_garbage_loudly() {
+    use std::panic::catch_unwind;
+    assert!(catch_unwind(|| ccs_risk::separate(&[2.0])).is_err(), "unnormalized input");
+    assert!(catch_unwind(|| ccs_risk::separate(&[])).is_err(), "empty input");
+    assert!(
+        catch_unwind(|| ccs_risk::integrated(&[(ccs_risk::RiskMeasure::IDEAL, 0.4)])).is_err(),
+        "weights not summing to 1"
+    );
+    assert!(
+        catch_unwind(|| ccs_risk::apriori::forecast(
+            &[ccs_risk::RiskMeasure::IDEAL],
+            &[0.7]
+        ))
+        .is_err(),
+        "probabilities not summing to 1"
+    );
+}

@@ -1,0 +1,222 @@
+//! Cross-crate behavioral checks of the seven policies on a realistic
+//! (mid-sized) workload — the qualitative findings of paper Section 6.
+
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig, RunResult};
+use ccs_workload::{apply_scenario, Job, ScenarioTransform, SdscSp2Model};
+
+fn workload(inaccuracy_pct: f64) -> Vec<Job> {
+    let base = SdscSp2Model { jobs: 600, ..Default::default() }.generate(42);
+    apply_scenario(
+        &base,
+        &ScenarioTransform {
+            inaccuracy_pct,
+            ..Default::default()
+        },
+        42,
+    )
+}
+
+fn run(jobs: &[Job], kind: PolicyKind, econ: EconomicModel) -> RunResult {
+    simulate(jobs, kind, &RunConfig { nodes: 128, econ })
+}
+
+#[test]
+fn libra_family_accepts_at_submission_with_zero_wait() {
+    let jobs = workload(0.0);
+    for kind in [PolicyKind::Libra, PolicyKind::LibraDollar] {
+        let res = run(&jobs, kind, EconomicModel::CommodityMarket);
+        assert_eq!(res.metrics.wait(), 0.0, "{kind}");
+        assert!(res.metrics.accepted > 0, "{kind}");
+    }
+}
+
+#[test]
+fn backfilling_policies_queue_jobs() {
+    let jobs = workload(0.0);
+    for kind in [PolicyKind::FcfsBf, PolicyKind::SjfBf, PolicyKind::EdfBf] {
+        let res = run(&jobs, kind, EconomicModel::CommodityMarket);
+        assert!(
+            res.metrics.wait() > 0.0,
+            "{kind}: queued policies must show wait"
+        );
+    }
+}
+
+#[test]
+fn sjf_waits_less_than_fcfs() {
+    // SJF selects the shortest job first, so queued jobs wait the least
+    // before being examined (paper Section 6.1).
+    let jobs = workload(0.0);
+    let sjf = run(&jobs, PolicyKind::SjfBf, EconomicModel::CommodityMarket);
+    let fcfs = run(&jobs, PolicyKind::FcfsBf, EconomicModel::CommodityMarket);
+    assert!(
+        sjf.metrics.wait() < fcfs.metrics.wait(),
+        "SJF {} vs FCFS {}",
+        sjf.metrics.wait(),
+        fcfs.metrics.wait()
+    );
+}
+
+#[test]
+fn backfilling_reliability_is_ideal_with_accurate_estimates() {
+    // With accurate estimates, the generous admission control only starts
+    // jobs that will meet their deadlines (paper Fig. 3e).
+    let jobs = workload(0.0);
+    for kind in [PolicyKind::FcfsBf, PolicyKind::SjfBf, PolicyKind::EdfBf] {
+        let res = run(&jobs, kind, EconomicModel::CommodityMarket);
+        assert!(
+            res.metrics.reliability_pct() > 99.9,
+            "{kind}: reliability {}",
+            res.metrics.reliability_pct()
+        );
+    }
+}
+
+#[test]
+fn inaccurate_estimates_degrade_libra_reliability() {
+    // The paper's central Set B finding: non-preemptive admission control
+    // that trusts runtime estimates suffers when they are wrong.
+    let accurate = workload(0.0);
+    let trace = workload(100.0);
+    let rel_a = run(&accurate, PolicyKind::Libra, EconomicModel::BidBased)
+        .metrics
+        .reliability_pct();
+    let rel_b = run(&trace, PolicyKind::Libra, EconomicModel::BidBased)
+        .metrics
+        .reliability_pct();
+    assert!(
+        rel_b < rel_a,
+        "reliability should degrade: Set A {rel_a} vs Set B {rel_b}"
+    );
+}
+
+#[test]
+fn libra_dollar_earns_more_per_budget_than_libra() {
+    // Libra+$'s adaptive pricing extracts more utility (paper Fig. 3g/h).
+    let jobs = workload(0.0);
+    let plain = run(&jobs, PolicyKind::Libra, EconomicModel::CommodityMarket);
+    let dollar = run(&jobs, PolicyKind::LibraDollar, EconomicModel::CommodityMarket);
+    assert!(
+        dollar.metrics.profitability_pct() > plain.metrics.profitability_pct(),
+        "Libra+$ {} vs Libra {}",
+        dollar.metrics.profitability_pct(),
+        plain.metrics.profitability_pct()
+    );
+}
+
+#[test]
+fn libra_dollar_accepts_fewer_jobs() {
+    // Higher prices under load discourage submissions (paper Section 6.1).
+    let jobs = workload(0.0);
+    let plain = run(&jobs, PolicyKind::Libra, EconomicModel::CommodityMarket);
+    let dollar = run(&jobs, PolicyKind::LibraDollar, EconomicModel::CommodityMarket);
+    assert!(dollar.metrics.accepted < plain.metrics.accepted);
+}
+
+#[test]
+fn first_reward_is_risk_averse() {
+    // FirstReward accepts far fewer jobs than the deadline-driven policies
+    // under unbounded penalties (paper Section 6.2).
+    let jobs = workload(100.0);
+    let fr = run(&jobs, PolicyKind::FirstReward, EconomicModel::BidBased);
+    let edf = run(&jobs, PolicyKind::EdfBf, EconomicModel::BidBased);
+    assert!(
+        fr.metrics.accepted < edf.metrics.accepted / 2,
+        "FirstReward {} vs EDF {}",
+        fr.metrics.accepted,
+        edf.metrics.accepted
+    );
+}
+
+#[test]
+fn riskd_matches_libra_with_accurate_estimates() {
+    // In Set A the risk filter never triggers: identical decisions.
+    let jobs = workload(0.0);
+    let libra = run(&jobs, PolicyKind::Libra, EconomicModel::BidBased);
+    let riskd = run(&jobs, PolicyKind::LibraRiskD, EconomicModel::BidBased);
+    assert_eq!(libra.metrics.accepted, riskd.metrics.accepted);
+    assert_eq!(libra.metrics.fulfilled, riskd.metrics.fulfilled);
+}
+
+#[test]
+fn riskd_no_worse_than_libra_under_trace_estimates() {
+    // LibraRiskD's purpose: handle inaccurate estimates at least as well as
+    // Libra (paper Section 6.2 / ICPP 2006).
+    let jobs = workload(100.0);
+    let libra = run(&jobs, PolicyKind::Libra, EconomicModel::BidBased);
+    let riskd = run(&jobs, PolicyKind::LibraRiskD, EconomicModel::BidBased);
+    assert!(
+        riskd.metrics.reliability_pct() >= libra.metrics.reliability_pct() - 1.0,
+        "RiskD {} vs Libra {}",
+        riskd.metrics.reliability_pct(),
+        libra.metrics.reliability_pct()
+    );
+}
+
+#[test]
+fn commodity_never_charges_over_budget() {
+    let jobs = workload(100.0);
+    for kind in PolicyKind::COMMODITY {
+        let res = run(&jobs, kind, EconomicModel::CommodityMarket);
+        for (r, j) in res.records.iter().zip(&jobs) {
+            assert!(
+                r.utility <= j.budget + 1e-6,
+                "{kind}: job {} charged {} over budget {}",
+                j.id,
+                r.utility,
+                j.budget
+            );
+        }
+    }
+}
+
+#[test]
+fn bid_based_penalties_can_make_utility_negative() {
+    // Under trace estimates some accepted jobs finish late; their utility
+    // must reflect the linear penalty (possibly negative).
+    let jobs = workload(100.0);
+    let res = run(&jobs, PolicyKind::FcfsBf, EconomicModel::BidBased);
+    let late: Vec<_> = res
+        .records
+        .iter()
+        .filter(|r| r.accepted && !r.fulfilled)
+        .collect();
+    if !late.is_empty() {
+        assert!(
+            late.iter().any(|r| {
+                let j = &jobs[r.id as usize];
+                r.utility < j.budget
+            }),
+            "late jobs must earn less than their bids"
+        );
+    }
+}
+
+#[test]
+fn heavier_load_cannot_increase_fulfilled_fraction() {
+    // Compressing arrivals (lower arrival-delay factor) strictly raises
+    // contention; the SLA percentage must not improve.
+    let base = SdscSp2Model { jobs: 400, ..Default::default() }.generate(11);
+    let slas: Vec<f64> = [0.02, 0.25, 1.0]
+        .iter()
+        .map(|&factor| {
+            let jobs = apply_scenario(
+                &base,
+                &ScenarioTransform {
+                    arrival_delay_factor: factor,
+                    ..Default::default()
+                },
+                11,
+            );
+            run(&jobs, PolicyKind::EdfBf, EconomicModel::CommodityMarket)
+                .metrics
+                .sla_pct()
+        })
+        .collect();
+    // Weak monotonicity (small wiggle from packing effects is tolerated).
+    assert!(slas[0] <= slas[1] + 5.0, "{slas:?}");
+    assert!(slas[1] <= slas[2] + 5.0, "{slas:?}");
+    assert!(slas[0] < slas[2], "extreme load must hurt: {slas:?}");
+}

@@ -1,0 +1,79 @@
+//! Integration of the risk-analysis crate with the experiment harness:
+//! the paper's sample plot, tables, and renderers.
+
+use ccs_experiments::tables;
+use ccs_risk::report::{ascii_plot, extrema_table};
+use ccs_risk::svg::{render, SvgOptions};
+use ccs_risk::{rank, sample_figure1, RankBy};
+
+#[test]
+fn tables_ii_iii_iv_derive_from_the_same_sample() {
+    let plot = sample_figure1();
+    // Table II row count == Table III row count == Table IV row count.
+    let t2_rows = tables::table2().lines().count() - 1;
+    let t3_rows = tables::table3().lines().count() - 1;
+    let t4_rows = tables::table4().lines().count() - 1;
+    assert_eq!(t2_rows, plot.series.len());
+    assert_eq!(t3_rows, plot.series.len());
+    assert_eq!(t4_rows, plot.series.len());
+}
+
+#[test]
+fn paper_rankings_reproduced() {
+    let plot = sample_figure1();
+    let by_perf: Vec<String> = rank(&plot, RankBy::BestPerformance)
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    assert_eq!(by_perf, ["A", "B", "E", "G", "F", "C", "D", "H"]);
+    let by_vol: Vec<String> = rank(&plot, RankBy::BestVolatility)
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    // Paper Table IV.
+    assert_eq!(by_vol, ["A", "E", "B", "F", "G", "C", "D", "H"]);
+}
+
+#[test]
+fn renderers_agree_on_content() {
+    let plot = sample_figure1();
+    let svg = render(&plot, &SvgOptions::default());
+    let ascii = ascii_plot(&plot, 60, 18);
+    let table = extrema_table(&plot);
+    let gnuplot = plot.to_gnuplot();
+    for s in &plot.series {
+        assert!(svg.contains(&s.name), "svg misses {}", s.name);
+        assert!(table.contains(&s.name), "table misses {}", s.name);
+        assert!(gnuplot.contains(&s.name), "gnuplot misses {}", s.name);
+    }
+    assert!(ascii.contains('A') && ascii.contains('H'));
+}
+
+#[test]
+fn svg_axis_range_covers_all_points() {
+    // Points beyond the default x_max (0.5) must still render (auto-extend).
+    let plot = sample_figure1(); // volatilities reach 1.0
+    let svg = render(&plot, &SvgOptions::default());
+    // The axis labels should include a tick at or beyond 1.0.
+    assert!(
+        svg.contains(">0.84<") || svg.contains(">1.05<") || svg.contains(">0.8") || svg.contains(">1.0"),
+        "x axis must extend beyond the default when data demands it"
+    );
+}
+
+#[test]
+fn all_six_tables_render_nonempty() {
+    for (i, t) in [
+        tables::table1(),
+        tables::table2(),
+        tables::table3(),
+        tables::table4(),
+        tables::table5(),
+        tables::table6(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert!(t.lines().count() >= 4, "table {} too small", i + 1);
+    }
+}
