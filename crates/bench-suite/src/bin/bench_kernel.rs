@@ -1,0 +1,98 @@
+//! Writes the machine-readable performance baseline `BENCH_kernel.json`.
+//!
+//! Usage: `cargo run --release -p ccs-bench-suite --bin bench_kernel [out.json]`
+//!
+//! Two throughput numbers are tracked:
+//!
+//! * `des_kernel_schedule_pop` — events/sec through the DES kernel
+//!   (schedule, a cancellation mix, pop in time order);
+//! * `quick_grid` — jobs/sec through the full quick experiment grid
+//!   (12 scenarios × 6 values × 5 policies, commodity market).
+
+use ccs_bench_suite::{measure, BenchReport, SCHEMA_VERSION};
+use ccs_des::{SimRng, SimTime, Simulation};
+use ccs_economy::EconomicModel;
+use ccs_experiments::{run_grid, EstimateSet, ExperimentConfig, Scenario};
+
+const KERNEL_EVENTS: u64 = 200_000;
+const GRID_JOBS: usize = 100;
+
+/// Schedules `n` events at pseudo-random times (cancelling every 16th) and
+/// drains them in time order; returns a checksum of the processed stream.
+fn kernel_round(n: u64) -> u64 {
+    let mut sim: Simulation<u64> = Simulation::new();
+    let mut rng = SimRng::seed_from(0xBEEF);
+    let mut handles = Vec::with_capacity(16);
+    for i in 0..n {
+        let h = sim.schedule_at(SimTime::new(rng.uniform(0.0, 1e6)), i);
+        if i % 16 == 0 {
+            handles.push(h);
+        }
+    }
+    for h in handles {
+        sim.cancel(h);
+    }
+    let mut checksum = 0u64;
+    while let Some((t, ev)) = sim.next() {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(ev)
+            .wrapping_add(t.as_secs().to_bits());
+    }
+    checksum
+}
+
+/// Runs the quick commodity grid; returns a checksum over the raw
+/// objective values so the work cannot be optimised away.
+fn grid_round(jobs: usize) -> u64 {
+    let cfg = ExperimentConfig::quick().with_jobs(jobs);
+    let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+    let mut checksum = 0u64;
+    for s in &g.raw {
+        for v in s {
+            for p in v {
+                for x in p {
+                    checksum = checksum
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add(x.to_bits());
+                }
+            }
+        }
+    }
+    checksum
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+
+    eprintln!("benchmarking DES kernel ({KERNEL_EVENTS} events/iter)...");
+    let kernel = measure("des_kernel_schedule_pop", KERNEL_EVENTS, 1.0, || {
+        kernel_round(KERNEL_EVENTS)
+    });
+    eprintln!(
+        "  {:.2}M events/sec ({} iters)",
+        kernel.units_per_sec / 1e6,
+        kernel.iters
+    );
+
+    let grid_points = Scenario::ALL.len() * 6;
+    let grid_units = (GRID_JOBS * grid_points * 5) as u64; // 5 commodity policies
+    eprintln!("benchmarking quick grid ({GRID_JOBS} jobs x {grid_points} points x 5 policies)...");
+    let grid = measure("quick_grid", grid_units, 1.0, || grid_round(GRID_JOBS));
+    eprintln!(
+        "  {:.1}k jobs/sec ({} iters)",
+        grid.units_per_sec / 1e3,
+        grid.iters
+    );
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        telemetry_enabled: ccs_telemetry::ENABLED,
+        measurements: vec![kernel, grid],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, json + "\n").expect("write baseline");
+    eprintln!("wrote {out}");
+}

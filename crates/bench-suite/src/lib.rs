@@ -1,1 +1,115 @@
-//! Placeholder lib for the bench-suite crate; benches live in `benches/`.
+//! A small, dependency-free benchmark harness.
+//!
+//! The former criterion-based benches could not build in the offline
+//! environment; this harness covers the two numbers the project actually
+//! tracks — DES-kernel event throughput and quick-grid job throughput —
+//! and emits them machine-readably so CI (or a reviewer) can diff
+//! `BENCH_kernel.json` across commits.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `"des_kernel_schedule_pop"`.
+    pub name: String,
+    /// Work units processed per iteration (events, jobs, …).
+    pub units_per_iter: u64,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Total wall-clock seconds across timed iterations.
+    pub total_secs: f64,
+    /// Mean seconds per iteration.
+    pub secs_per_iter: f64,
+    /// Work units per second (`units_per_iter / secs_per_iter`).
+    pub units_per_sec: f64,
+}
+
+/// The serialised baseline file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema marker for forward compatibility.
+    pub schema_version: u32,
+    /// Whether the binary was built with `--features telemetry`.
+    pub telemetry_enabled: bool,
+    /// The measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Current `BenchReport::schema_version`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Times `f` (which processes `units` work units per call): a warm-up
+/// call, then enough iterations to fill roughly `min_secs` of wall time.
+///
+/// `f` should return a value derived from its work so the optimiser
+/// cannot delete the computation; the value is folded into a checksum.
+pub fn measure<R: std::hash::Hash>(
+    name: &str,
+    units: u64,
+    min_secs: f64,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut sink = DefaultHasher::new();
+
+    // Warm-up and per-iteration estimate.
+    let t0 = Instant::now();
+    f().hash(&mut sink);
+    let est = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let iters = ((min_secs / est).ceil() as u64).clamp(1, 1_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f().hash(&mut sink);
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    // Keep the checksum alive without polluting the report.
+    std::hint::black_box(sink.finish());
+
+    let secs_per_iter = total_secs / iters as f64;
+    Measurement {
+        name: name.to_string(),
+        units_per_iter: units,
+        iters,
+        total_secs,
+        secs_per_iter,
+        units_per_sec: units as f64 / secs_per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations_and_throughput() {
+        let m = measure("spin", 1000, 0.01, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(m.iters >= 1);
+        assert!(m.total_secs > 0.0);
+        assert!(m.units_per_sec > 0.0);
+        assert_eq!(m.units_per_iter, 1000);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            telemetry_enabled: false,
+            measurements: vec![measure("tiny", 1, 0.001, || 42u64)],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.measurements.len(), 1);
+        assert_eq!(back.measurements[0].name, "tiny");
+    }
+}

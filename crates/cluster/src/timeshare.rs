@@ -245,9 +245,7 @@ impl PsCluster {
             self.now
         );
         self.now = self.now.max(now);
-        let prev = self
-            .open_tasks
-            .insert(job.id, node_ids.len() as u32);
+        let prev = self.open_tasks.insert(job.id, node_ids.len() as u32);
         assert!(prev.is_none(), "job {} submitted twice", job.id);
         for &nid in node_ids {
             let static_w = self.required_share(nid, job.estimate, job.deadline);
@@ -332,7 +330,10 @@ impl PsCluster {
             *open -= 1;
             if *open == 0 {
                 self.open_tasks.remove(&job_id);
-                self.completions.push(JobCompletion { job_id, finish: now });
+                self.completions.push(JobCompletion {
+                    job_id,
+                    finish: now,
+                });
             }
         }
     }
@@ -400,7 +401,11 @@ mod tests {
         c.submit(&j, &[0], 0.0);
         let done = c.drain();
         assert_eq!(done.len(), 1);
-        assert!((done[0].finish - 100.0).abs() < 1e-6, "finish {}", done[0].finish);
+        assert!(
+            (done[0].finish - 100.0).abs() < 1e-6,
+            "finish {}",
+            done[0].finish
+        );
     }
 
     #[test]
@@ -415,10 +420,18 @@ mod tests {
         let done = c.drain();
         assert_eq!(done.len(), 2);
         // a: rate 0.5 -> finishes at 200.
-        assert!((done[0].finish - 200.0).abs() < 1e-6, "a at {}", done[0].finish);
+        assert!(
+            (done[0].finish - 200.0).abs() < 1e-6,
+            "a at {}",
+            done[0].finish
+        );
         // b: 100 work done by t=200 (rate .5), remaining 200 at rate 1 -> 400.
         assert_eq!(done[1].job_id, 1);
-        assert!((done[1].finish - 400.0).abs() < 1e-6, "b at {}", done[1].finish);
+        assert!(
+            (done[1].finish - 400.0).abs() < 1e-6,
+            "b at {}",
+            done[1].finish
+        );
     }
 
     #[test]
@@ -518,14 +531,24 @@ mod tests {
         assert!(c.node_at_risk(0, 50.0), "task ran past its estimate");
         let done = c.drain();
         assert_eq!(done.len(), 1);
-        assert!(!c.node_at_risk(0, done[0].finish + 1.0), "risk clears on completion");
+        assert!(
+            !c.node_at_risk(0, done[0].finish + 1.0),
+            "risk clears on completion"
+        );
     }
 
     #[test]
     fn completions_report_in_time_order() {
         let mut c = PsCluster::new(4, WeightMode::Static);
         for i in 0..4 {
-            let j = job(i, 0.0, 100.0 * (i + 1) as f64, 100.0 * (i + 1) as f64, 1e6, 1);
+            let j = job(
+                i,
+                0.0,
+                100.0 * (i + 1) as f64,
+                100.0 * (i + 1) as f64,
+                1e6,
+                1,
+            );
             c.submit(&j, &[i as usize], 0.0);
         }
         let done = c.drain();
@@ -564,7 +587,11 @@ mod tests {
         let done = c.drain();
         let f = |id: JobId| done.iter().find(|d| d.job_id == id).unwrap().finish;
         assert!((f(0) - 100.0).abs() < 1e-6, "reference node: {}", f(0));
-        assert!((f(1) - 50.0).abs() < 1e-6, "2x node halves the runtime: {}", f(1));
+        assert!(
+            (f(1) - 50.0).abs() < 1e-6,
+            "2x node halves the runtime: {}",
+            f(1)
+        );
     }
 
     #[test]
@@ -585,7 +612,11 @@ mod tests {
         c.submit(&b, &[0], 0.0);
         let done = c.drain();
         for d in &done {
-            assert!((d.finish - 100.0).abs() < 1e-6, "each at half of 2x = 1x: {}", d.finish);
+            assert!(
+                (d.finish - 100.0).abs() < 1e-6,
+                "each at half of 2x = 1x: {}",
+                d.finish
+            );
         }
     }
 

@@ -22,11 +22,11 @@ fn job(id: u32, submit: f64, runtime: f64, estimate: f64, deadline: f64, procs: 
 fn jobs_strategy(nodes: u32) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            0.0f64..1000.0,           // submit offset
-            10.0f64..500.0,           // runtime
-            0.2f64..4.0,              // estimate factor
-            1.5f64..20.0,             // deadline factor
-            1u32..=8,                 // procs
+            0.0f64..1000.0, // submit offset
+            10.0f64..500.0, // runtime
+            0.2f64..4.0,    // estimate factor
+            1.5f64..20.0,   // deadline factor
+            1u32..=8,       // procs
         ),
         1..30,
     )

@@ -99,7 +99,14 @@ impl<T> CalendarQueue<T> {
         let pos = bucket
             .binary_search_by(|e| e.time.total_cmp(&t).then(e.seq.cmp(&seq)))
             .unwrap_err();
-        bucket.insert(pos, Entry { time: t, seq, payload });
+        bucket.insert(
+            pos,
+            Entry {
+                time: t,
+                seq,
+                payload,
+            },
+        );
         self.len += 1;
         if self.len > 2 * self.buckets.len() {
             self.resize(self.buckets.len() * 2);
@@ -173,11 +180,7 @@ impl<T> CalendarQueue<T> {
         };
         let mut replacement = CalendarQueue::with_shape(new_days, width, self.last_time);
         replacement.next_seq = self.next_seq;
-        let mut entries: Vec<Entry<T>> = self
-            .buckets
-            .drain(..)
-            .flatten()
-            .collect();
+        let mut entries: Vec<Entry<T>> = self.buckets.drain(..).flatten().collect();
         // Preserve (time, seq) order exactly.
         entries.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
         for e in entries {

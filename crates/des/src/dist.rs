@@ -157,7 +157,10 @@ pub struct Gamma {
 impl Gamma {
     /// Creates a gamma distribution; panics on non-positive parameters.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "Gamma parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "Gamma parameters must be positive"
+        );
         Gamma { shape, scale }
     }
 

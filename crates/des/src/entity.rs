@@ -245,9 +245,18 @@ mod tests {
     #[test]
     fn pipeline_of_relays() {
         let mut w: World<&'static str, Relay> = World::new();
-        let c = w.add(Relay { next: None, received_at: None });
-        let b = w.add(Relay { next: Some(c), received_at: None });
-        let a = w.add(Relay { next: Some(b), received_at: None });
+        let c = w.add(Relay {
+            next: None,
+            received_at: None,
+        });
+        let b = w.add(Relay {
+            next: Some(c),
+            received_at: None,
+        });
+        let a = w.add(Relay {
+            next: Some(b),
+            received_at: None,
+        });
         w.post(a, a, 0.0, "token");
         w.run();
         assert_eq!(w.now(), 10.0, "two 5 s hops");

@@ -42,8 +42,8 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
-pub use entity::{Entity, EntityId, Outbox, World};
 pub use dist::{Distribution, Exponential, LogNormal, Normal, TruncatedNormal, Uniform};
+pub use entity::{Entity, EntityId, Outbox, World};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sim::Simulation;

@@ -10,6 +10,37 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+/// Per-queue instrumentation counters.
+///
+/// Plain (non-atomic) integers bumped inline on the hot path and flushed
+/// to the global [`ccs_telemetry`] registry once, when the queue drops —
+/// so even with the `telemetry` feature enabled the kernel's inner loop
+/// performs no atomic operations. Without the feature this struct is not
+/// compiled at all.
+#[cfg(feature = "telemetry")]
+#[derive(Default)]
+struct QueueStats {
+    scheduled: u64,
+    cancelled: u64,
+    popped: u64,
+    /// Cancelled entries skipped during `pop`/`peek_time` — a proxy for
+    /// wasted heap sift work caused by lazy cancellation.
+    tombstone_skips: u64,
+    depth_hwm: u64,
+}
+
+#[cfg(feature = "telemetry")]
+impl QueueStats {
+    fn flush(&self) {
+        let t = ccs_telemetry::global();
+        t.counter("des.events_scheduled").add(self.scheduled);
+        t.counter("des.events_cancelled").add(self.cancelled);
+        t.counter("des.events_processed").add(self.popped);
+        t.counter("des.tombstone_skips").add(self.tombstone_skips);
+        t.gauge("des.queue_depth_hwm").observe(self.depth_hwm);
+    }
+}
+
 /// Handle to a scheduled event, usable to cancel it later.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
@@ -60,6 +91,15 @@ pub struct EventQueue<T> {
     /// cancelled. Entries in `heap` whose seq is absent here are tombstones.
     pending: HashSet<u64>,
     next_seq: u64,
+    #[cfg(feature = "telemetry")]
+    stats: QueueStats,
+}
+
+#[cfg(feature = "telemetry")]
+impl<T> Drop for EventQueue<T> {
+    fn drop(&mut self) {
+        self.stats.flush();
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -75,6 +115,8 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             pending: HashSet::new(),
             next_seq: 0,
+            #[cfg(feature = "telemetry")]
+            stats: QueueStats::default(),
         }
     }
 
@@ -85,6 +127,11 @@ impl<T> EventQueue<T> {
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
         self.pending.insert(seq);
+        #[cfg(feature = "telemetry")]
+        {
+            self.stats.scheduled += 1;
+            self.stats.depth_hwm = self.stats.depth_hwm.max(self.pending.len() as u64);
+        }
         EventHandle(seq)
     }
 
@@ -92,16 +139,29 @@ impl<T> EventQueue<T> {
     /// pending (it will never be popped), `false` if it already fired or was
     /// already cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.pending.remove(&handle.0)
+        let was_pending = self.pending.remove(&handle.0);
+        #[cfg(feature = "telemetry")]
+        if was_pending {
+            self.stats.cancelled += 1;
+        }
+        was_pending
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         while let Some(entry) = self.heap.pop() {
             if self.pending.remove(&entry.seq) {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.stats.popped += 1;
+                }
                 return Some((entry.time, entry.payload));
             }
             // else: tombstone of a cancelled event — skip it.
+            #[cfg(feature = "telemetry")]
+            {
+                self.stats.tombstone_skips += 1;
+            }
         }
         None
     }
@@ -114,6 +174,10 @@ impl<T> EventQueue<T> {
                 return Some(entry.time);
             }
             self.heap.pop();
+            #[cfg(feature = "telemetry")]
+            {
+                self.stats.tombstone_skips += 1;
+            }
         }
         None
     }

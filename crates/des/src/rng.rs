@@ -5,17 +5,58 @@
 //! are derived with [`SimRng::fork`] so that changing how one component
 //! consumes randomness does not perturb any other component (a classic
 //! pitfall in simulation studies).
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna) seeded
+//! through a SplitMix64 expander — no external crates, bit-identical on
+//! every platform.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 finalizer — used to decorrelate fork labels from parent seeds.
+/// SplitMix64 finalizer — used to expand seeds and decorrelate fork labels
+/// from parent seeds.
 #[inline]
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// xoshiro256++ core state.
+#[derive(Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed into the 256-bit state with a SplitMix64
+    /// stream (the seeding procedure the xoshiro authors recommend).
+    fn from_seed(seed: u64) -> Xoshiro256 {
+        let mut acc = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            acc = acc.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(acc);
+        }
+        // All-zero state is a fixed point; seed stream cannot produce it
+        // from splitmix64 outputs of distinct inputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x853C_49E6_748F_EA9B;
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
 }
 
 /// A deterministic random stream.
@@ -31,7 +72,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// assert_ne!(fork1.next_u64(), fork2.next_u64()); // decorrelated substreams
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256,
     seed: u64,
 }
 
@@ -39,7 +80,7 @@ impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256::from_seed(splitmix64(seed)),
             seed,
         }
     }
@@ -65,6 +106,12 @@ impl SimRng {
         self.inner.next_u64()
     }
 
+    /// Next raw 32-bit value (the high half of the 64-bit output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn uniform01(&mut self) -> f64 {
@@ -82,7 +129,12 @@ impl SimRng {
     /// Uniform integer in `[lo, hi)`.
     #[inline]
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.inner.gen_range(lo..hi)
+        debug_assert!(lo < hi, "range_usize requires lo < hi");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling (Lemire): unbiased enough for
+        // simulation use and branch-free.
+        let x = self.inner.next_u64();
+        lo + (((x as u128 * span as u128) >> 64) as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -103,21 +155,6 @@ impl SimRng {
             let j = self.range_usize(0, i + 1);
             items.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -174,6 +211,20 @@ mod tests {
     }
 
     #[test]
+    fn range_usize_covers_bounds() {
+        let mut rng = SimRng::seed_from(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.range_usize(10, 14);
+            assert!((10..14).contains(&v));
+            seen_lo |= v == 10;
+            seen_hi |= v == 13;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints should appear");
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         let mut rng = SimRng::seed_from(5);
         let mut v: Vec<u32> = (0..50).collect();
@@ -181,7 +232,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left identity (astronomically unlikely)");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left identity (astronomically unlikely)"
+        );
     }
 
     #[test]

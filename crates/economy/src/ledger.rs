@@ -175,7 +175,14 @@ mod tests {
     #[test]
     fn commodity_billing_uses_the_fixed_charge() {
         let mut l = Ledger::new();
-        l.complete(EconomicModel::CommodityMarket, 0, 500.0, Some(320.0), 0.0, 9.0);
+        l.complete(
+            EconomicModel::CommodityMarket,
+            0,
+            500.0,
+            Some(320.0),
+            0.0,
+            9.0,
+        );
         assert_eq!(l.invoices()[0].amount, 320.0);
         assert_eq!(l.invoices()[0].disposition, Disposition::Fulfilled);
     }

@@ -28,5 +28,7 @@ pub mod schedule;
 pub use ledger::{Disposition, Invoice, Ledger, Statement};
 pub use model::EconomicModel;
 pub use penalty::bid_utility;
+pub use pricing::{
+    base_cost, libra_cost, libra_dollar_cost, libra_dollar_rate, LibraDollarParams, LibraParams,
+};
 pub use schedule::PriceSchedule;
-pub use pricing::{base_cost, libra_cost, libra_dollar_cost, libra_dollar_rate, LibraDollarParams, LibraParams};

@@ -25,8 +25,7 @@ impl EconomicModel {
     }
 
     /// Both models, in paper order.
-    pub const ALL: [EconomicModel; 2] =
-        [EconomicModel::CommodityMarket, EconomicModel::BidBased];
+    pub const ALL: [EconomicModel; 2] = [EconomicModel::CommodityMarket, EconomicModel::BidBased];
 }
 
 impl std::fmt::Display for EconomicModel {

@@ -128,7 +128,10 @@ mod tests {
         let p = tou();
         // One hour straddling the 9:00 boundary: 30 min at 0.5 + 30 min at 2.
         let cost = p.cost(8.5 * HOUR, HOUR, 1);
-        assert!((cost - (1800.0 * 0.5 + 1800.0 * 2.0)).abs() < 1e-6, "{cost}");
+        assert!(
+            (cost - (1800.0 * 0.5 + 1800.0 * 2.0)).abs() < 1e-6,
+            "{cost}"
+        );
     }
 
     #[test]

@@ -19,13 +19,13 @@
 //!   reproduces that sensitivity across workload levels.
 
 use crate::scenario::{baseline, EstimateSet};
+use ccs_cluster::WeightMode;
 use ccs_economy::{EconomicModel, LibraDollarParams};
+use ccs_policies::NodeSelection;
 use ccs_policies::{
     backfill::BackfillOptions, BackfillPolicy, ConservativeBf, FirstRewardParams,
     FirstRewardPolicy, LibraPolicy, LibraVariant, Policy, PriorityOrder,
 };
-use ccs_cluster::WeightMode;
-use ccs_policies::NodeSelection;
 use ccs_simsvc::{simulate_with, RunConfig, RunMetrics};
 use ccs_workload::{apply_scenario, BaseJob, Job, ScenarioTransform};
 use serde::{Deserialize, Serialize};
@@ -170,13 +170,8 @@ pub fn escalation_ablation(base: &[BaseJob], seed: u64, nodes: u32) -> Ablation 
     let mut rows = Vec::new();
     for (label, escalation) in [("escalation on", true), ("escalation off", false)] {
         for variant in [LibraVariant::Plain, LibraVariant::RiskD] {
-            let policy = LibraPolicy::with_engine(
-                variant,
-                cfg.econ,
-                nodes,
-                WeightMode::Dynamic,
-                escalation,
-            );
+            let policy =
+                LibraPolicy::with_engine(variant, cfg.econ, nodes, WeightMode::Dynamic, escalation);
             let name = policy.name();
             let res = simulate_with(&jobs, Box::new(policy), &cfg);
             rows.push(AblationRow {
@@ -309,9 +304,8 @@ pub fn car_comparison(base: &[BaseJob], seed: u64, nodes: u32) -> String {
         econ: EconomicModel::BidBased,
     };
     let jobs = jobs_for(base, &baseline(EstimateSet::B), seed);
-    let mut s = String::from(
-        "=== Computation-at-Risk (Kleban & Clearwater) on bid-based Set B runs ===\n",
-    );
+    let mut s =
+        String::from("=== Computation-at-Risk (Kleban & Clearwater) on bid-based Set B runs ===\n");
     for kind in ccs_policies::PolicyKind::BID_BASED {
         let res = ccs_simsvc::simulate(&jobs, kind, &cfg);
         let rt = response_times(&jobs, &res.records);
@@ -320,7 +314,12 @@ pub fn car_comparison(base: &[BaseJob], seed: u64, nodes: u32) -> String {
             let _ = writeln!(s, "{:<12} no completed jobs", kind.name());
             continue;
         }
-        let _ = writeln!(s, "{:<12} {}", kind.name(), car_analyze(CarMetric::Makespan, &rt));
+        let _ = writeln!(
+            s,
+            "{:<12} {}",
+            kind.name(),
+            car_analyze(CarMetric::Makespan, &rt)
+        );
         let _ = writeln!(s, "{:<12} {}", "", car_analyze(CarMetric::Slowdown, &sd));
     }
     s
@@ -340,8 +339,8 @@ pub fn placement_ablation(base: &[BaseJob], seed: u64, nodes: u32) -> Ablation {
         ("best fit", NodeSelection::BestFit),
         ("worst fit", NodeSelection::WorstFit),
     ] {
-        let policy = LibraPolicy::new(LibraVariant::Plain, cfg.econ, nodes)
-            .with_selection(selection);
+        let policy =
+            LibraPolicy::new(LibraVariant::Plain, cfg.econ, nodes).with_selection(selection);
         rows.push(AblationRow {
             label: format!("Libra ({label}, homogeneous)"),
             metrics: simulate_with(&jobs, Box::new(policy), &cfg).metrics,
@@ -392,8 +391,8 @@ pub fn pricing_schedule_ablation(base: &[BaseJob], seed: u64, nodes: u32) -> Abl
             },
         ),
     ] {
-        let policy = BackfillPolicy::new(PriorityOrder::Sjf, cfg.econ, nodes)
-            .with_schedule(schedule);
+        let policy =
+            BackfillPolicy::new(PriorityOrder::Sjf, cfg.econ, nodes).with_schedule(schedule);
         let res = simulate_with(&jobs, Box::new(policy), &cfg);
         rows.push(AblationRow {
             label: format!("SJF-BF ({label})"),
@@ -430,7 +429,11 @@ mod tests {
     use ccs_workload::SdscSp2Model;
 
     fn base() -> Vec<BaseJob> {
-        SdscSp2Model { jobs: 250, ..Default::default() }.generate(42)
+        SdscSp2Model {
+            jobs: 250,
+            ..Default::default()
+        }
+        .generate(42)
     }
 
     #[test]

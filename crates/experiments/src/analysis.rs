@@ -31,7 +31,10 @@ pub struct GridAnalysis {
 /// Index of an objective in the `[wait, SLA, reliability, profitability]`
 /// arrays used throughout.
 pub fn obj_index(o: Objective) -> usize {
-    Objective::ALL.iter().position(|x| *x == o).expect("objective in ALL")
+    Objective::ALL
+        .iter()
+        .position(|x| *x == o)
+        .expect("objective in ALL")
 }
 
 /// Runs the separate risk analysis over a raw grid with the default wait
@@ -52,9 +55,11 @@ pub fn analyze_with(grid: &RawGrid, scheme: WaitNormalization) -> GridAnalysis {
         #[allow(clippy::needless_range_loop)] // v indexes two structures
         for v in 0..6 {
             for (oi, obj) in Objective::ALL.into_iter().enumerate() {
-                let raw_across: Vec<f64> =
-                    (0..n_pol).map(|p| grid.raw[s][v][p][oi]).collect();
-                for (p, x) in normalize_with(obj, &raw_across, scheme).into_iter().enumerate() {
+                let raw_across: Vec<f64> = (0..n_pol).map(|p| grid.raw[s][v][p][oi]).collect();
+                for (p, x) in normalize_with(obj, &raw_across, scheme)
+                    .into_iter()
+                    .enumerate()
+                {
                     norm[p][oi][v] = x;
                 }
             }
@@ -111,8 +116,7 @@ impl GridAnalysis {
                     .separate
                     .iter()
                     .map(|row| {
-                        let parts: Vec<RiskMeasure> =
-                            idx.iter().map(|&oi| row[p][oi]).collect();
+                        let parts: Vec<RiskMeasure> = idx.iter().map(|&oi| row[p][oi]).collect();
                         integrated_equal(&parts)
                     })
                     .collect();
@@ -132,7 +136,10 @@ impl GridAnalysis {
             .position(|n| n == policy)
             .unwrap_or_else(|| panic!("unknown policy {policy}"));
         let oi = obj_index(obj);
-        self.separate.iter().map(|row| row[p][oi].performance).sum::<f64>()
+        self.separate
+            .iter()
+            .map(|row| row[p][oi].performance)
+            .sum::<f64>()
             / self.separate.len() as f64
     }
 }
@@ -144,7 +151,11 @@ mod tests {
 
     fn quick_analysis() -> GridAnalysis {
         let cfg = ExperimentConfig::quick().with_jobs(60);
-        analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg))
+        analyze(&run_grid(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+        ))
     }
 
     #[test]
@@ -178,7 +189,10 @@ mod tests {
         for (p, _) in a.policy_names.iter().enumerate() {
             for (s, row) in a.separate.iter().enumerate() {
                 let perf = all4.series[p].points[s].performance;
-                let lo = row[p].iter().map(|m| m.performance).fold(f64::INFINITY, f64::min);
+                let lo = row[p]
+                    .iter()
+                    .map(|m| m.performance)
+                    .fold(f64::INFINITY, f64::min);
                 let hi = row[p]
                     .iter()
                     .map(|m| m.performance)

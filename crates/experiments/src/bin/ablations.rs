@@ -9,5 +9,8 @@ fn main() {
     for ablation in run_all_ablations(&base, cfg.seed, cfg.nodes) {
         println!("{}", ablation.render());
     }
-    println!("{}", ccs_experiments::ablation::car_comparison(&base, cfg.seed, cfg.nodes));
+    println!(
+        "{}",
+        ccs_experiments::ablation::car_comparison(&base, cfg.seed, cfg.nodes)
+    );
 }

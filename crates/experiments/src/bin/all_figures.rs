@@ -11,7 +11,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
-    let (cfg, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (cfg, out, telemetry) =
+        ccs_experiments::parse_cli_ext(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("{}", tables::all_tables());
 
     let t0 = Instant::now();
@@ -50,8 +51,21 @@ fn main() {
     }
     std::fs::create_dir_all(&out).expect("mkdir");
     std::fs::write(out.join("fig2.dat"), dat).expect("write fig2.dat");
-    std::fs::write(out.join("fig2.svg"), ccs_experiments::figures::figure2_svg())
-        .expect("write fig2.svg");
+    std::fs::write(
+        out.join("fig2.svg"),
+        ccs_experiments::figures::figure2_svg(),
+    )
+    .expect("write fig2.svg");
 
+    eprint!(
+        "{}",
+        ccs_experiments::telemetry_report::slowest_cells_summary(&ev.raw_grids, 5)
+    );
+    if let Some(path) = telemetry {
+        ccs_experiments::TelemetryReport::collect(&ev.raw_grids)
+            .write(&path)
+            .expect("write telemetry report");
+        eprintln!("telemetry report written to {}", path.display());
+    }
     eprintln!("artifacts under {}", out.display());
 }

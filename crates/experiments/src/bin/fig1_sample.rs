@@ -10,8 +10,14 @@ fn main() {
     print!("{}", print_figure(&fig));
     println!();
     println!("=== Table II ===\n{}", tables::table2());
-    println!("=== Table III (ranking by best performance) ===\n{}", tables::table3());
-    println!("=== Table IV (ranking by best volatility) ===\n{}", tables::table4());
+    println!(
+        "=== Table III (ranking by best performance) ===\n{}",
+        tables::table3()
+    );
+    println!(
+        "=== Table IV (ranking by best volatility) ===\n{}",
+        tables::table4()
+    );
     let files = write_figure(&out, &fig).expect("write figure artifacts");
     eprintln!("wrote {} files under {}", files.len(), out.display());
 }

@@ -5,8 +5,8 @@
 //!
 //! Usage: `seed_robustness [--quick|--jobs N]` (always uses seeds 1..=5).
 
-use ccs_experiments::{replicate, EstimateSet};
 use ccs_economy::EconomicModel;
+use ccs_experiments::{replicate, EstimateSet};
 
 fn main() {
     let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());

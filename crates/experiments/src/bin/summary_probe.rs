@@ -20,7 +20,9 @@ fn main() {
     ] {
         println!("\n== {label} ==");
         print!("{:<12}", "policy");
-        for o in Objective::ALL { print!(" {:>8}", o.abbrev()); }
+        for o in Objective::ALL {
+            print!(" {:>8}", o.abbrev());
+        }
         println!(" {:>8}", "ALL4");
         for name in g.policy_names.clone() {
             print!("{:<12}", name);

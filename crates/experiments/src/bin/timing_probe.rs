@@ -12,10 +12,17 @@ fn main() {
         for kind in grid::policies_for(econ) {
             let t0 = std::time::Instant::now();
             let r = ccs_simsvc::simulate(&jobs, kind, &ccs_simsvc::RunConfig { nodes: 128, econ });
-            println!("{:>18} {:<12} {:>7.1?}  sla={:5.1}% rel={:5.1}% prof={:5.1}% wait={:8.0}s acc={}",
-                format!("{econ}"), kind.name(), t0.elapsed(),
-                r.metrics.sla_pct(), r.metrics.reliability_pct(), r.metrics.profitability_pct(),
-                r.metrics.wait(), r.metrics.accepted);
+            println!(
+                "{:>18} {:<12} {:>7.1?}  sla={:5.1}% rel={:5.1}% prof={:5.1}% wait={:8.0}s acc={}",
+                format!("{econ}"),
+                kind.name(),
+                t0.elapsed(),
+                r.metrics.sla_pct(),
+                r.metrics.reliability_pct(),
+                r.metrics.profitability_pct(),
+                r.metrics.wait(),
+                r.metrics.accepted
+            );
         }
     }
 }

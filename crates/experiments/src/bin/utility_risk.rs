@@ -14,18 +14,19 @@
 //! Every subcommand accepts the shared flags `--quick`, `--jobs N`,
 //! `--seed S`, `--threads T`, `--out DIR`.
 
+use ccs_economy::EconomicModel;
 use ccs_experiments::figures::{print_figure, write_figure};
 use ccs_experiments::{
-    build_figure, parse_cli, replicate, run_all_ablations, run_evaluation, tables, EstimateSet,
+    build_figure, parse_cli_ext, replicate, run_all_ablations, run_evaluation, tables,
+    telemetry_report, EstimateSet, RawGrid, TelemetryReport,
 };
-use ccs_economy::EconomicModel;
 use ccs_risk::Objective;
 use ccs_workload::{apply_scenario, WorkloadSummary};
 
 fn usage() -> ! {
     eprintln!(
         "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload> \
-         [--quick] [--jobs N] [--seed S] [--threads T] [--out DIR]"
+         [--quick] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]"
     );
     std::process::exit(2);
 }
@@ -45,7 +46,10 @@ fn main() {
     } else {
         None
     };
-    let (cfg, out) = parse_cli(&args);
+    let (cfg, out, telemetry) = parse_cli_ext(&args);
+    // Grids retained by the subcommand (if any) for the end-of-run timing
+    // summary and the optional --telemetry artifact.
+    let mut raw_grids: Vec<RawGrid> = Vec::new();
 
     match cmd.as_str() {
         "tables" => print!("{}", tables::all_tables()),
@@ -73,6 +77,7 @@ fn main() {
                 .write(&out.join("evaluation.json"))
                 .expect("write evaluation.json");
             eprintln!("artifacts under {}", out.display());
+            raw_grids = ev.raw_grids;
         }
         "ablations" => {
             let base = cfg.trace.generate(cfg.seed);
@@ -93,11 +98,7 @@ fn main() {
                 }
             }
             for econ in EconomicModel::ALL {
-                let s = ccs_experiments::across_trace_models(
-                    econ,
-                    EstimateSet::B,
-                    &cfg,
-                );
+                let s = ccs_experiments::across_trace_models(econ, EstimateSet::B, &cfg);
                 println!("{}", s.render());
             }
             // Sensitivity of the integrated ordering to the wait
@@ -107,10 +108,8 @@ fn main() {
                 for (scheme, scores) in
                     ccs_experiments::wait_normalization_study(econ, EstimateSet::B, &cfg)
                 {
-                    let row: Vec<String> = scores
-                        .iter()
-                        .map(|(p, v)| format!("{p}={v:.3}"))
-                        .collect();
+                    let row: Vec<String> =
+                        scores.iter().map(|(p, v)| format!("{p}={v:.3}")).collect();
                     println!("{:<34} {}", scheme, row.join("  "));
                 }
                 println!();
@@ -133,25 +132,36 @@ fn main() {
                     println!();
                 }
             }
+            raw_grids = ev.raw_grids;
         }
         "dominance" => {
             let ev = run_evaluation(&cfg);
             for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {
                 let plot = g.integrated_plot(&Objective::ALL);
-                println!("\n== {} / {} (integrated, all four objectives) ==", g.econ, g.set);
+                println!(
+                    "\n== {} / {} (integrated, all four objectives) ==",
+                    g.econ, g.set
+                );
                 println!("{}", ccs_risk::report::dominance_table(&plot));
             }
+            raw_grids = ev.raw_grids;
         }
         "workload" => {
             let base = cfg.trace.generate(cfg.seed);
-            let jobs = apply_scenario(
-                &base,
-                &ccs_experiments::baseline(EstimateSet::B),
-                cfg.seed,
-            );
+            let jobs = apply_scenario(&base, &ccs_experiments::baseline(EstimateSet::B), cfg.seed);
             println!("{}\n", WorkloadSummary::compute(&jobs, cfg.nodes));
             println!("{}", ccs_workload::TraceHistograms::of(&base).render(48));
         }
         _ => usage(),
+    }
+
+    if !raw_grids.is_empty() {
+        eprint!("{}", telemetry_report::slowest_cells_summary(&raw_grids, 5));
+    }
+    if let Some(path) = telemetry {
+        TelemetryReport::collect(&raw_grids)
+            .write(&path)
+            .expect("write telemetry report");
+        eprintln!("telemetry report written to {}", path.display());
     }
 }

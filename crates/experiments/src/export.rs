@@ -36,7 +36,10 @@ impl EvaluationExport {
         EvaluationExport {
             schema: SCHEMA_VERSION,
             scenarios: Scenario::ALL.iter().map(|s| s.label()).collect(),
-            objectives: Objective::ALL.iter().map(|o| o.abbrev().to_string()).collect(),
+            objectives: Objective::ALL
+                .iter()
+                .map(|o| o.abbrev().to_string())
+                .collect(),
             grids: vec![
                 ev.commodity_a.clone(),
                 ev.commodity_b.clone(),
@@ -87,7 +90,10 @@ mod tests {
         let back = EvaluationExport::from_json(&ex.to_json()).unwrap();
         assert_eq!(back.schema, SCHEMA_VERSION);
         assert_eq!(back.scenarios.len(), 12);
-        assert_eq!(back.objectives, vec!["wait", "SLA", "reliability", "profitability"]);
+        assert_eq!(
+            back.objectives,
+            vec!["wait", "SLA", "reliability", "profitability"]
+        );
         assert_eq!(back.grids.len(), 4);
         for (a, b) in ex.grids.iter().zip(&back.grids) {
             assert_eq!(a.policy_names, b.policy_names);

@@ -189,8 +189,16 @@ mod tests {
     fn quick_pair() -> (GridAnalysis, GridAnalysis) {
         let cfg = ExperimentConfig::quick().with_jobs(50);
         (
-            analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg)),
-            analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::B, &cfg)),
+            analyze(&run_grid(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &cfg,
+            )),
+            analyze(&run_grid(
+                EconomicModel::CommodityMarket,
+                EstimateSet::B,
+                &cfg,
+            )),
         )
     }
 

@@ -1,14 +1,21 @@
 //! The experiment grid: 12 scenarios × 6 values × policies, per economic
 //! model and estimate set — and the parallel runner that fills it.
+//!
+//! The runner always records per-cell wall-clock timings (cheap: one
+//! `Instant` pair per simulation run, far off the kernel hot path), so
+//! slow cells can be reported even in uninstrumented builds. With the
+//! `telemetry` feature the same timings also feed the global registry.
 
 use crate::scenario::{EstimateSet, Scenario};
 use ccs_economy::EconomicModel;
 use ccs_policies::PolicyKind;
 use ccs_simsvc::{simulate, RunConfig};
 use ccs_workload::{apply_scenario, BaseJob, SdscSp2Model};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::io::{IsTerminal, Write as _};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Global experiment configuration.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +58,19 @@ impl ExperimentConfig {
     }
 }
 
+/// Wall-clock timing of one grid cell (one policy at one scenario value).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Scenario label (e.g. `"deadline mean (Set A)"`).
+    pub scenario: String,
+    /// Scenario value index, 0..6.
+    pub value_idx: usize,
+    /// Policy display name.
+    pub policy: String,
+    /// Wall-clock seconds spent simulating this cell.
+    pub secs: f64,
+}
+
 /// Raw objective measurements for one (economic model, estimate set) pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RawGrid {
@@ -64,12 +84,54 @@ pub struct RawGrid {
     /// profitability]` — raw objective values (wait in seconds, the rest in
     /// percent).
     pub raw: Vec<Vec<Vec<[f64; 4]>>>,
+    /// `cell_secs[scenario][value][policy]` — wall-clock seconds per cell.
+    /// Always populated, independent of the `telemetry` feature.
+    pub cell_secs: Vec<Vec<Vec<f64>>>,
+    /// Busy seconds per worker thread (simulation time, excluding idle
+    /// waits on the work queue) — the basis for utilisation reporting.
+    pub worker_busy_secs: Vec<f64>,
+    /// End-to-end wall-clock seconds for the whole grid.
+    pub wall_secs: f64,
 }
 
 impl RawGrid {
     /// The policy display names, in column order.
     pub fn policy_names(&self) -> Vec<&'static str> {
         self.policies.iter().map(|p| p.name()).collect()
+    }
+
+    /// The `k` slowest cells, most expensive first.
+    pub fn slowest_cells(&self, k: usize) -> Vec<CellTiming> {
+        let mut cells: Vec<CellTiming> = Vec::new();
+        for (s, per_value) in self.cell_secs.iter().enumerate() {
+            for (v, per_policy) in per_value.iter().enumerate() {
+                for (p, &secs) in per_policy.iter().enumerate() {
+                    cells.push(CellTiming {
+                        scenario: Scenario::ALL[s].label(),
+                        value_idx: v,
+                        policy: self.policies[p].name().to_string(),
+                        secs,
+                    });
+                }
+            }
+        }
+        cells.sort_by(|a, b| b.secs.total_cmp(&a.secs));
+        cells.truncate(k);
+        cells
+    }
+
+    /// Per-worker utilisation: busy seconds divided by grid wall time.
+    pub fn worker_utilisation(&self) -> Vec<f64> {
+        self.worker_busy_secs
+            .iter()
+            .map(|&busy| {
+                if self.wall_secs > 0.0 {
+                    busy / self.wall_secs
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 }
 
@@ -79,6 +141,37 @@ pub fn policies_for(econ: EconomicModel) -> Vec<PolicyKind> {
         EconomicModel::CommodityMarket => PolicyKind::COMMODITY.to_vec(),
         EconomicModel::BidBased => PolicyKind::BID_BASED.to_vec(),
     }
+}
+
+/// Whether to draw the live progress/ETA line on stderr.
+///
+/// On when stderr is a terminal; `CCS_PROGRESS=1` forces it on (for piped
+/// logs), `CCS_PROGRESS=0` forces it off.
+fn progress_enabled() -> bool {
+    match std::env::var("CCS_PROGRESS") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if v == "1" => true,
+        _ => std::io::stderr().is_terminal(),
+    }
+}
+
+fn draw_progress(done: usize, total: usize, started: Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = if done > 0 {
+        elapsed / done as f64 * (total - done) as f64
+    } else {
+        f64::NAN
+    };
+    let mut err = std::io::stderr().lock();
+    let _ = write!(
+        err,
+        "\rgrid: {done}/{total} points ({:.0}%) elapsed {elapsed:.1}s ETA {eta:.1}s   ",
+        done as f64 / total as f64 * 100.0
+    );
+    if done == total {
+        let _ = writeln!(err);
+    }
+    let _ = err.flush();
 }
 
 /// Runs the full 12 × 6 grid for one (economic model, estimate set) pair.
@@ -104,10 +197,16 @@ pub fn run_grid_with_base(
         .flat_map(|s| (0..6).map(move |v| (s, v)))
         .collect();
 
-    let raw: Vec<Vec<Vec<[f64; 4]>>> =
-        vec![vec![vec![[0.0; 4]; policies.len()]; 6]; Scenario::ALL.len()];
-    let raw = Mutex::new(raw);
+    let raw = Mutex::new(vec![
+        vec![vec![[0.0; 4]; policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
+    let cell_secs = Mutex::new(vec![
+        vec![vec![0.0; policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -117,31 +216,82 @@ pub fn run_grid_with_base(
     }
     .min(points.len())
     .max(1);
+    let busy = Mutex::new(vec![0.0f64; threads]);
+    let progress = progress_enabled();
+    let started = Instant::now();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let raw = &raw;
+            let cell_secs = &cell_secs;
+            let next = &next;
+            let done = &done;
+            let busy = &busy;
+            let base = &base;
+            let policies = &policies;
+            let points = &points;
+            scope.spawn(move || {
+                let mut my_busy = 0.0f64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let (s, v) = points[i];
+                    let t0 = Instant::now();
+                    let (row, timings) =
+                        run_point(econ, set, cfg, base, Scenario::ALL[s], v, policies);
+                    my_busy += t0.elapsed().as_secs_f64();
+                    raw.lock().unwrap()[s][v] = row;
+                    cell_secs.lock().unwrap()[s][v] = timings;
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        draw_progress(finished, points.len(), started);
+                    }
                 }
-                let (s, v) = points[i];
-                let row = run_point(econ, set, cfg, &base, Scenario::ALL[s], v, &policies);
-                raw.lock()[s][v] = row;
+                busy.lock().unwrap()[worker] = my_busy;
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
 
-    RawGrid {
+    let wall_secs = started.elapsed().as_secs_f64();
+    let grid = RawGrid {
         econ,
         set,
         policies,
-        raw: raw.into_inner(),
+        raw: raw.into_inner().unwrap(),
+        cell_secs: cell_secs.into_inner().unwrap(),
+        worker_busy_secs: busy.into_inner().unwrap(),
+        wall_secs,
+    };
+    record_grid_telemetry(&grid);
+    grid
+}
+
+/// Feeds grid timings into the global telemetry registry (no-op without
+/// the `telemetry` feature).
+fn record_grid_telemetry(grid: &RawGrid) {
+    if !ccs_telemetry::ENABLED {
+        return;
+    }
+    let t = ccs_telemetry::global();
+    let cell_ns = t.histogram("grid.cell_ns");
+    for per_value in &grid.cell_secs {
+        for per_policy in per_value {
+            for &secs in per_policy {
+                cell_ns.record_f64(secs * 1e9);
+                t.counter("grid.cells").inc();
+            }
+        }
+    }
+    t.histogram("grid.wall_ns").record_f64(grid.wall_secs * 1e9);
+    for &busy in &grid.worker_busy_secs {
+        t.histogram("grid.worker_busy_ns").record_f64(busy * 1e9);
     }
 }
 
-/// Runs one experiment point (one scenario value) for every policy.
+/// Runs one experiment point (one scenario value) for every policy,
+/// returning the objective row and per-policy wall-clock seconds.
 fn run_point(
     econ: EconomicModel,
     set: EstimateSet,
@@ -150,7 +300,7 @@ fn run_point(
     scenario: Scenario,
     value_idx: usize,
     policies: &[PolicyKind],
-) -> Vec<[f64; 4]> {
+) -> (Vec<[f64; 4]>, Vec<f64>) {
     let value = scenario.values()[value_idx];
     let transform = scenario.transform(set, value);
     let jobs = apply_scenario(base, &transform, cfg.seed);
@@ -158,10 +308,15 @@ fn run_point(
         nodes: cfg.nodes,
         econ,
     };
-    policies
-        .iter()
-        .map(|&kind| simulate(&jobs, kind, &run_cfg).metrics.objectives())
-        .collect()
+    let mut row = Vec::with_capacity(policies.len());
+    let mut secs = Vec::with_capacity(policies.len());
+    for &kind in policies {
+        let t0 = Instant::now();
+        let objectives = simulate(&jobs, kind, &run_cfg).metrics.objectives();
+        secs.push(t0.elapsed().as_secs_f64());
+        row.push(objectives);
+    }
+    (row, secs)
 }
 
 #[cfg(test)]
@@ -208,5 +363,27 @@ mod tests {
         let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &one);
         let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &many);
         assert_eq!(a.raw, b.raw);
+    }
+
+    #[test]
+    fn cell_timings_populated_without_feature() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        assert_eq!(g.cell_secs.len(), 12);
+        assert_eq!(g.cell_secs[0].len(), 6);
+        assert_eq!(g.cell_secs[0][0].len(), g.policies.len());
+        let total: f64 = g.cell_secs.iter().flatten().flatten().copied().sum();
+        assert!(total > 0.0, "cells should take measurable time");
+        assert!(g.wall_secs > 0.0);
+        assert_eq!(g.worker_busy_secs.len(), 2);
+        let slow = g.slowest_cells(5);
+        assert_eq!(slow.len(), 5);
+        assert!(slow[0].secs >= slow[4].secs);
+        for u in g.worker_utilisation() {
+            assert!((0.0..=1.5).contains(&u), "utilisation {u}");
+        }
     }
 }

@@ -28,13 +28,17 @@ pub mod replications;
 pub mod report_md;
 pub mod scenario;
 pub mod tables;
+pub mod telemetry_report;
 
 pub use ablation::{run_all as run_all_ablations, Ablation};
 pub use analysis::{analyze, analyze_with, GridAnalysis};
 pub use export::EvaluationExport;
-pub use grid::{policies_for, run_grid, run_grid_with_base, ExperimentConfig, RawGrid};
-pub use replications::{across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy};
+pub use grid::{policies_for, run_grid, run_grid_with_base, CellTiming, ExperimentConfig, RawGrid};
+pub use replications::{
+    across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy,
+};
 pub use scenario::{baseline, EstimateSet, QosAttr, Scenario};
+pub use telemetry_report::TelemetryReport;
 
 use ccs_economy::EconomicModel;
 
@@ -49,6 +53,9 @@ pub struct Evaluation {
     pub bid_a: GridAnalysis,
     /// Bid-based, Set B.
     pub bid_b: GridAnalysis,
+    /// The raw grids behind the four analyses (same order as the fields
+    /// above) — retained for timing reports and telemetry export.
+    pub raw_grids: Vec<RawGrid>,
 }
 
 /// Runs all four grids (2 economic models × 2 estimate sets) and their
@@ -56,12 +63,21 @@ pub struct Evaluation {
 /// study: 12 scenarios × 6 values × 5 policies × 4 grids = 1440 simulation
 /// runs of 5000 jobs each — run in release mode.
 pub fn run_evaluation(cfg: &ExperimentConfig) -> Evaluation {
-    let run = |econ, set| analyze(&run_grid(econ, set, cfg));
+    let grids: Vec<RawGrid> = [
+        (EconomicModel::CommodityMarket, EstimateSet::A),
+        (EconomicModel::CommodityMarket, EstimateSet::B),
+        (EconomicModel::BidBased, EstimateSet::A),
+        (EconomicModel::BidBased, EstimateSet::B),
+    ]
+    .into_iter()
+    .map(|(econ, set)| run_grid(econ, set, cfg))
+    .collect();
     Evaluation {
-        commodity_a: run(EconomicModel::CommodityMarket, EstimateSet::A),
-        commodity_b: run(EconomicModel::CommodityMarket, EstimateSet::B),
-        bid_a: run(EconomicModel::BidBased, EstimateSet::A),
-        bid_b: run(EconomicModel::BidBased, EstimateSet::B),
+        commodity_a: analyze(&grids[0]),
+        commodity_b: analyze(&grids[1]),
+        bid_a: analyze(&grids[2]),
+        bid_b: analyze(&grids[3]),
+        raw_grids: grids,
     }
 }
 
@@ -123,33 +139,59 @@ pub fn build_figure(id: &str, cfg: &ExperimentConfig) -> figures::Figure {
 /// Parses the tiny CLI convention shared by the experiment binaries:
 /// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`.
 pub fn parse_cli(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
+    let (cfg, out, _) = parse_cli_ext(args);
+    (cfg, out)
+}
+
+/// Like [`parse_cli`], but also returns the `--telemetry FILE` path when
+/// given (honoured by `utility_risk` and `all_figures`, which write a
+/// [`TelemetryReport`] there at the end of the run).
+pub fn parse_cli_ext(
+    args: &[String],
+) -> (
+    ExperimentConfig,
+    std::path::PathBuf,
+    Option<std::path::PathBuf>,
+) {
     let mut cfg = ExperimentConfig::default();
     let mut out = std::path::PathBuf::from("target/figures");
+    let mut telemetry = None;
     let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+            .clone()
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
             "--jobs" => {
                 i += 1;
-                cfg.trace.jobs = args[i].parse().expect("--jobs N");
+                cfg.trace.jobs = value(args, i, "--jobs").parse().expect("--jobs N");
             }
             "--seed" => {
                 i += 1;
-                cfg.seed = args[i].parse().expect("--seed S");
+                cfg.seed = value(args, i, "--seed").parse().expect("--seed S");
             }
             "--threads" => {
                 i += 1;
-                cfg.threads = args[i].parse().expect("--threads T");
+                cfg.threads = value(args, i, "--threads").parse().expect("--threads T");
             }
             "--out" => {
                 i += 1;
-                out = std::path::PathBuf::from(&args[i]);
+                out = std::path::PathBuf::from(value(args, i, "--out"));
             }
-            other => panic!("unknown argument {other} (supported: --quick --jobs --seed --threads --out)"),
+            "--telemetry" => {
+                i += 1;
+                telemetry = Some(std::path::PathBuf::from(value(args, i, "--telemetry")));
+            }
+            other => panic!(
+                "unknown argument {other} (supported: --quick --jobs --seed --threads --out --telemetry)"
+            ),
         }
         i += 1;
     }
-    (cfg, out)
+    (cfg, out, telemetry)
 }
 
 #[cfg(test)]
@@ -164,6 +206,16 @@ mod tests {
         assert_eq!(figs.len(), 7);
         assert_eq!(figs[1].plots.len(), 8, "fig3 has 8 sub-plots");
         assert_eq!(figs[6].plots.len(), 2, "fig8 has 2 sub-plots");
+    }
+
+    #[test]
+    fn cli_parsing_with_telemetry() {
+        let (cfg, _out, tele) =
+            parse_cli_ext(&["--quick".into(), "--telemetry".into(), "/tmp/t.json".into()]);
+        assert_eq!(cfg.trace.jobs, ExperimentConfig::quick().trace.jobs);
+        assert_eq!(tele, Some(std::path::PathBuf::from("/tmp/t.json")));
+        let (_, _, none) = parse_cli_ext(&["--quick".into()]);
+        assert_eq!(none, None);
     }
 
     #[test]

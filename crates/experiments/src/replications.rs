@@ -109,7 +109,9 @@ impl Robustness {
                 .mean_performance
                 .total_cmp(&self.policies[a].mean_performance)
         });
-        idx.iter().map(|&i| self.policies[i].name.as_str()).collect()
+        idx.iter()
+            .map(|&i| self.policies[i].name.as_str())
+            .collect()
     }
 
     /// True when the ordering of `a` above `b` holds in *every* replication
@@ -235,12 +237,7 @@ pub fn across_trace_models(
         let scores = summary_scores(&analysis);
         models.push((
             name.to_string(),
-            analysis
-                .policy_names
-                .iter()
-                .cloned()
-                .zip(scores)
-                .collect(),
+            analysis.policy_names.iter().cloned().zip(scores).collect(),
         ));
     }
     TraceModelStudy { econ, set, models }
@@ -254,10 +251,7 @@ impl TraceModelStudy {
             .map(|(name, scores)| {
                 let mut sorted = scores.clone();
                 sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
-                (
-                    name.clone(),
-                    sorted.into_iter().map(|(p, _)| p).collect(),
-                )
+                (name.clone(), sorted.into_iter().map(|(p, _)| p).collect())
             })
             .collect()
     }
@@ -271,10 +265,7 @@ impl TraceModelStudy {
             self.econ, self.set
         );
         for (name, scores) in &self.models {
-            let row: Vec<String> = scores
-                .iter()
-                .map(|(p, v)| format!("{p}={v:.3}"))
-                .collect();
+            let row: Vec<String> = scores.iter().map(|(p, v)| format!("{p}={v:.3}")).collect();
             let _ = writeln!(s, "{:<22} {}", name, row.join("  "));
         }
         s
@@ -287,12 +278,7 @@ mod tests {
 
     fn study() -> Robustness {
         let cfg = ExperimentConfig::quick().with_jobs(40);
-        replicate(
-            EconomicModel::BidBased,
-            EstimateSet::A,
-            &cfg,
-            &[1, 2, 3],
-        )
+        replicate(EconomicModel::BidBased, EstimateSet::A, &cfg, &[1, 2, 3])
     }
 
     #[test]
@@ -362,10 +348,7 @@ mod tests {
             // The wait-ideal Libra family outranks FCFS-BF under every
             // trace model.
             let pos = |name: &str| ordering.iter().position(|p| p == name).unwrap();
-            assert!(
-                pos("LibraRiskD") < pos("FCFS-BF"),
-                "{model}: {ordering:?}"
-            );
+            assert!(pos("LibraRiskD") < pos("FCFS-BF"), "{model}: {ordering:?}");
         }
         let text = s.render();
         assert!(text.contains("Lublin"));

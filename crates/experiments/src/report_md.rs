@@ -10,7 +10,10 @@ use std::fmt::Write as _;
 /// Renders a markdown table of a plot's per-policy extrema (Table II form).
 pub fn extrema_md(plot: &RiskPlot) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "| Policy | max perf | min perf | max vol | min vol | gradient |");
+    let _ = writeln!(
+        s,
+        "| Policy | max perf | min perf | max vol | min vol | gradient |"
+    );
     let _ = writeln!(s, "|---|---|---|---|---|---|");
     for series in &plot.series {
         let e = series.extrema();

@@ -177,8 +177,14 @@ mod tests {
 
     #[test]
     fn table_vi_values() {
-        assert_eq!(Scenario::Workload.values(), [0.02, 0.10, 0.25, 0.50, 0.75, 1.00]);
-        assert_eq!(Scenario::JobMix.values(), [0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        assert_eq!(
+            Scenario::Workload.values(),
+            [0.02, 0.10, 0.25, 0.50, 0.75, 1.00]
+        );
+        assert_eq!(
+            Scenario::JobMix.values(),
+            [0.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+        );
         assert_eq!(
             Scenario::Bias(QosAttr::Deadline).values(),
             [1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
@@ -207,7 +213,10 @@ mod tests {
         assert_eq!(t.inaccuracy_pct, 100.0);
 
         let t = Scenario::Inaccuracy.transform(EstimateSet::B, 20.0);
-        assert_eq!(t.inaccuracy_pct, 20.0, "scenario value overrides the set default");
+        assert_eq!(
+            t.inaccuracy_pct, 20.0,
+            "scenario value overrides the set default"
+        );
     }
 
     #[test]

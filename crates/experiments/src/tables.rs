@@ -14,13 +14,23 @@ use std::fmt::Write as _;
 /// Table I: focus of the four essential objectives.
 pub fn table1() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "{:<17} {:<40} {:<14}", "Focus", "Objective", "Abbreviation");
+    let _ = writeln!(
+        s,
+        "{:<17} {:<40} {:<14}",
+        "Focus", "Objective", "Abbreviation"
+    );
     for obj in Objective::ALL {
         let focus = match obj.focus() {
             Focus::UserCentric => "User-centric",
             Focus::ProviderCentric => "Provider-centric",
         };
-        let _ = writeln!(s, "{:<17} {:<40} {:<14}", focus, obj.description(), obj.abbrev());
+        let _ = writeln!(
+            s,
+            "{:<17} {:<40} {:<14}",
+            focus,
+            obj.description(),
+            obj.abbrev()
+        );
     }
     s
 }
@@ -53,9 +63,10 @@ pub fn table5() -> String {
     let param = |k: PolicyKind| match k {
         PolicyKind::FcfsBf => "arrival time",
         PolicyKind::SjfBf => "runtime",
-        PolicyKind::EdfBf | PolicyKind::Libra | PolicyKind::LibraDollar | PolicyKind::LibraRiskD => {
-            "deadline"
-        }
+        PolicyKind::EdfBf
+        | PolicyKind::Libra
+        | PolicyKind::LibraDollar
+        | PolicyKind::LibraRiskD => "deadline",
         PolicyKind::FirstReward => "budget with penalty",
     };
     let kinds = [
@@ -74,8 +85,16 @@ pub fn table5() -> String {
         "Policy", "Commodity", "Bid-based"
     );
     for k in kinds {
-        let com = if PolicyKind::COMMODITY.contains(&k) { "x" } else { "" };
-        let bid = if PolicyKind::BID_BASED.contains(&k) { "x" } else { "" };
+        let com = if PolicyKind::COMMODITY.contains(&k) {
+            "x"
+        } else {
+            ""
+        };
+        let bid = if PolicyKind::BID_BASED.contains(&k) {
+            "x"
+        } else {
+            ""
+        };
         let _ = writeln!(s, "{:<13} {:<11} {:<10} {}", k.name(), com, bid, param(k));
     }
     s
@@ -84,7 +103,11 @@ pub fn table5() -> String {
 /// Table VI: the twelve scenarios and their varying values.
 pub fn table6() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "{:<36} Values (defaults: see DESIGN.md §4)", "Scenario (varying parameter)");
+    let _ = writeln!(
+        s,
+        "{:<36} Values (defaults: see DESIGN.md §4)",
+        "Scenario (varying parameter)"
+    );
     for sc in Scenario::ALL {
         let vals: Vec<String> = sc.values().iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(s, "{:<36} {}", sc.label(), vals.join(", "));
@@ -103,7 +126,10 @@ pub fn all_tables() -> String {
     let mut s = String::new();
     for (n, t) in [
         ("Table I — Focus of four essential objectives", table1()),
-        ("Table II — Performance and volatility of sample policies", table2()),
+        (
+            "Table II — Performance and volatility of sample policies",
+            table2(),
+        ),
         ("Table III — Ranking by best performance", table3()),
         ("Table IV — Ranking by best volatility", table4()),
         ("Table V — Policies for performance evaluation", table5()),
@@ -154,7 +180,14 @@ mod tests {
     #[test]
     fn all_tables_concatenates() {
         let t = all_tables();
-        for n in ["Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI"] {
+        for n in [
+            "Table I",
+            "Table II",
+            "Table III",
+            "Table IV",
+            "Table V",
+            "Table VI",
+        ] {
             assert!(t.contains(&format!("=== {n} ")), "{n}");
         }
     }

@@ -1,0 +1,175 @@
+//! The `--telemetry out.json` artifact: a merged snapshot of every
+//! instrumentation series plus the per-(scenario × policy) wall-time
+//! tables of the grids that were run.
+//!
+//! Cell timings are recorded unconditionally (see [`crate::grid`]), so the
+//! tables are populated even in builds without the `telemetry` cargo
+//! feature; the counter/gauge/histogram snapshot is empty in that case and
+//! `feature_enabled` says which build produced the file.
+
+use crate::grid::{CellTiming, RawGrid};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current [`TelemetryReport::schema_version`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wall-time table of one grid: seconds per (scenario, policy), summed
+/// over the six scenario values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridWallTimes {
+    /// Economic model label, e.g. `"commodity market"`.
+    pub econ: String,
+    /// Estimate set label, e.g. `"Set A"`.
+    pub set: String,
+    /// Row labels: the twelve scenario names.
+    pub scenarios: Vec<String>,
+    /// Column labels: the policy names.
+    pub policies: Vec<String>,
+    /// `secs[scenario][policy]` — wall-clock seconds, summed over values.
+    pub secs: Vec<Vec<f64>>,
+    /// End-to-end wall-clock seconds for the grid.
+    pub wall_secs: f64,
+    /// Busy seconds per worker thread.
+    pub worker_busy_secs: Vec<f64>,
+}
+
+impl GridWallTimes {
+    /// Builds the table from a finished grid.
+    pub fn of(grid: &RawGrid) -> GridWallTimes {
+        let n_pol = grid.policies.len();
+        let mut secs = vec![vec![0.0; n_pol]; grid.cell_secs.len()];
+        for (s, per_value) in grid.cell_secs.iter().enumerate() {
+            for per_policy in per_value {
+                for (p, &t) in per_policy.iter().enumerate() {
+                    secs[s][p] += t;
+                }
+            }
+        }
+        GridWallTimes {
+            econ: grid.econ.to_string(),
+            set: grid.set.label().to_string(),
+            scenarios: Scenario::ALL.iter().map(|s| s.label()).collect(),
+            policies: grid.policies.iter().map(|p| p.name().to_string()).collect(),
+            secs,
+            wall_secs: grid.wall_secs,
+            worker_busy_secs: grid.worker_busy_secs.clone(),
+        }
+    }
+}
+
+/// Everything `--telemetry out.json` serialises.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Schema marker for forward compatibility.
+    pub schema_version: u32,
+    /// Whether the producing binary was built with `--features telemetry`.
+    pub feature_enabled: bool,
+    /// Merged counters / high-water gauges / histograms from the global
+    /// registry (empty when `feature_enabled` is false).
+    pub snapshot: ccs_telemetry::Snapshot,
+    /// One wall-time table per grid that was run.
+    pub grids: Vec<GridWallTimes>,
+    /// The globally slowest cells across all grids, most expensive first.
+    pub slowest_cells: Vec<CellTiming>,
+}
+
+impl TelemetryReport {
+    /// Assembles the report from the grids of a finished run plus the
+    /// current global telemetry snapshot.
+    pub fn collect(grids: &[RawGrid]) -> TelemetryReport {
+        let mut slowest: Vec<CellTiming> = grids.iter().flat_map(|g| g.slowest_cells(10)).collect();
+        slowest.sort_by(|a, b| b.secs.total_cmp(&a.secs));
+        slowest.truncate(10);
+        TelemetryReport {
+            schema_version: SCHEMA_VERSION,
+            feature_enabled: ccs_telemetry::ENABLED,
+            snapshot: ccs_telemetry::snapshot(),
+            grids: grids.iter().map(GridWallTimes::of).collect(),
+            slowest_cells: slowest,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("telemetry report serialises")
+    }
+
+    /// Parses a report previously written with [`TelemetryReport::write`].
+    pub fn from_json(json: &str) -> Result<TelemetryReport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// Renders the end-of-run slowest-cells summary printed to stderr.
+pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut cells: Vec<(String, CellTiming)> = grids
+        .iter()
+        .flat_map(|g| {
+            let tag = format!("{} / {}", g.econ, g.set.label());
+            g.slowest_cells(k)
+                .into_iter()
+                .map(move |c| (tag.clone(), c))
+        })
+        .collect();
+    cells.sort_by(|a, b| b.1.secs.total_cmp(&a.1.secs));
+    cells.truncate(k);
+    let mut s = String::from("slowest cells:\n");
+    for (tag, c) in cells {
+        let _ = writeln!(
+            s,
+            "  {:>8.3}s  {tag}  {}[{}]  {}",
+            c.secs, c.scenario, c.value_idx, c.policy
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{run_grid, ExperimentConfig};
+    use crate::scenario::EstimateSet;
+    use ccs_economy::EconomicModel;
+
+    #[test]
+    fn report_round_trips_and_has_tables() {
+        let cfg = ExperimentConfig::quick().with_jobs(40);
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        let report = TelemetryReport::collect(std::slice::from_ref(&g));
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.grids.len(), 1);
+        let table = &report.grids[0];
+        assert_eq!(table.scenarios.len(), 12);
+        assert_eq!(table.policies.len(), 5);
+        assert_eq!(table.secs.len(), 12);
+        assert!(table.secs.iter().flatten().sum::<f64>() > 0.0);
+        assert_eq!(report.slowest_cells.len(), 10);
+        assert_eq!(report.feature_enabled, ccs_telemetry::ENABLED);
+
+        let back = TelemetryReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.grids[0].scenarios, table.scenarios);
+        assert_eq!(back.slowest_cells.len(), 10);
+    }
+
+    #[test]
+    fn summary_lists_k_cells() {
+        let cfg = ExperimentConfig::quick().with_jobs(40);
+        let g = run_grid(EconomicModel::BidBased, EstimateSet::B, &cfg);
+        let text = slowest_cells_summary(std::slice::from_ref(&g), 3);
+        assert!(text.starts_with("slowest cells:"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

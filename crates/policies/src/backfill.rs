@@ -178,9 +178,21 @@ impl BackfillPolicy {
         self.cluster.start(job.id, job.procs, now + job.estimate);
         self.completions
             .push(SimTime::new(now + job.runtime), job.id);
-        out.push(Outcome::Accepted { job: job.id, at: now });
-        out.push(Outcome::Started { job: job.id, at: now });
-        self.running.insert(job.id, RunInfo { start: now, charged });
+        out.push(Outcome::Accepted {
+            job: job.id,
+            at: now,
+        });
+        out.push(Outcome::Started {
+            job: job.id,
+            at: now,
+        });
+        self.running.insert(
+            job.id,
+            RunInfo {
+                start: now,
+                charged,
+            },
+        );
     }
 
     /// Core scheduling pass: start/reject from the head, then backfill.
@@ -193,7 +205,10 @@ impl BackfillPolicy {
             };
             if !self.admissible(head, now) {
                 let job = self.queue.remove(0);
-                out.push(Outcome::Rejected { job: job.id, at: now });
+                out.push(Outcome::Rejected {
+                    job: job.id,
+                    at: now,
+                });
                 continue;
             }
             if head.procs <= self.cluster.free_procs() {
@@ -216,7 +231,10 @@ impl BackfillPolicy {
             let cand = self.queue[i];
             if !self.admissible(&cand, now) {
                 self.queue.remove(i);
-                out.push(Outcome::Rejected { job: cand.id, at: now });
+                out.push(Outcome::Rejected {
+                    job: cand.id,
+                    at: now,
+                });
                 continue;
             }
             if cand.procs <= self.cluster.free_procs() {
@@ -259,7 +277,10 @@ impl Policy for BackfillPolicy {
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
         if job.procs > self.cluster.total() {
             // Physically impossible on this cluster, regardless of options.
-            out.push(Outcome::Rejected { job: job.id, at: now });
+            out.push(Outcome::Rejected {
+                job: job.id,
+                at: now,
+            });
             return;
         }
         self.queue.push(*job);
@@ -534,10 +555,7 @@ mod tests {
         let mut p = BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, 8);
         let mut j0 = job(0, 0.0, 500.0, 100.0, 1e6, 8); // claims 100, runs 500
         j0.estimate = 100.0;
-        let out = run(
-            &mut p,
-            &[j0, job(1, 1.0, 100.0, 100.0, 1e6, 8)],
-        );
+        let out = run(&mut p, &[j0, job(1, 1.0, 100.0, 100.0, 1e6, 8)]);
         let c = completions(&out);
         assert_eq!(c[0], (0, 500.0));
         assert_eq!(c[1], (1, 600.0), "head started only at the real finish");

@@ -160,7 +160,10 @@ impl ConservativeBf {
     fn place(&mut self, job: Job, now: f64, out: &mut Vec<Outcome>) {
         let start = self.earliest_start(&job, &self.plan, now);
         if !self.admissible(&job, start) {
-            out.push(Outcome::Rejected { job: job.id, at: now });
+            out.push(Outcome::Rejected {
+                job: job.id,
+                at: now,
+            });
             return;
         }
         // The profile is estimate-optimistic (overrunning jobs are treated
@@ -172,8 +175,14 @@ impl ConservativeBf {
             };
             self.completions
                 .push(SimTime::new(now + job.runtime), job.id);
-            out.push(Outcome::Accepted { job: job.id, at: now });
-            out.push(Outcome::Started { job: job.id, at: now });
+            out.push(Outcome::Accepted {
+                job: job.id,
+                at: now,
+            });
+            out.push(Outcome::Started {
+                job: job.id,
+                at: now,
+            });
             self.busy += job.procs;
             self.running.insert(
                 job.id,
@@ -185,7 +194,10 @@ impl ConservativeBf {
                 },
             );
         } else {
-            self.plan.push(Reservation { job, start: start.max(now) });
+            self.plan.push(Reservation {
+                job,
+                start: start.max(now),
+            });
         }
     }
 
@@ -214,7 +226,10 @@ impl Policy for ConservativeBf {
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
         if job.procs > self.nodes {
-            out.push(Outcome::Rejected { job: job.id, at: now });
+            out.push(Outcome::Rejected {
+                job: job.id,
+                at: now,
+            });
             return;
         }
         self.place(*job, now, out);
@@ -387,7 +402,10 @@ mod tests {
                 job(3, 3.0, 300.0, 300.0, 1e6, 2), // would delay job 2 if backfilled
             ],
         );
-        assert!(finish_of(&out, 2) <= 200.0 + 1e-6, "job 2's reservation held");
+        assert!(
+            finish_of(&out, 2) <= 200.0 + 1e-6,
+            "job 2's reservation held"
+        );
         assert!(finish_of(&out, 3) >= 300.0, "job 3 waited instead");
     }
 

@@ -155,7 +155,10 @@ impl FirstRewardPolicy {
             self.cluster.start(job.id, job.procs, now + job.estimate);
             self.completions
                 .push(SimTime::new(now + job.runtime), job.id);
-            out.push(Outcome::Started { job: job.id, at: now });
+            out.push(Outcome::Started {
+                job: job.id,
+                at: now,
+            });
             self.running.insert(job.id, RunInfo { start: now, job });
         }
     }
@@ -183,10 +186,16 @@ impl Policy for FirstRewardPolicy {
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
         if job.procs > self.cluster.total() || !self.admissible(job) {
-            out.push(Outcome::Rejected { job: job.id, at: now });
+            out.push(Outcome::Rejected {
+                job: job.id,
+                at: now,
+            });
             return;
         }
-        out.push(Outcome::Accepted { job: job.id, at: now });
+        out.push(Outcome::Accepted {
+            job: job.id,
+            at: now,
+        });
         self.queue.push(*job);
         self.try_schedule(now, out);
     }
@@ -264,9 +273,7 @@ mod tests {
         let mut p = FirstRewardPolicy::new(2);
         // Fill the machine with jobs carrying fat penalty rates, then submit
         // a borderline job: its opportunity cost now sinks it.
-        let filler: Vec<Job> = (0..4)
-            .map(|i| job(i, 0.0, 1000.0, 1e6, 50.0, 1))
-            .collect();
+        let filler: Vec<Job> = (0..4).map(|i| job(i, 0.0, 1000.0, 1e6, 50.0, 1)).collect();
         let mut jobs = filler.clone();
         // Borderline job: PV=50000/(1+10)=4545; cost = 4*50*1000=200000 -> slack<0.
         jobs.push(job(9, 1.0, 1000.0, 50_000.0, 1.0, 1));
@@ -341,7 +348,10 @@ mod tests {
         let mut p = FirstRewardPolicy::new(2);
         let out = run(
             &mut p,
-            &[job(0, 0.0, 100.0, 1e6, 0.1, 2), job(1, 5.0, 50.0, 1e6, 0.1, 2)],
+            &[
+                job(0, 0.0, 100.0, 1e6, 0.1, 2),
+                job(1, 5.0, 50.0, 1e6, 0.1, 2),
+            ],
         );
         let acc1 = out
             .iter()

@@ -22,8 +22,7 @@
 use crate::traits::{Outcome, Policy};
 use ccs_cluster::{PsCluster, WeightMode};
 use ccs_economy::{
-    libra_cost, libra_dollar_cost, libra_dollar_rate, EconomicModel, LibraDollarParams,
-    LibraParams,
+    libra_cost, libra_dollar_cost, libra_dollar_rate, EconomicModel, LibraDollarParams, LibraParams,
 };
 use ccs_workload::{Job, JobId};
 use std::collections::HashMap;
@@ -151,7 +150,13 @@ impl LibraPolicy {
     /// Best-fit node selection: every eligible node has at least `required`
     /// spare share (and zero delay risk for LibraRiskD); the `procs` fullest
     /// eligible nodes are returned, or `None` if too few exist.
-    fn select_nodes(&self, estimate: f64, deadline: f64, procs: u32, now: f64) -> Option<Vec<usize>> {
+    fn select_nodes(
+        &self,
+        estimate: f64,
+        deadline: f64,
+        procs: u32,
+        now: f64,
+    ) -> Option<Vec<usize>> {
         let mut eligible: Vec<(f64, usize)> = (0..self.cluster.nodes())
             .filter_map(|n| {
                 // Per-node requirement: fast nodes need less share.
@@ -198,8 +203,7 @@ impl LibraPolicy {
                 let max_rate = nodes
                     .iter()
                     .map(|&n| {
-                        let required =
-                            self.cluster.required_share(n, job.estimate, job.deadline);
+                        let required = self.cluster.required_share(n, job.estimate, job.deadline);
                         let free_after = self.cluster.free_share(n, now) - required;
                         libra_dollar_rate(free_after, &self.dollar_params)
                     })
@@ -221,20 +225,38 @@ impl Policy for LibraPolicy {
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
         let Some(nodes) = self.select_nodes(job.estimate, job.deadline, job.procs, now) else {
-            out.push(Outcome::Rejected { job: job.id, at: now });
+            out.push(Outcome::Rejected {
+                job: job.id,
+                at: now,
+            });
             return;
         };
         let charged = self.quote(job, &nodes, now);
         if let Some(cost) = charged {
             if cost > job.budget {
-                out.push(Outcome::Rejected { job: job.id, at: now });
+                out.push(Outcome::Rejected {
+                    job: job.id,
+                    at: now,
+                });
                 return;
             }
         }
         self.cluster.submit(job, &nodes, now);
-        self.meta.insert(job.id, Meta { start: now, charged });
-        out.push(Outcome::Accepted { job: job.id, at: now });
-        out.push(Outcome::Started { job: job.id, at: now });
+        self.meta.insert(
+            job.id,
+            Meta {
+                start: now,
+                charged,
+            },
+        );
+        out.push(Outcome::Accepted {
+            job: job.id,
+            at: now,
+        });
+        out.push(Outcome::Started {
+            job: job.id,
+            at: now,
+        });
     }
 
     fn next_event_time(&mut self) -> Option<f64> {
@@ -323,7 +345,10 @@ mod tests {
         let mut p = LibraPolicy::new(LibraVariant::Plain, EconomicModel::BidBased, 4);
         let out = run(&mut p, &[job(0, 10.0, 100.0, 100.0, 400.0, 2)]);
         assert_eq!(accepted(&out), vec![0]);
-        assert!(matches!(out[1], Outcome::Started { at, .. } if at == 10.0), "zero wait");
+        assert!(
+            matches!(out[1], Outcome::Started { at, .. } if at == 10.0),
+            "zero wait"
+        );
         assert!(finish_of(&out, 0) <= 410.0);
     }
 
@@ -431,7 +456,9 @@ mod tests {
         let charged_busy = out_busy
             .iter()
             .find_map(|o| match o {
-                Outcome::Completed { job: 9, charged, .. } => *charged,
+                Outcome::Completed {
+                    job: 9, charged, ..
+                } => *charged,
                 _ => None,
             })
             .unwrap();
@@ -473,7 +500,10 @@ mod tests {
         p.advance_to(50.0, &mut out);
         let j1 = job(1, 50.0, 100.0, 100.0, 1500.0, 2);
         p.on_submit(&j1, 50.0, &mut out);
-        assert!(accepted(&out).contains(&1), "Libra places jobs on risky nodes");
+        assert!(
+            accepted(&out).contains(&1),
+            "Libra places jobs on risky nodes"
+        );
         p.drain(&mut out);
     }
 
@@ -534,7 +564,11 @@ mod tests {
         assert!(accepted(&out).contains(&0), "the 4x node hosts it");
         assert_eq!(rejected(&out), vec![1], "only one node is fast enough");
         // And the accepted job actually met its deadline (ran at 4x: 25 s).
-        assert!(finish_of(&out, 0) <= 50.0 + 1e-6, "finished at {}", finish_of(&out, 0));
+        assert!(
+            finish_of(&out, 0) <= 50.0 + 1e-6,
+            "finished at {}",
+            finish_of(&out, 0)
+        );
     }
 
     #[test]

@@ -12,11 +12,11 @@ use proptest::prelude::*;
 fn jobs_strategy(max_procs: u32) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            1.0f64..500.0,   // gap
-            10.0f64..800.0,  // runtime
-            0.3f64..3.0,     // estimate factor
-            1.5f64..12.0,    // deadline factor
-            1u32..=8,        // procs
+            1.0f64..500.0,  // gap
+            10.0f64..800.0, // runtime
+            0.3f64..3.0,    // estimate factor
+            1.5f64..12.0,   // deadline factor
+            1u32..=8,       // procs
         ),
         1..25,
     )

@@ -232,7 +232,10 @@ mod tests {
         let risk = [m(1.0, 0.0), m(0.0, 0.0)];
         let f = forecast(&risk, &[0.5, 0.5]);
         assert!((f.performance - 0.5).abs() < 1e-12);
-        assert!((f.volatility - 0.5).abs() < 1e-12, "between-variance = 0.25");
+        assert!(
+            (f.volatility - 0.5).abs() < 1e-12,
+            "between-variance = 0.25"
+        );
     }
 
     #[test]
@@ -290,11 +293,11 @@ mod tests {
     #[test]
     fn pareto_front_drops_dominated_policies() {
         let ms = [
-            m(0.9, 0.3), // A: front (best perf)
-            m(0.7, 0.1), // B: front (best vol among high perf)
-            m(0.6, 0.2), // C: dominated by B
+            m(0.9, 0.3),  // A: front (best perf)
+            m(0.7, 0.1),  // B: front (best vol among high perf)
+            m(0.6, 0.2),  // C: dominated by B
             m(0.5, 0.05), // D: front (lowest vol)
-            m(0.5, 0.5), // E: dominated by everything useful
+            m(0.5, 0.5),  // E: dominated by everything useful
         ];
         assert_eq!(pareto_front(&ms), vec![0, 1, 3]);
     }
@@ -308,7 +311,11 @@ mod tests {
     #[test]
     fn pareto_duplicates_both_survive() {
         let ms = [m(0.5, 0.2), m(0.5, 0.2)];
-        assert_eq!(pareto_front(&ms), vec![0, 1], "equal points do not dominate each other");
+        assert_eq!(
+            pareto_front(&ms),
+            vec![0, 1],
+            "equal points do not dominate each other"
+        );
     }
 
     #[test]

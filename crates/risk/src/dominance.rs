@@ -62,7 +62,11 @@ pub fn dominates(a: &[f64], b: &[f64]) -> Dominance {
 /// performance strictly beat the second's on the *same* scenario?
 /// Returns `(wins_a, wins_b, ties)`.
 pub fn paired_wins(a: &[f64], b: &[f64]) -> (usize, usize, usize) {
-    assert_eq!(a.len(), b.len(), "paired comparison needs matched scenarios");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "paired comparison needs matched scenarios"
+    );
     let mut wins_a = 0;
     let mut wins_b = 0;
     let mut ties = 0;
@@ -155,7 +159,11 @@ mod tests {
     fn dominance_shift_invariance() {
         let a = [0.2, 0.4, 0.6];
         let b: Vec<f64> = a.iter().map(|x| x + 0.1).collect();
-        assert_eq!(dominates(&b, &a), Dominance::First, "a shifted up dominates");
+        assert_eq!(
+            dominates(&b, &a),
+            Dominance::First,
+            "a shifted up dominates"
+        );
     }
 
     #[test]

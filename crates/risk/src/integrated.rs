@@ -20,7 +20,10 @@ const WEIGHT_EPS: f64 = 1e-9;
 ///
 /// Panics unless every weight is in `[0, 1]` and the weights sum to 1.
 pub fn integrated(parts: &[(RiskMeasure, f64)]) -> RiskMeasure {
-    assert!(!parts.is_empty(), "integration needs at least one objective");
+    assert!(
+        !parts.is_empty(),
+        "integration needs at least one objective"
+    );
     let total: f64 = parts.iter().map(|(_, w)| *w).sum();
     assert!(
         (total - 1.0).abs() < WEIGHT_EPS,
@@ -29,7 +32,10 @@ pub fn integrated(parts: &[(RiskMeasure, f64)]) -> RiskMeasure {
     let mut perf = 0.0;
     let mut vol = 0.0;
     for (m, w) in parts {
-        assert!((0.0..=1.0 + WEIGHT_EPS).contains(w), "weight {w} outside [0, 1]");
+        assert!(
+            (0.0..=1.0 + WEIGHT_EPS).contains(w),
+            "weight {w} outside [0, 1]"
+        );
         perf += w * m.performance;
         vol += w * m.volatility;
     }

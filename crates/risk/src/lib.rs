@@ -55,15 +55,17 @@ pub mod separate;
 pub mod svg;
 pub mod trend;
 
-pub use apriori::{forecast, kendall_tau, pareto_front, uniform_mix, weight_sensitivity, Sensitivity};
+pub use apriori::{
+    forecast, kendall_tau, pareto_front, uniform_mix, weight_sensitivity, Sensitivity,
+};
 pub use bootstrap::{bootstrap_separate, BootstrapResult, Interval};
 pub use car::{car, car_ratio, CarAnalysis, CarMetric};
 pub use dominance::{dominance_matrix, dominates, paired_wins, Dominance};
 pub use integrated::{integrated, integrated_equal};
 pub use measure::RiskMeasure;
+pub use normalize::{normalize_wait_with, normalize_with, WaitNormalization};
 pub use objective::{Better, Focus, Objective};
 pub use plot::{sample_figure1, Extrema, PolicySeries, RiskPlot};
 pub use rank::{rank, RankBy, RankedPolicy};
-pub use normalize::{normalize_wait_with, normalize_with, WaitNormalization};
 pub use separate::separate;
 pub use trend::{Gradient, TrendLine};

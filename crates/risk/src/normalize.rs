@@ -23,8 +23,7 @@ use serde::{Deserialize, Serialize};
 /// default used throughout the reproduction, and
 /// `ccs-experiments::wait_normalization_study` measures how the paper's
 /// conclusions move under each.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize, Default)]
 pub enum WaitNormalization {
     /// `1 − w / max(w over compared policies)`: the worst policy at each
     /// experiment point anchors 0 (the reproduction default).
@@ -40,7 +39,6 @@ pub enum WaitNormalization {
         scale: f64,
     },
 }
-
 
 /// Normalizes a cross-policy vector of `wait` measurements under an
 /// explicit scheme.
@@ -63,7 +61,10 @@ pub fn normalize_wait_with(waits: &[f64], scheme: WaitNormalization) -> Vec<f64>
         }
         WaitNormalization::Reciprocal { scale } => {
             assert!(scale > 0.0, "Reciprocal scale must be positive");
-            waits.iter().map(|w| 1.0 / (1.0 + w.max(0.0) / scale)).collect()
+            waits
+                .iter()
+                .map(|w| 1.0 / (1.0 + w.max(0.0) / scale))
+                .collect()
         }
     }
 }
@@ -92,7 +93,10 @@ pub fn normalize_wait(waits: &[f64]) -> Vec<f64> {
     if max <= 0.0 {
         return vec![1.0; waits.len()];
     }
-    waits.iter().map(|w| 1.0 - (w / max).clamp(0.0, 1.0)).collect()
+    waits
+        .iter()
+        .map(|w| 1.0 - (w / max).clamp(0.0, 1.0))
+        .collect()
 }
 
 /// Normalizes a cross-policy vector of raw measurements of `objective`
@@ -183,7 +187,10 @@ mod tests {
     fn outputs_always_in_unit_interval() {
         for obj in Objective::ALL {
             let out = normalize(obj, &[0.0, 3.7, 99.9, 1e6]);
-            assert!(out.iter().all(|&x| (0.0..=1.0).contains(&x)), "{obj}: {out:?}");
+            assert!(
+                out.iter().all(|&x| (0.0..=1.0).contains(&x)),
+                "{obj}: {out:?}"
+            );
         }
     }
 }

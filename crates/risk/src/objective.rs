@@ -89,11 +89,19 @@ impl Objective {
         [
             (
                 Objective::Wait,
-                [Objective::Sla, Objective::Reliability, Objective::Profitability],
+                [
+                    Objective::Sla,
+                    Objective::Reliability,
+                    Objective::Profitability,
+                ],
             ),
             (
                 Objective::Sla,
-                [Objective::Wait, Objective::Reliability, Objective::Profitability],
+                [
+                    Objective::Wait,
+                    Objective::Reliability,
+                    Objective::Profitability,
+                ],
             ),
             (
                 Objective::Reliability,

@@ -175,9 +175,7 @@ pub fn sample_figure1() -> RiskPlot {
     let mk = |name: &str, pts: &[(f64, f64)]| {
         PolicySeries::new(
             name,
-            pts.iter()
-                .map(|&(v, p)| RiskMeasure::new(p, v))
-                .collect(),
+            pts.iter().map(|&(v, p)| RiskMeasure::new(p, v)).collect(),
         )
     };
     RiskPlot::new(
@@ -188,13 +186,25 @@ pub fn sample_figure1() -> RiskPlot {
             // B: constant performance 0.9, volatility 0.3..0.6 (zero gradient).
             mk(
                 "B",
-                &[(0.3, 0.9), (0.375, 0.9), (0.45, 0.9), (0.525, 0.9), (0.6, 0.9)],
+                &[
+                    (0.3, 0.9),
+                    (0.375, 0.9),
+                    (0.45, 0.9),
+                    (0.525, 0.9),
+                    (0.6, 0.9),
+                ],
             ),
             // C: perf 0.2..0.7, vol 0.3..1.0, decreasing, points concentrated
             // near its best corner (0.3, 0.7).
             mk(
                 "C",
-                &[(0.3, 0.7), (0.35, 0.7), (0.3, 0.65), (0.4, 0.68), (1.0, 0.2)],
+                &[
+                    (0.3, 0.7),
+                    (0.35, 0.7),
+                    (0.3, 0.65),
+                    (0.4, 0.68),
+                    (1.0, 0.2),
+                ],
             ),
             // D: same extrema as C, decreasing, but points spread evenly.
             mk(
@@ -210,7 +220,13 @@ pub fn sample_figure1() -> RiskPlot {
             // E: perf 0.5..0.7, vol 0.1..0.3, decreasing.
             mk(
                 "E",
-                &[(0.1, 0.7), (0.15, 0.65), (0.2, 0.6), (0.25, 0.55), (0.3, 0.5)],
+                &[
+                    (0.1, 0.7),
+                    (0.15, 0.65),
+                    (0.2, 0.6),
+                    (0.25, 0.55),
+                    (0.3, 0.5),
+                ],
             ),
             // F: perf 0.2..0.7, vol 0.3..0.7, increasing.
             mk(
@@ -272,23 +288,23 @@ mod tests {
             let e = s.extrema();
             assert!((e.max_performance - maxp).abs() < 1e-9, "{name} maxp");
             assert!((e.min_performance - minp).abs() < 1e-9, "{name} minp");
-            assert!((e.performance_difference() - pdiff).abs() < 1e-9, "{name} pdiff");
+            assert!(
+                (e.performance_difference() - pdiff).abs() < 1e-9,
+                "{name} pdiff"
+            );
             assert!((e.max_volatility - maxv).abs() < 1e-9, "{name} maxv");
             assert!((e.min_volatility - minv).abs() < 1e-9, "{name} minv");
-            assert!((e.volatility_difference() - vdiff).abs() < 1e-9, "{name} vdiff");
+            assert!(
+                (e.volatility_difference() - vdiff).abs() < 1e-9,
+                "{name} vdiff"
+            );
         }
     }
 
     #[test]
     fn sample_gradients_match_paper() {
         let plot = sample_figure1();
-        let grad = |n: &str| {
-            plot.series
-                .iter()
-                .find(|s| s.name == n)
-                .unwrap()
-                .gradient()
-        };
+        let grad = |n: &str| plot.series.iter().find(|s| s.name == n).unwrap().gradient();
         assert_eq!(grad("A"), Gradient::NotAvailable);
         assert_eq!(grad("B"), Gradient::Zero);
         assert_eq!(grad("C"), Gradient::Decreasing);
@@ -322,7 +338,12 @@ mod tests {
         for s in &plot.series {
             assert!(text.contains(&format!("# policy: {}", s.name)));
         }
-        assert!(text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count() >= 40);
+        assert!(
+            text.lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count()
+                >= 40
+        );
     }
 
     #[test]

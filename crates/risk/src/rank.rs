@@ -122,13 +122,19 @@ mod tests {
         // (E: 0.1), then perf difference (G: 0.3 < 0.5), then vol difference
         // (F: 0.4 < 0.7), then gradient (C, D decreasing before H
         // increasing), then concentration (C before D).
-        assert_eq!(order(RankBy::BestPerformance), ["A", "B", "E", "G", "F", "C", "D", "H"]);
+        assert_eq!(
+            order(RankBy::BestPerformance),
+            ["A", "B", "E", "G", "F", "C", "D", "H"]
+        );
     }
 
     #[test]
     fn table_iv_best_volatility_order() {
         // Paper Table IV: A, E, B, F, G, C, D, H.
-        assert_eq!(order(RankBy::BestVolatility), ["A", "E", "B", "F", "G", "C", "D", "H"]);
+        assert_eq!(
+            order(RankBy::BestVolatility),
+            ["A", "E", "B", "F", "G", "C", "D", "H"]
+        );
     }
 
     #[test]
@@ -156,7 +162,10 @@ mod tests {
         use crate::measure::RiskMeasure;
         use crate::plot::PolicySeries;
         let twin = |name: &str| {
-            PolicySeries::new(name, vec![RiskMeasure::new(0.5, 0.2), RiskMeasure::new(0.6, 0.3)])
+            PolicySeries::new(
+                name,
+                vec![RiskMeasure::new(0.5, 0.2), RiskMeasure::new(0.6, 0.3)],
+            )
         };
         let plot = RiskPlot::new("ties", vec![twin("Z"), twin("Y")]);
         let rows = rank(&plot, RankBy::BestPerformance);

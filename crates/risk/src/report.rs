@@ -113,7 +113,11 @@ pub fn ascii_plot(plot: &RiskPlot, width: usize, height: usize) -> String {
         }
     }
     let mut s = String::with_capacity((width + 8) * (height + 3));
-    let _ = writeln!(s, "{} (perf ↑ vs volatility →, x-max {:.2})", plot.title, max_vol);
+    let _ = writeln!(
+        s,
+        "{} (perf ↑ vs volatility →, x-max {:.2})",
+        plot.title, max_vol
+    );
     for (i, row) in grid.iter().enumerate() {
         let label = if i == 0 {
             "1.0"

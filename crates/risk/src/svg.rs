@@ -153,7 +153,10 @@ pub fn render(plot: &RiskPlot, opt: &SvgOptions) -> String {
         // Legend entry.
         let ly = MARGIN_T + 14.0 + 18.0 * i as f64;
         let lx = MARGIN_L + plot_w + 14.0;
-        let _ = writeln!(s, r#"<circle cx="{lx:.1}" cy="{ly:.1}" r="4" fill="{color}"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{lx:.1}" cy="{ly:.1}" r="4" fill="{color}"/>"#
+        );
         let _ = writeln!(
             s,
             r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
@@ -182,8 +185,12 @@ pub fn render_lines(
     let plot_h = h - MARGIN_T - MARGIN_B;
 
     let all = series.iter().flat_map(|(_, pts)| pts.iter());
-    let (mut x_min, mut x_max, mut y_min, mut y_max) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in all {
         x_min = x_min.min(x);
         x_max = x_max.max(x);
@@ -324,9 +331,18 @@ mod tests {
     fn line_chart_renders_polylines_and_legend() {
         let series = vec![
             ("flat".to_string(), vec![(0.0, 5.0), (10.0, 5.0)]),
-            ("decay".to_string(), vec![(0.0, 5.0), (5.0, 5.0), (10.0, -5.0)]),
+            (
+                "decay".to_string(),
+                vec![(0.0, 5.0), (5.0, 5.0), (10.0, -5.0)],
+            ),
         ];
-        let svg = render_lines("penalty", "t (s)", "utility ($)", &series, &SvgOptions::default());
+        let svg = render_lines(
+            "penalty",
+            "t (s)",
+            "utility ($)",
+            &series,
+            &SvgOptions::default(),
+        );
         assert!(svg.starts_with("<svg"));
         assert_eq!(svg.matches("<polyline").count(), 2);
         assert!(svg.contains("penalty"));
@@ -354,6 +370,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(with.matches("stroke-dasharray").count() > without.matches("stroke-dasharray").count());
+        assert!(
+            with.matches("stroke-dasharray").count() > without.matches("stroke-dasharray").count()
+        );
     }
 }

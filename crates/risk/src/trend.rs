@@ -111,9 +111,7 @@ mod tests {
     use super::*;
 
     fn pts(data: &[(f64, f64)]) -> Vec<RiskMeasure> {
-        data.iter()
-            .map(|&(v, p)| RiskMeasure::new(p, v))
-            .collect()
+        data.iter().map(|&(v, p)| RiskMeasure::new(p, v)).collect()
     }
 
     #[test]

@@ -41,12 +41,27 @@ pub struct RunResult {
 /// the run result. Deterministic: identical inputs give identical outputs.
 pub fn simulate(jobs: &[Job], kind: PolicyKind, cfg: &RunConfig) -> RunResult {
     let policy = build_policy(kind, cfg.econ, cfg.nodes);
-    simulate_with(jobs, policy, cfg)
+    simulate_named(jobs, policy, cfg, kind.name())
 }
 
 /// Like [`simulate`], but with a caller-constructed policy — the hook for
 /// downstream users evaluating their own [`Policy`] implementations.
-pub fn simulate_with(jobs: &[Job], mut policy: Box<dyn Policy>, cfg: &RunConfig) -> RunResult {
+pub fn simulate_with(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig) -> RunResult {
+    simulate_named(jobs, policy, cfg, "custom")
+}
+
+/// Shared driver: `name` labels the per-policy telemetry series.
+///
+/// Instrumentation never feeds back into simulation state, so results are
+/// bit-identical whether or not the `telemetry` feature is compiled in;
+/// with the feature off every guard below is a zero-sized no-op.
+fn simulate_named(
+    jobs: &[Job],
+    mut policy: Box<dyn Policy>,
+    cfg: &RunConfig,
+    name: &str,
+) -> RunResult {
+    let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run_ns", name);
     let mut out: Vec<Outcome> = Vec::with_capacity(jobs.len() * 4);
     let mut prev_submit = f64::NEG_INFINITY;
     for job in jobs {
@@ -56,10 +71,24 @@ pub fn simulate_with(jobs: &[Job], mut policy: Box<dyn Policy>, cfg: &RunConfig)
         );
         prev_submit = job.submit;
         policy.advance_to(job.submit, &mut out);
+        let _decision_span = ccs_telemetry::TimerGuard::start_labeled("runner.decision_ns", name);
         policy.on_submit(job, job.submit, &mut out);
     }
     policy.drain(&mut out);
-    collect(jobs, cfg, &out)
+    let result = collect(jobs, cfg, &out);
+    if ccs_telemetry::ENABLED {
+        let t = ccs_telemetry::global();
+        t.counter("runner.jobs_submitted")
+            .add(result.metrics.submitted as u64);
+        t.counter("runner.jobs_accepted")
+            .add(result.metrics.accepted as u64);
+        t.counter("runner.jobs_rejected")
+            .add((result.metrics.submitted - result.metrics.accepted) as u64);
+        t.counter("runner.jobs_fulfilled")
+            .add(result.metrics.fulfilled as u64);
+        t.counter("runner.runs").inc();
+    }
+    result
 }
 
 /// Folds the outcome stream into metrics and per-job records.
@@ -297,7 +326,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn unsorted_jobs_panic() {
-        let jobs = vec![job(0, 100.0, 10.0, 100.0, 1, 1.0), job(1, 0.0, 10.0, 100.0, 1, 1.0)];
+        let jobs = vec![
+            job(0, 100.0, 10.0, 100.0, 1, 1.0),
+            job(1, 0.0, 10.0, 100.0, 1, 1.0),
+        ];
         let cfg = RunConfig::default();
         simulate(&jobs, PolicyKind::FcfsBf, &cfg);
     }

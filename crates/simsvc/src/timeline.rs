@@ -171,7 +171,12 @@ mod tests {
         let tl = Timeline::from_run(&jobs, &res.records, 4, 10.0);
         assert_eq!(tl.points.len(), 10);
         for p in &tl.points {
-            assert!((p.utilization - 1.0).abs() < 1e-9, "bucket {}: {}", p.t, p.utilization);
+            assert!(
+                (p.utilization - 1.0).abs() < 1e-9,
+                "bucket {}: {}",
+                p.t,
+                p.utilization
+            );
             assert_eq!(p.running, 1);
             assert_eq!(p.waiting, 0);
         }
@@ -192,7 +197,10 @@ mod tests {
         // First half has a waiter; second half does not.
         assert!(tl.points[0].waiting == 1);
         assert!(tl.points.last().unwrap().waiting == 0);
-        assert!((tl.mean_utilization() - 1.0).abs() < 1e-9, "back-to-back runs");
+        assert!(
+            (tl.mean_utilization() - 1.0).abs() < 1e-9,
+            "back-to-back runs"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            1.0f64..2000.0, // inter-arrival gap
+            1.0f64..2000.0,  // inter-arrival gap
             10.0f64..2000.0, // runtime
             0.3f64..4.0,     // estimate factor
             1.2f64..16.0,    // deadline factor
@@ -30,7 +30,11 @@ fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
                     runtime: rt,
                     estimate: (rt * ef).max(1.0),
                     procs,
-                    urgency: if i % 3 == 0 { Urgency::High } else { Urgency::Low },
+                    urgency: if i % 3 == 0 {
+                        Urgency::High
+                    } else {
+                        Urgency::Low
+                    },
                     deadline: rt * df,
                     budget: bf * rt * procs as f64,
                     penalty_rate: procs as f64,

@@ -1,0 +1,111 @@
+//! Property tests for snapshot merge semantics: merging is commutative
+//! and associative, and counter totals are conserved — the contract that
+//! lets per-worker snapshots be folded in any order.
+
+use ccs_telemetry::{bucket_index, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_from(samples: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot {
+        buckets: vec![0; NUM_BUCKETS],
+        ..Default::default()
+    };
+    for &v in samples {
+        h.buckets[bucket_index(v)] += 1;
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+        h.min = if h.count == 1 { v } else { h.min.min(v) };
+        h.max = h.max.max(v);
+    }
+    h
+}
+
+/// Builds a snapshot from generated op lists. Metric names are drawn from
+/// a small pool so that generated snapshots overlap on keys (the
+/// interesting case for merge).
+fn snap_from(counters: &[(u8, u64)], gauges: &[(u8, u64)], hist_samples: &[(u8, u64)]) -> Snapshot {
+    let mut s = Snapshot::default();
+    for &(k, v) in counters {
+        *s.counters.entry(format!("c{}", k % 4)).or_insert(0) += v;
+    }
+    for &(k, v) in gauges {
+        let e = s.gauges.entry(format!("g{}", k % 4)).or_insert(0);
+        *e = (*e).max(v);
+    }
+    for name in 0u8..4 {
+        let samples: Vec<u64> = hist_samples
+            .iter()
+            .filter(|(k, _)| k % 4 == name)
+            .map(|&(_, v)| v)
+            .collect();
+        if !samples.is_empty() {
+            s.histograms.insert(format!("h{name}"), hist_from(&samples));
+        }
+    }
+    s
+}
+
+type Ops = (Vec<(u8, u64)>, Vec<(u8, u64)>, Vec<(u8, u64)>);
+
+fn ops() -> impl Strategy<Value = Ops> {
+    (
+        prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        prop::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        prop::collection::vec((any::<u8>(), any::<u64>()), 0..12),
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, &a.1, &a.2);
+        let sb = snap_from(&b.0, &b.1, &b.2);
+        let ab = sa.clone().merged(&sb);
+        let ba = sb.clone().merged(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in ops(), b in ops(), c in ops()) {
+        let sa = snap_from(&a.0, &a.1, &a.2);
+        let sb = snap_from(&b.0, &b.1, &b.2);
+        let sc = snap_from(&c.0, &c.1, &c.2);
+        let left = sa.clone().merged(&sb).merged(&sc);
+        let right = sa.clone().merged(&sb.clone().merged(&sc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_preserves_counter_totals(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, &a.1, &a.2);
+        let sb = snap_from(&b.0, &b.1, &b.2);
+        let merged = sa.clone().merged(&sb);
+        prop_assert_eq!(merged.counter_total(), sa.counter_total() + sb.counter_total());
+    }
+
+    #[test]
+    fn merge_preserves_histogram_counts_and_extremes(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, &a.1, &a.2);
+        let sb = snap_from(&b.0, &b.1, &b.2);
+        let merged = sa.clone().merged(&sb);
+        for (name, h) in &merged.histograms {
+            let ca = sa.histograms.get(name).map_or(0, |h| h.count);
+            let cb = sb.histograms.get(name).map_or(0, |h| h.count);
+            prop_assert_eq!(h.count, ca + cb);
+            prop_assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+            let maxes = sa
+                .histograms
+                .get(name)
+                .map_or(0, |h| h.max)
+                .max(sb.histograms.get(name).map_or(0, |h| h.max));
+            prop_assert_eq!(h.max, maxes);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in ops()) {
+        let sa = snap_from(&a.0, &a.1, &a.2);
+        prop_assert_eq!(sa.clone().merged(&Snapshot::default()), sa.clone());
+        prop_assert_eq!(Snapshot::default().merged(&sa), sa);
+    }
+}

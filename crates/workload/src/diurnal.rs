@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn flat_profile_keeps_mean_rate() {
-        let base = SdscSp2Model { jobs: 3000, ..Default::default() }.generate(1);
+        let base = SdscSp2Model {
+            jobs: 3000,
+            ..Default::default()
+        }
+        .generate(1);
         let out = apply_diurnal(&base, &DiurnalProfile::flat(), 1);
         assert_eq!(out.len(), base.len());
         let span_base = base.last().unwrap().submit - base[0].submit;
@@ -120,11 +124,18 @@ mod tests {
 
     #[test]
     fn office_hours_concentrates_daytime_arrivals() {
-        let base = SdscSp2Model { jobs: 5000, ..Default::default() }.generate(2);
+        let base = SdscSp2Model {
+            jobs: 5000,
+            ..Default::default()
+        }
+        .generate(2);
         let profile = DiurnalProfile::office_hours(8.0);
         let out = apply_diurnal(&base, &profile, 2);
         let hour = |t: f64| ((t % DAY) / 3600.0) as u32;
-        let day = out.iter().filter(|j| (9..18).contains(&hour(j.submit))).count();
+        let day = out
+            .iter()
+            .filter(|j| (9..18).contains(&hour(j.submit)))
+            .count();
         let night = out.iter().filter(|j| hour(j.submit) < 6).count();
         assert!(
             day > night * 2,
@@ -134,7 +145,11 @@ mod tests {
 
     #[test]
     fn job_bodies_preserved() {
-        let base = SdscSp2Model { jobs: 200, ..Default::default() }.generate(3);
+        let base = SdscSp2Model {
+            jobs: 200,
+            ..Default::default()
+        }
+        .generate(3);
         let out = apply_diurnal(&base, &DiurnalProfile::office_hours(4.0), 3);
         for (a, b) in base.iter().zip(&out) {
             assert_eq!(a.id, b.id);
@@ -146,7 +161,11 @@ mod tests {
 
     #[test]
     fn arrivals_strictly_increasing() {
-        let base = SdscSp2Model { jobs: 500, ..Default::default() }.generate(4);
+        let base = SdscSp2Model {
+            jobs: 500,
+            ..Default::default()
+        }
+        .generate(4);
         let out = apply_diurnal(&base, &DiurnalProfile::office_hours(6.0), 4);
         for w in out.windows(2) {
             assert!(w[1].submit > w[0].submit);
@@ -155,7 +174,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let base = SdscSp2Model { jobs: 100, ..Default::default() }.generate(5);
+        let base = SdscSp2Model {
+            jobs: 100,
+            ..Default::default()
+        }
+        .generate(5);
         let p = DiurnalProfile::office_hours(4.0);
         assert_eq!(apply_diurnal(&base, &p, 9), apply_diurnal(&base, &p, 9));
         assert_ne!(
@@ -169,7 +192,10 @@ mod tests {
     fn profile_rate_lookup() {
         let p = DiurnalProfile::office_hours(8.0);
         assert!(p.rate_at(14.5 * 3600.0) > p.rate_at(2.5 * 3600.0));
-        assert!(p.rate_at(DAY + 14.5 * 3600.0) > p.rate_at(DAY + 2.5 * 3600.0), "wraps daily");
+        assert!(
+            p.rate_at(DAY + 14.5 * 3600.0) > p.rate_at(DAY + 2.5 * 3600.0),
+            "wraps daily"
+        );
         let flat = DiurnalProfile::flat();
         assert_eq!(flat.max_rate(), 1.0);
         assert_eq!(flat.mean_rate(), 1.0);
@@ -177,7 +203,11 @@ mod tests {
 
     #[test]
     fn tiny_inputs_pass_through() {
-        let base = SdscSp2Model { jobs: 1, ..Default::default() }.generate(6);
+        let base = SdscSp2Model {
+            jobs: 1,
+            ..Default::default()
+        }
+        .generate(6);
         let out = apply_diurnal(&base, &DiurnalProfile::flat(), 6);
         assert_eq!(out, base);
     }

@@ -49,7 +49,12 @@ impl LogHistogram {
     }
 
     /// Builds a histogram from samples.
-    pub fn from_samples(samples: impl IntoIterator<Item = f64>, min: f64, factor: f64, bins: usize) -> Self {
+    pub fn from_samples(
+        samples: impl IntoIterator<Item = f64>,
+        min: f64,
+        factor: f64,
+        bins: usize,
+    ) -> Self {
         let mut h = Self::new(min, factor, bins);
         for x in samples {
             h.add(x);
@@ -113,10 +118,8 @@ pub struct TraceHistograms {
 impl TraceHistograms {
     /// Characterizes a base workload.
     pub fn of(jobs: &[BaseJob]) -> Self {
-        let runtime =
-            LogHistogram::from_samples(jobs.iter().map(|j| j.runtime), 30.0, 2.0, 12);
-        let width =
-            LogHistogram::from_samples(jobs.iter().map(|j| j.procs as f64), 1.0, 2.0, 8);
+        let runtime = LogHistogram::from_samples(jobs.iter().map(|j| j.runtime), 30.0, 2.0, 12);
+        let width = LogHistogram::from_samples(jobs.iter().map(|j| j.procs as f64), 1.0, 2.0, 8);
         let gaps = jobs
             .windows(2)
             .map(|w| (w[1].submit - w[0].submit).max(1.0));

@@ -78,11 +78,17 @@ impl Default for LublinModel {
 impl LublinModel {
     /// Generates the workload; deterministic in `(model, seed)`.
     pub fn generate(&self, seed: u64) -> Vec<BaseJob> {
-        assert!(self.nodes.is_power_of_two(), "width model assumes a power-of-two machine");
+        assert!(
+            self.nodes.is_power_of_two(),
+            "width model assumes a power-of-two machine"
+        );
         let master = SimRng::seed_from(seed ^ 0x1B1B_1B1B);
         let log2_max = (self.nodes as f64).log2();
         // Gamma inter-arrivals with the configured mean: scale = mean/shape.
-        let ia = Gamma::new(self.arrival_shape, self.mean_interarrival / self.arrival_shape);
+        let ia = Gamma::new(
+            self.arrival_shape,
+            self.mean_interarrival / self.arrival_shape,
+        );
         let under = Uniform::new(0.1, 0.9);
         let surplus = Exponential::new(self.overestimate_surplus_mean);
 
@@ -145,8 +151,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(LublinModel::default().generate(1), LublinModel::default().generate(1));
-        assert_ne!(LublinModel::default().generate(1), LublinModel::default().generate(2));
+        assert_eq!(
+            LublinModel::default().generate(1),
+            LublinModel::default().generate(1)
+        );
+        assert_ne!(
+            LublinModel::default().generate(1),
+            LublinModel::default().generate(2)
+        );
     }
 
     #[test]
@@ -160,7 +172,10 @@ mod tests {
     fn widths_favour_powers_of_two() {
         let jobs = workload();
         let parallel: Vec<&BaseJob> = jobs.iter().filter(|j| j.procs > 1).collect();
-        let pow2 = parallel.iter().filter(|j| j.procs.is_power_of_two()).count() as f64
+        let pow2 = parallel
+            .iter()
+            .filter(|j| j.procs.is_power_of_two())
+            .count() as f64
             / parallel.len() as f64;
         assert!(pow2 > 0.7, "power-of-two fraction {pow2}");
         assert!(jobs.iter().all(|j| j.procs >= 1 && j.procs <= 128));
@@ -192,13 +207,20 @@ mod tests {
         let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
         let cv = var.sqrt() / mean;
         assert!((mean / 1969.0 - 1.0).abs() < 0.1, "mean gap {mean}");
-        assert!(cv > 1.1, "gamma(0.6) arrivals are burstier than Poisson: cv {cv}");
+        assert!(
+            cv > 1.1,
+            "gamma(0.6) arrivals are burstier than Poisson: cv {cv}"
+        );
     }
 
     #[test]
     fn feeds_the_standard_pipeline() {
         use crate::scenario::{apply_scenario, ScenarioTransform};
-        let base = LublinModel { jobs: 100, ..Default::default() }.generate(3);
+        let base = LublinModel {
+            jobs: 100,
+            ..Default::default()
+        }
+        .generate(3);
         let jobs = apply_scenario(&base, &ScenarioTransform::default(), 3);
         assert_eq!(jobs.len(), 100);
         assert!(jobs.iter().all(|j| j.deadline > 0.0 && j.budget > 0.0));
@@ -207,7 +229,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_pow2_machine_rejected() {
-        let m = LublinModel { nodes: 100, ..Default::default() };
+        let m = LublinModel {
+            nodes: 100,
+            ..Default::default()
+        };
         let _ = m.generate(1);
     }
 }

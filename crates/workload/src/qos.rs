@@ -227,7 +227,10 @@ mod tests {
         );
         let b_high = mean(&|j| j.budget, Urgency::High);
         let b_low = mean(&|j| j.budget, Urgency::Low);
-        assert!(b_high > b_low, "high urgency should pay more: {b_high} vs {b_low}");
+        assert!(
+            b_high > b_low,
+            "high urgency should pay more: {b_high} vs {b_low}"
+        );
         let p_high = mean(&|j| j.penalty_rate, Urgency::High);
         let p_low = mean(&|j| j.penalty_rate, Urgency::Low);
         assert!(p_high > p_low);

@@ -81,8 +81,22 @@ mod tests {
     #[test]
     fn arrival_factor_scales_gaps() {
         let b = base();
-        let full = apply_scenario(&b, &ScenarioTransform { arrival_delay_factor: 1.0, ..Default::default() }, 1);
-        let tenth = apply_scenario(&b, &ScenarioTransform { arrival_delay_factor: 0.1, ..Default::default() }, 1);
+        let full = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                arrival_delay_factor: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let tenth = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                arrival_delay_factor: 0.1,
+                ..Default::default()
+            },
+            1,
+        );
         let span_full = full.last().unwrap().submit - full[0].submit;
         let span_tenth = tenth.last().unwrap().submit - tenth[0].submit;
         assert!((span_tenth / span_full - 0.1).abs() < 1e-9);
@@ -91,8 +105,22 @@ mod tests {
     #[test]
     fn qos_invariant_under_arrival_sweep() {
         let b = base();
-        let a = apply_scenario(&b, &ScenarioTransform { arrival_delay_factor: 1.0, ..Default::default() }, 1);
-        let c = apply_scenario(&b, &ScenarioTransform { arrival_delay_factor: 0.02, ..Default::default() }, 1);
+        let a = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                arrival_delay_factor: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let c = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                arrival_delay_factor: 0.02,
+                ..Default::default()
+            },
+            1,
+        );
         for (x, y) in a.iter().zip(&c) {
             assert_eq!(x.deadline, y.deadline);
             assert_eq!(x.budget, y.budget);
@@ -104,8 +132,22 @@ mod tests {
     #[test]
     fn qos_invariant_under_inaccuracy_sweep() {
         let b = base();
-        let a = apply_scenario(&b, &ScenarioTransform { inaccuracy_pct: 0.0, ..Default::default() }, 1);
-        let c = apply_scenario(&b, &ScenarioTransform { inaccuracy_pct: 100.0, ..Default::default() }, 1);
+        let a = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                inaccuracy_pct: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let c = apply_scenario(
+            &b,
+            &ScenarioTransform {
+                inaccuracy_pct: 100.0,
+                ..Default::default()
+            },
+            1,
+        );
         for (x, y) in a.iter().zip(&c) {
             assert_eq!(x.deadline, y.deadline);
             assert_eq!(x.budget, y.budget);
@@ -140,7 +182,14 @@ mod tests {
 
     #[test]
     fn submits_remain_monotone() {
-        let jobs = apply_scenario(&base(), &ScenarioTransform { arrival_delay_factor: 0.02, ..Default::default() }, 3);
+        let jobs = apply_scenario(
+            &base(),
+            &ScenarioTransform {
+                arrival_delay_factor: 0.02,
+                ..Default::default()
+            },
+            3,
+        );
         for w in jobs.windows(2) {
             assert!(w[1].submit >= w[0].submit);
         }

@@ -67,9 +67,17 @@ impl std::fmt::Display for WorkloadSummary {
         writeln!(f, "mean inter-arrival   : {:.1} s", self.mean_interarrival)?;
         writeln!(f, "mean runtime         : {:.1} s", self.mean_runtime)?;
         writeln!(f, "mean processors      : {:.2}", self.mean_procs)?;
-        writeln!(f, "under-estimates      : {:.1} %", self.underestimate_fraction * 100.0)?;
+        writeln!(
+            f,
+            "under-estimates      : {:.1} %",
+            self.underestimate_fraction * 100.0
+        )?;
         writeln!(f, "offered load         : {:.2}", self.offered_load)?;
-        writeln!(f, "high-urgency jobs    : {:.1} %", self.high_urgency_fraction * 100.0)?;
+        writeln!(
+            f,
+            "high-urgency jobs    : {:.1} %",
+            self.high_urgency_fraction * 100.0
+        )?;
         write!(f, "mean deadline factor : {:.2}", self.mean_deadline_factor)
     }
 }
@@ -107,7 +115,11 @@ mod tests {
         assert!((s.underestimate_fraction - 0.08).abs() < 0.02);
         // Offered load of the un-compressed subset is ~0.6 of the cluster;
         // the default experiment compresses arrivals 10x (see DESIGN.md).
-        assert!(s.offered_load > 0.4 && s.offered_load < 0.9, "load {}", s.offered_load);
+        assert!(
+            s.offered_load > 0.4 && s.offered_load < 0.9,
+            "load {}",
+            s.offered_load
+        );
     }
 
     #[test]

@@ -169,7 +169,11 @@ pub fn to_base_jobs(records: &[SwfRecord], max_procs: u32, last_n: Option<usize>
             if r.runtime <= 0.0 || procs <= 0 || procs > max_procs as i64 {
                 return None;
             }
-            let estimate = if r.req_time > 0.0 { r.req_time } else { r.runtime };
+            let estimate = if r.req_time > 0.0 {
+                r.req_time
+            } else {
+                r.runtime
+            };
             Some(BaseJob {
                 id: 0, // assigned after filtering
                 submit: r.submit,

@@ -238,7 +238,9 @@ mod tests {
     #[test]
     fn runtime_bounds_respected() {
         let jobs = workload();
-        assert!(jobs.iter().all(|j| j.runtime >= 30.0 && j.runtime <= 64_800.0));
+        assert!(jobs
+            .iter()
+            .all(|j| j.runtime >= 30.0 && j.runtime <= 64_800.0));
     }
 
     #[test]
@@ -250,11 +252,8 @@ mod tests {
     #[test]
     fn estimate_accuracy_mix_matches_paper() {
         let jobs = workload();
-        let under = jobs
-            .iter()
-            .filter(|j| j.trace_estimate < j.runtime)
-            .count() as f64
-            / jobs.len() as f64;
+        let under =
+            jobs.iter().filter(|j| j.trace_estimate < j.runtime).count() as f64 / jobs.len() as f64;
         assert!(
             (under - 0.08).abs() < 0.02,
             "under-estimate fraction {under} (target 0.08)"
@@ -281,7 +280,10 @@ mod tests {
         };
         let jobs = model.generate(42);
         let modal = |e: f64| MODAL_ESTIMATES.iter().any(|&m| (m - e).abs() < 1e-9);
-        let over: Vec<&BaseJob> = jobs.iter().filter(|j| j.trace_estimate >= j.runtime).collect();
+        let over: Vec<&BaseJob> = jobs
+            .iter()
+            .filter(|j| j.trace_estimate >= j.runtime)
+            .collect();
         // All over-estimates land on canonical values...
         assert!(over.iter().all(|j| modal(j.trace_estimate)));
         // ...and the distribution is concentrated: few distinct values.
@@ -290,8 +292,8 @@ mod tests {
         distinct.dedup();
         assert!(distinct.len() <= MODAL_ESTIMATES.len());
         // Under-estimate mix unchanged.
-        let under = jobs.iter().filter(|j| j.trace_estimate < j.runtime).count() as f64
-            / jobs.len() as f64;
+        let under =
+            jobs.iter().filter(|j| j.trace_estimate < j.runtime).count() as f64 / jobs.len() as f64;
         assert!((under - 0.08).abs() < 0.02, "under fraction {under}");
     }
 

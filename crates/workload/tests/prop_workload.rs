@@ -10,26 +10,28 @@ fn record_strategy() -> impl Strategy<Value = SwfRecord> {
         0.0f64..1e7,
         (1.0f64..1e5, 1i64..129, 1.0f64..1e5),
     )
-        .prop_map(|(job_number, submit, (runtime, procs, req_time))| SwfRecord {
-            job_number,
-            submit,
-            wait: 0.0,
-            runtime,
-            used_procs: procs,
-            avg_cpu: -1.0,
-            used_mem: -1.0,
-            req_procs: procs,
-            req_time,
-            req_mem: -1.0,
-            status: 1,
-            uid: 1,
-            gid: 1,
-            exe: 1,
-            queue: 1,
-            partition: 1,
-            preceding: -1,
-            think_time: -1.0,
-        })
+        .prop_map(
+            |(job_number, submit, (runtime, procs, req_time))| SwfRecord {
+                job_number,
+                submit,
+                wait: 0.0,
+                runtime,
+                used_procs: procs,
+                avg_cpu: -1.0,
+                used_mem: -1.0,
+                req_procs: procs,
+                req_time,
+                req_mem: -1.0,
+                status: 1,
+                uid: 1,
+                gid: 1,
+                exe: 1,
+                queue: 1,
+                partition: 1,
+                preceding: -1,
+                think_time: -1.0,
+            },
+        )
 }
 
 proptest! {

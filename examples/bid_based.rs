@@ -34,7 +34,11 @@ fn main() {
     );
 
     // --- policies facing the penalty under trace (inaccurate) estimates ---
-    let base = SdscSp2Model { jobs: 1500, ..Default::default() }.generate(13);
+    let base = SdscSp2Model {
+        jobs: 1500,
+        ..Default::default()
+    }
+    .generate(13);
     let jobs = apply_scenario(
         &base,
         &ScenarioTransform {

@@ -17,7 +17,11 @@ use ccs_simsvc::{simulate, RunConfig};
 use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
 
 fn main() {
-    let base = SdscSp2Model { jobs: 1500, ..Default::default() }.generate(7);
+    let base = SdscSp2Model {
+        jobs: 1500,
+        ..Default::default()
+    }
+    .generate(7);
     let cfg = RunConfig {
         nodes: 128,
         econ: EconomicModel::CommodityMarket,

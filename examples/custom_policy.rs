@@ -57,9 +57,16 @@ impl GreedyValue {
                 Some(head) if head.procs <= self.cluster.free_procs() => {
                     let job = self.queue.remove(0);
                     self.cluster.start(job.id, job.procs, now + job.estimate);
-                    self.completions.push(SimTime::new(now + job.runtime), job.id);
-                    out.push(Outcome::Accepted { job: job.id, at: now });
-                    out.push(Outcome::Started { job: job.id, at: now });
+                    self.completions
+                        .push(SimTime::new(now + job.runtime), job.id);
+                    out.push(Outcome::Accepted {
+                        job: job.id,
+                        at: now,
+                    });
+                    out.push(Outcome::Started {
+                        job: job.id,
+                        at: now,
+                    });
                     self.running.insert(job.id, now);
                 }
                 _ => return,
@@ -106,7 +113,11 @@ impl Policy for GreedyValue {
 }
 
 fn main() {
-    let base = SdscSp2Model { jobs: 1200, ..Default::default() }.generate(99);
+    let base = SdscSp2Model {
+        jobs: 1200,
+        ..Default::default()
+    }
+    .generate(99);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 99);
     let cfg = RunConfig {
         nodes: 128,
@@ -120,13 +131,23 @@ fn main() {
     // The custom policy, driven by the standard runner...
     let custom = simulate_with(&jobs, Box::new(GreedyValue::new(128)), &cfg);
     let [w, s, r, p] = custom.metrics.objectives();
-    println!("{:<12} {:>8.1} {:>10.0} {:>13.1} {:>10.1}", "GreedyValue", s, w, r, p);
+    println!(
+        "{:<12} {:>8.1} {:>10.0} {:>13.1} {:>10.1}",
+        "GreedyValue", s, w, r, p
+    );
 
     // ...side by side with the paper's bid-based policies.
     for kind in PolicyKind::BID_BASED {
         let res = simulate(&jobs, kind, &cfg);
         let [w, s, r, p] = res.metrics.objectives();
-        println!("{:<12} {:>8.1} {:>10.0} {:>13.1} {:>10.1}", kind.name(), s, w, r, p);
+        println!(
+            "{:<12} {:>8.1} {:>10.0} {:>13.1} {:>10.1}",
+            kind.name(),
+            s,
+            w,
+            r,
+            p
+        );
     }
     println!(
         "\nAny type implementing ccs_policies::Policy plugs into \

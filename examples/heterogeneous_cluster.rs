@@ -16,7 +16,11 @@ use ccs_simsvc::{simulate_with, RunConfig};
 use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
 
 fn main() {
-    let base = SdscSp2Model { jobs: 1200, ..Default::default() }.generate(17);
+    let base = SdscSp2Model {
+        jobs: 1200,
+        ..Default::default()
+    }
+    .generate(17);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 17);
     let cfg = RunConfig {
         nodes: 128,

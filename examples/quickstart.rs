@@ -14,9 +14,16 @@ use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model, WorkloadSumm
 fn main() {
     // 1. Synthesize an SDSC SP2-like trace (the paper's workload) and
     //    annotate it with QoS attributes: deadline, budget, penalty rate.
-    let base = SdscSp2Model { jobs: 1000, ..Default::default() }.generate(42);
+    let base = SdscSp2Model {
+        jobs: 1000,
+        ..Default::default()
+    }
+    .generate(42);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 42);
-    println!("--- workload ---\n{}\n", WorkloadSummary::compute(&jobs, 128));
+    println!(
+        "--- workload ---\n{}\n",
+        WorkloadSummary::compute(&jobs, 128)
+    );
 
     // 2. Run it through a policy on a 128-node service.
     let cfg = RunConfig {
@@ -32,7 +39,14 @@ fn main() {
     for kind in PolicyKind::COMMODITY {
         let res = simulate(&jobs, kind, &cfg);
         let [wait, sla, rel, prof] = res.metrics.objectives();
-        println!("{:<12} {:>10.0} {:>8.1} {:>12.1} {:>14.1}", kind.name(), wait, sla, rel, prof);
+        println!(
+            "{:<12} {:>10.0} {:>8.1} {:>12.1} {:>14.1}",
+            kind.name(),
+            wait,
+            sla,
+            rel,
+            prof
+        );
         sla_by_policy.push(sla);
     }
 

@@ -11,9 +11,7 @@
 
 use ccs_risk::report::{ascii_plot, extrema_table, ranking_table};
 use ccs_risk::svg::{render, SvgOptions};
-use ccs_risk::{
-    normalize::normalize, rank, separate, Objective, PolicySeries, RankBy, RiskPlot,
-};
+use ccs_risk::{normalize::normalize, rank, separate, Objective, PolicySeries, RankBy, RiskPlot};
 
 fn main() {
     // providers x regions x months: raw SLA percentages.
@@ -69,7 +67,10 @@ fn main() {
     let plot = RiskPlot::new("provider SLA attainment across 5 regions", series);
 
     println!("{}", ascii_plot(&plot, 64, 18));
-    println!("--- extrema (cf. paper Table II) ---\n{}", extrema_table(&plot));
+    println!(
+        "--- extrema (cf. paper Table II) ---\n{}",
+        extrema_table(&plot)
+    );
     println!(
         "--- ranked by best performance (cf. Table III) ---\n{}",
         ranking_table(&rank(&plot, RankBy::BestPerformance), "max perf", "min vol")

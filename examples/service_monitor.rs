@@ -15,7 +15,11 @@ use ccs_workload::{
 
 fn main() {
     // Two days of arrivals with a strong office-hours cycle.
-    let base = SdscSp2Model { jobs: 400, ..Default::default() }.generate(21);
+    let base = SdscSp2Model {
+        jobs: 400,
+        ..Default::default()
+    }
+    .generate(21);
     let diurnal = apply_diurnal(&base, &DiurnalProfile::office_hours(6.0), 21);
     let jobs = apply_scenario(
         &diurnal,

@@ -14,8 +14,16 @@ use ccs_workload::{
 };
 
 fn main() {
-    let sdsc = SdscSp2Model { jobs: 2000, ..Default::default() }.generate(31);
-    let lublin = LublinModel { jobs: 2000, ..Default::default() }.generate(31);
+    let sdsc = SdscSp2Model {
+        jobs: 2000,
+        ..Default::default()
+    }
+    .generate(31);
+    let lublin = LublinModel {
+        jobs: 2000,
+        ..Default::default()
+    }
+    .generate(31);
     let diurnal = apply_diurnal(&sdsc, &DiurnalProfile::office_hours(6.0), 31);
 
     let models: Vec<(&str, &Vec<BaseJob>)> = vec![
@@ -46,7 +54,10 @@ fn main() {
         let jobs = apply_scenario(base, &ScenarioTransform::default(), 31);
         let res = simulate(&jobs, PolicyKind::SjfBf, &cfg);
         let [w, s, r, p] = res.metrics.objectives();
-        println!("{:<22} {:>8.1} {:>10.0} {:>13.1} {:>10.1}", name, s, w, r, p);
+        println!(
+            "{:<22} {:>8.1} {:>10.0} {:>13.1} {:>10.1}",
+            name, s, w, r, p
+        );
     }
     println!(
         "\nThe Lublin model's bursty gamma arrivals and width-correlated \

@@ -7,8 +7,8 @@
 //! cargo run --release -p ccs-experiments --example weight_sensitivity -- --quick
 //! ```
 
-use ccs_experiments::{analyze, run_grid, EstimateSet, Scenario};
 use ccs_economy::EconomicModel;
+use ccs_experiments::{analyze, run_grid, EstimateSet, Scenario};
 use ccs_risk::apriori::{forecast, pareto_front, uniform_mix, weight_sensitivity};
 use ccs_risk::{integrated_equal, kendall_tau, rank, Objective, RankBy, RiskMeasure};
 
@@ -53,7 +53,10 @@ fn main() {
             .map(|row| integrated_equal(&row[p]))
             .collect();
         let f = forecast(&all4, &mix);
-        println!("{name:<12} expected performance {:.3}, risk {:.3}", f.performance, f.volatility);
+        println!(
+            "{name:<12} expected performance {:.3}, risk {:.3}",
+            f.performance, f.volatility
+        );
     }
 
     // (ii) Where does the best policy flip as profitability gains weight?

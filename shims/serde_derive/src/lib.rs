@@ -1,0 +1,437 @@
+//! In-tree shim of serde's derive macros.
+//!
+//! Parses the deriving item directly from the `proc_macro` token stream (no
+//! `syn`/`quote` — the build environment is offline) and generates
+//! `serde::Serialize` / `serde::Deserialize` impls against the serde shim's
+//! tree data model:
+//!
+//! - named-field structs  -> externally keyed maps
+//! - tuple structs        -> newtype passthrough (arity 1) or sequences
+//! - unit structs         -> null
+//! - enums                -> externally tagged: unit variants as strings,
+//!   data variants as single-entry maps (serde's default representation)
+//!
+//! Generics, lifetimes, and `#[serde(...)]` attributes are intentionally
+//! unsupported; the workspace derives only plain concrete types.
+
+// The generated-code strings deliberately embed newlines so the emitted
+// impls stay readable when debugging macro output.
+#![allow(clippy::write_with_newline)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Shape of a struct body or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (deriving `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub`/`pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the `,` separator (or at end).
+/// Tracks `<`/`>` nesting so commas inside generic arguments don't split.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any explicit discriminant (`= expr`) up to the variant comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => named_fields_to_map(fs, "self."),
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), {inner})]),\n",
+                            binds.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inner = named_fields_to_map(fs, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), {inner})]),\n",
+                            fs.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+/// Builds a `Value::Map` expression from named fields. `prefix` is either
+/// `"self."` (struct impls) or `""` (bound variant fields).
+fn named_fields_to_map(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match __v {{ ::serde::Value::Null => Ok({name}), \
+                     other => Err(::serde::Error::expected(\"null for unit struct {name}\", other)) }}"
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{ ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({})), \
+                         other => Err(::serde::Error::expected(\"sequence of length {n}\", other)) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{ ::serde::Value::Map(__m) => Ok({name} {{ {} }}), \
+                         other => Err(::serde::Error::expected(\"map for struct {name}\", other)) }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings.
+            let mut str_arms = String::new();
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    let _ = write!(str_arms, "\"{v}\" => Ok({name}::{v}),\n");
+                }
+            }
+            // Data variants arrive as single-entry maps.
+            let mut map_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            map_arms,
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            map_arms,
+                            "\"{v}\" => match __inner {{ \
+                               ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                 Ok({name}::{v}({})), \
+                               other => Err(::serde::Error::expected(\"sequence of length {n} for variant {v}\", other)) }},\n",
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__fm, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            map_arms,
+                            "\"{v}\" => match __inner {{ \
+                               ::serde::Value::Map(__fm) => Ok({name}::{v} {{ {} }}), \
+                               other => Err(::serde::Error::expected(\"map for variant {v}\", other)) }},\n",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {str_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {map_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::expected(\"string or single-entry map for enum {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}

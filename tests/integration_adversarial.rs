@@ -12,7 +12,11 @@ fn all_policy_econ_pairs() -> Vec<(PolicyKind, EconomicModel)> {
         .iter()
         .map(|&k| (k, EconomicModel::CommodityMarket))
         .collect();
-    v.extend(PolicyKind::BID_BASED.iter().map(|&k| (k, EconomicModel::BidBased)));
+    v.extend(
+        PolicyKind::BID_BASED
+            .iter()
+            .map(|&k| (k, EconomicModel::BidBased)),
+    );
     v
 }
 
@@ -83,7 +87,10 @@ fn zero_deadline_slack_jobs() {
         // No panic, and whatever was fulfilled met its deadline exactly.
         for (r, j) in res.records.iter().zip(&jobs) {
             if r.fulfilled {
-                assert!(r.finished_at.unwrap() <= j.submit + j.deadline + 1e-6, "{kind}");
+                assert!(
+                    r.finished_at.unwrap() <= j.submit + j.deadline + 1e-6,
+                    "{kind}"
+                );
             }
         }
     }
@@ -106,7 +113,10 @@ fn grossly_underestimated_monsters_do_not_wedge_the_service() {
         // Every accepted job eventually completes (drain terminates).
         for r in &res.records {
             if r.accepted {
-                assert!(r.finished_at.is_some(), "{kind}: accepted job never finished");
+                assert!(
+                    r.finished_at.is_some(),
+                    "{kind}: accepted job never finished"
+                );
             }
         }
     }
@@ -114,7 +124,9 @@ fn grossly_underestimated_monsters_do_not_wedge_the_service() {
 
 #[test]
 fn single_node_cluster() {
-    let jobs: Vec<Job> = (0..15).map(|i| job(i, i as f64 * 10.0, 30.0, 30.0, 5000.0, 1)).collect();
+    let jobs: Vec<Job> = (0..15)
+        .map(|i| job(i, i as f64 * 10.0, 30.0, 30.0, 5000.0, 1))
+        .collect();
     for (kind, econ) in all_policy_econ_pairs() {
         let cfg = RunConfig { nodes: 1, econ };
         let res = simulate(&jobs, kind, &cfg);
@@ -124,7 +136,11 @@ fn single_node_cluster() {
 
 #[test]
 fn extreme_scenario_parameters_stay_sane() {
-    let base = SdscSp2Model { jobs: 60, ..Default::default() }.generate(3);
+    let base = SdscSp2Model {
+        jobs: 60,
+        ..Default::default()
+    }
+    .generate(3);
     // Most extreme corner of Table VI: everything at its max, heaviest load.
     let mut t = ScenarioTransform {
         arrival_delay_factor: 0.02,
@@ -151,9 +167,9 @@ fn extreme_scenario_parameters_stay_sane() {
 #[test]
 fn malformed_swf_is_rejected_cleanly() {
     for bad in [
-        "1 2 3",                                         // too few fields
-        "a b c d e f g h i j k l m n o p q r",           // non-numeric
-        "1 0 0 100 4 -1 -1 4 120 -1 1 1 1 1 1 1 -1",     // 17 fields
+        "1 2 3",                                     // too few fields
+        "a b c d e f g h i j k l m n o p q r",       // non-numeric
+        "1 0 0 100 4 -1 -1 4 120 -1 1 1 1 1 1 1 -1", // 17 fields
     ] {
         assert!(ccs_workload::swf::parse(bad).is_err(), "{bad:?} must fail");
     }
@@ -165,18 +181,21 @@ fn malformed_swf_is_rejected_cleanly() {
 #[test]
 fn risk_math_rejects_garbage_loudly() {
     use std::panic::catch_unwind;
-    assert!(catch_unwind(|| ccs_risk::separate(&[2.0])).is_err(), "unnormalized input");
-    assert!(catch_unwind(|| ccs_risk::separate(&[])).is_err(), "empty input");
+    assert!(
+        catch_unwind(|| ccs_risk::separate(&[2.0])).is_err(),
+        "unnormalized input"
+    );
+    assert!(
+        catch_unwind(|| ccs_risk::separate(&[])).is_err(),
+        "empty input"
+    );
     assert!(
         catch_unwind(|| ccs_risk::integrated(&[(ccs_risk::RiskMeasure::IDEAL, 0.4)])).is_err(),
         "weights not summing to 1"
     );
     assert!(
-        catch_unwind(|| ccs_risk::apriori::forecast(
-            &[ccs_risk::RiskMeasure::IDEAL],
-            &[0.7]
-        ))
-        .is_err(),
+        catch_unwind(|| ccs_risk::apriori::forecast(&[ccs_risk::RiskMeasure::IDEAL], &[0.7]))
+            .is_err(),
         "probabilities not summing to 1"
     );
 }

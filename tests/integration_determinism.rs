@@ -7,13 +7,20 @@ use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model};
 
 #[test]
 fn trace_generation_bit_identical() {
-    let m = SdscSp2Model { jobs: 300, ..Default::default() };
+    let m = SdscSp2Model {
+        jobs: 300,
+        ..Default::default()
+    };
     assert_eq!(m.generate(123), m.generate(123));
 }
 
 #[test]
 fn scenario_annotation_bit_identical() {
-    let base = SdscSp2Model { jobs: 100, ..Default::default() }.generate(5);
+    let base = SdscSp2Model {
+        jobs: 100,
+        ..Default::default()
+    }
+    .generate(5);
     let t = ScenarioTransform::default();
     let a = apply_scenario(&base, &t, 77);
     let b = apply_scenario(&base, &t, 77);
@@ -36,8 +43,16 @@ fn grid_identical_across_thread_counts() {
 #[test]
 fn analysis_is_deterministic() {
     let cfg = ExperimentConfig::quick().with_jobs(40);
-    let a = analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg));
-    let b = analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg));
+    let a = analyze(&run_grid(
+        EconomicModel::CommodityMarket,
+        EstimateSet::A,
+        &cfg,
+    ));
+    let b = analyze(&run_grid(
+        EconomicModel::CommodityMarket,
+        EstimateSet::A,
+        &cfg,
+    ));
     for (ra, rb) in a.separate.iter().zip(&b.separate) {
         for (pa, pb) in ra.iter().zip(rb) {
             for (ma, mb) in pa.iter().zip(pb) {
@@ -50,8 +65,14 @@ fn analysis_is_deterministic() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = ExperimentConfig { seed: 1, ..ExperimentConfig::quick().with_jobs(60) };
-    let b = ExperimentConfig { seed: 2, ..ExperimentConfig::quick().with_jobs(60) };
+    let a = ExperimentConfig {
+        seed: 1,
+        ..ExperimentConfig::quick().with_jobs(60)
+    };
+    let b = ExperimentConfig {
+        seed: 2,
+        ..ExperimentConfig::quick().with_jobs(60)
+    };
     let ga = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &a);
     let gb = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &b);
     assert_ne!(ga.raw, gb.raw, "seed must matter");

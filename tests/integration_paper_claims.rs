@@ -26,8 +26,16 @@ fn mean_all4(a: &ccs_experiments::GridAnalysis, policy: &str) -> f64 {
 #[ignore = "full 5000-job study (~1 min); run with --ignored"]
 fn commodity_market_claims() {
     let cfg = ExperimentConfig::default();
-    let a = analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg));
-    let b = analyze(&run_grid(EconomicModel::CommodityMarket, EstimateSet::B, &cfg));
+    let a = analyze(&run_grid(
+        EconomicModel::CommodityMarket,
+        EstimateSet::A,
+        &cfg,
+    ));
+    let b = analyze(&run_grid(
+        EconomicModel::CommodityMarket,
+        EstimateSet::B,
+        &cfg,
+    ));
 
     // Fig 3a/b: the Libra family examines jobs at submission — ideal wait.
     for g in [&a, &b] {
@@ -67,12 +75,10 @@ fn commodity_market_claims() {
 
     // Fig 3d: Libra+$ accepts/fulfils fewer than Libra; both drop from A to B.
     assert!(
-        a.mean_performance("Libra+$", Objective::Sla)
-            < a.mean_performance("Libra", Objective::Sla)
+        a.mean_performance("Libra+$", Objective::Sla) < a.mean_performance("Libra", Objective::Sla)
     );
     assert!(
-        b.mean_performance("Libra", Objective::Sla)
-            < a.mean_performance("Libra", Objective::Sla)
+        b.mean_performance("Libra", Objective::Sla) < a.mean_performance("Libra", Objective::Sla)
     );
 
     // Fig 5a: the Libra family tops the 4-objective integration in Set A,

@@ -9,7 +9,11 @@ use ccs_workload::{apply_scenario, ScenarioTransform, SdscSp2Model, WorkloadSumm
 
 #[test]
 fn trace_to_metrics_to_risk() {
-    let base = SdscSp2Model { jobs: 120, ..Default::default() }.generate(7);
+    let base = SdscSp2Model {
+        jobs: 120,
+        ..Default::default()
+    }
+    .generate(7);
     let jobs = apply_scenario(&base, &ScenarioTransform::default(), 7);
     let summary = WorkloadSummary::compute(&jobs, 128);
     assert_eq!(summary.jobs, 120);
@@ -56,7 +60,11 @@ fn quick_grid_supports_all_figure_views() {
 fn swf_export_reimport_preserves_simulation() {
     // Export the synthetic workload as SWF, re-import it, and verify the
     // simulation outcome is identical — the dual of trace portability.
-    let base = SdscSp2Model { jobs: 80, ..Default::default() }.generate(3);
+    let base = SdscSp2Model {
+        jobs: 80,
+        ..Default::default()
+    }
+    .generate(3);
     let records: Vec<ccs_workload::swf::SwfRecord> = base
         .iter()
         .map(|b| ccs_workload::swf::SwfRecord {

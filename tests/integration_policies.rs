@@ -7,7 +7,11 @@ use ccs_simsvc::{simulate, RunConfig, RunResult};
 use ccs_workload::{apply_scenario, Job, ScenarioTransform, SdscSp2Model};
 
 fn workload(inaccuracy_pct: f64) -> Vec<Job> {
-    let base = SdscSp2Model { jobs: 600, ..Default::default() }.generate(42);
+    let base = SdscSp2Model {
+        jobs: 600,
+        ..Default::default()
+    }
+    .generate(42);
     apply_scenario(
         &base,
         &ScenarioTransform {
@@ -97,7 +101,11 @@ fn libra_dollar_earns_more_per_budget_than_libra() {
     // Libra+$'s adaptive pricing extracts more utility (paper Fig. 3g/h).
     let jobs = workload(0.0);
     let plain = run(&jobs, PolicyKind::Libra, EconomicModel::CommodityMarket);
-    let dollar = run(&jobs, PolicyKind::LibraDollar, EconomicModel::CommodityMarket);
+    let dollar = run(
+        &jobs,
+        PolicyKind::LibraDollar,
+        EconomicModel::CommodityMarket,
+    );
     assert!(
         dollar.metrics.profitability_pct() > plain.metrics.profitability_pct(),
         "Libra+$ {} vs Libra {}",
@@ -111,7 +119,11 @@ fn libra_dollar_accepts_fewer_jobs() {
     // Higher prices under load discourage submissions (paper Section 6.1).
     let jobs = workload(0.0);
     let plain = run(&jobs, PolicyKind::Libra, EconomicModel::CommodityMarket);
-    let dollar = run(&jobs, PolicyKind::LibraDollar, EconomicModel::CommodityMarket);
+    let dollar = run(
+        &jobs,
+        PolicyKind::LibraDollar,
+        EconomicModel::CommodityMarket,
+    );
     assert!(dollar.metrics.accepted < plain.metrics.accepted);
 }
 
@@ -198,7 +210,11 @@ fn bid_based_penalties_can_make_utility_negative() {
 fn heavier_load_cannot_increase_fulfilled_fraction() {
     // Compressing arrivals (lower arrival-delay factor) strictly raises
     // contention; the SLA percentage must not improve.
-    let base = SdscSp2Model { jobs: 400, ..Default::default() }.generate(11);
+    let base = SdscSp2Model {
+        jobs: 400,
+        ..Default::default()
+    }
+    .generate(11);
     let slas: Vec<f64> = [0.02, 0.25, 1.0]
         .iter()
         .map(|&factor| {

@@ -56,7 +56,10 @@ fn svg_axis_range_covers_all_points() {
     let svg = render(&plot, &SvgOptions::default());
     // The axis labels should include a tick at or beyond 1.0.
     assert!(
-        svg.contains(">0.84<") || svg.contains(">1.05<") || svg.contains(">0.8") || svg.contains(">1.0"),
+        svg.contains(">0.84<")
+            || svg.contains(">1.05<")
+            || svg.contains(">0.8")
+            || svg.contains(">1.0"),
         "x axis must extend beyond the default when data demands it"
     );
 }
