@@ -33,11 +33,20 @@ struct QueueStats {
 impl QueueStats {
     fn flush(&self) {
         let t = ccs_telemetry::global();
-        t.counter("des.events_scheduled").add(self.scheduled);
-        t.counter("des.events_cancelled").add(self.cancelled);
-        t.counter("des.events_processed").add(self.popped);
-        t.counter("des.tombstone_skips").add(self.tombstone_skips);
-        t.gauge("des.queue_depth_hwm").observe(self.depth_hwm);
+        t.counter("des.events.scheduled").add(self.scheduled);
+        t.counter("des.events.cancelled").add(self.cancelled);
+        t.counter("des.events.processed").add(self.popped);
+        t.counter("des.tombstones.skipped")
+            .add(self.tombstone_skips);
+        t.gauge("des.queue.depth_hwm").observe(self.depth_hwm);
+        #[cfg(feature = "trace")]
+        ccs_telemetry::trace::record_kernel_span(ccs_telemetry::trace::KernelSpan {
+            scheduled: self.scheduled,
+            processed: self.popped,
+            cancelled: self.cancelled,
+            tombstone_skips: self.tombstone_skips,
+            depth_hwm: self.depth_hwm,
+        });
     }
 }
 

@@ -36,6 +36,17 @@ impl<E> Default for Simulation<E> {
     }
 }
 
+// One histogram sample per simulation lifetime; the embedded queue's own
+// drop flushes the event counters, so nothing is double-counted here.
+#[cfg(feature = "telemetry")]
+impl<E> Drop for Simulation<E> {
+    fn drop(&mut self) {
+        ccs_telemetry::global()
+            .histogram("des.sim.events_per_run")
+            .record(self.processed);
+    }
+}
+
 impl<E> Simulation<E> {
     /// Creates a simulation with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {

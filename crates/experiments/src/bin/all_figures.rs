@@ -3,10 +3,10 @@
 //! The default configuration is the paper's full study: 12 scenarios × 6
 //! values × 5 policies × 2 economic models × 2 estimate sets = 1440
 //! simulation runs of 5000 jobs on a 128-node cluster. Use --quick (200
-//! jobs) or --jobs N to shrink it.
+//! jobs) or --jobs N to shrink it, and --quiet to silence stderr progress.
 
 use ccs_experiments::figures::{figure2_curves, print_figure, write_figure};
-use ccs_experiments::{run_evaluation, tables};
+use ccs_experiments::{progress, run_evaluation, tables};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -16,12 +16,12 @@ fn main() {
     println!("{}", tables::all_tables());
 
     let t0 = Instant::now();
-    eprintln!(
+    progress::note(&format!(
         "running full evaluation: {} jobs, seed {} ...",
         cfg.trace.jobs, cfg.seed
-    );
+    ));
     let ev = run_evaluation(&cfg);
-    eprintln!("evaluation finished in {:.1?}", t0.elapsed());
+    progress::note(&format!("evaluation finished in {:.1?}", t0.elapsed()));
 
     for fig in ev.paper_figures() {
         print!("{}", print_figure(&fig));
@@ -57,15 +57,15 @@ fn main() {
     )
     .expect("write fig2.svg");
 
-    eprint!(
-        "{}",
-        ccs_experiments::telemetry_report::slowest_cells_summary(&ev.raw_grids, 5)
-    );
+    progress::note_raw(&ccs_experiments::telemetry_report::slowest_cells_summary(
+        &ev.raw_grids,
+        5,
+    ));
     if let Some(path) = telemetry {
         ccs_experiments::TelemetryReport::collect(&ev.raw_grids)
             .write(&path)
             .expect("write telemetry report");
-        eprintln!("telemetry report written to {}", path.display());
+        progress::note(&format!("telemetry report written to {}", path.display()));
     }
-    eprintln!("artifacts under {}", out.display());
+    progress::note(&format!("artifacts under {}", out.display()));
 }

@@ -1,0 +1,98 @@
+//! `trace_report` — offline analysis of a trace bundle written by
+//! `utility_risk trace` (or any `trace.jsonl` in the same schema).
+//!
+//! ```text
+//! trace_report DIR                reads DIR/trace.jsonl + DIR/manifest.json
+//! trace_report FILE.jsonl         trace only (cross-check skipped)
+//!   [--manifest FILE]             explicit manifest path
+//!   [--top K]                     rows in the top-wait table (default 10)
+//! ```
+//!
+//! Reconstructs every job's SLA lifecycle, recomputes the paper's four
+//! objectives (Eqs. 1–4) from the trace alone, reports rejection root
+//! causes and the longest-waiting jobs, and — when a manifest is present —
+//! cross-checks the recomputed objectives against the runner's metrics,
+//! exiting 1 on any disagreement.
+
+use ccs_experiments::trace_report::analyze;
+use ccs_experiments::trace_run::{parse_jsonl, ProvenanceManifest};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_report <DIR|trace.jsonl> [--manifest FILE] [--top K]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut top = 10usize;
+    if let Some(i) = args.iter().position(|a| a == "--manifest") {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        args.remove(i);
+        manifest_path = Some(PathBuf::from(args.remove(i)));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--top") {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        args.remove(i);
+        top = args.remove(i).parse().unwrap_or_else(|_| usage());
+    }
+    if args.len() != 1 || args[0].starts_with("--") {
+        usage();
+    }
+
+    let target = PathBuf::from(&args[0]);
+    let trace_path = if target.is_dir() {
+        if manifest_path.is_none() {
+            let candidate = target.join("manifest.json");
+            if candidate.exists() {
+                manifest_path = Some(candidate);
+            }
+        }
+        target.join("trace.jsonl")
+    } else {
+        target
+    };
+
+    let text = std::fs::read_to_string(&trace_path).unwrap_or_else(|e| {
+        eprintln!("trace_report: cannot read {}: {e}", trace_path.display());
+        std::process::exit(2);
+    });
+    let records = parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("trace_report: {}: {e}", trace_path.display());
+        std::process::exit(1);
+    });
+    let analysis = analyze(&records).unwrap_or_else(|e| {
+        eprintln!("trace_report: invalid trace: {e}");
+        std::process::exit(1);
+    });
+
+    let manifest: Option<ProvenanceManifest> = manifest_path.as_ref().map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("trace_report: cannot read {}: {e}", p.display());
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("trace_report: {}: {e:?}", p.display());
+            std::process::exit(1);
+        })
+    });
+
+    if let Some(m) = &manifest {
+        println!(
+            "== {} / {} / {} = {} / {} (seed {}, {} jobs, {} nodes) ==",
+            m.econ, m.set, m.scenario, m.value, m.policy, m.seed, m.workload.jobs, m.nodes
+        );
+    }
+    let metrics = manifest.as_ref().map(|m| &m.metrics);
+    print!("{}", analysis.render(metrics, top));
+    if let Some(m) = metrics {
+        if !analysis.crosscheck(m).is_empty() {
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,24 +9,28 @@
 //! utility_risk summary                     per-policy objective means
 //! utility_risk dominance                   pairwise stochastic dominance
 //! utility_risk workload                    synthetic-workload statistics
+//! utility_risk trace                       one traced run + SLA report
 //! ```
 //!
-//! Every subcommand accepts the shared flags `--quick`, `--jobs N`,
-//! `--seed S`, `--threads T`, `--out DIR`.
+//! Every subcommand accepts the shared flags `--quick`, `--quiet`,
+//! `--jobs N`, `--seed S`, `--threads T`, `--out DIR`. `trace` additionally
+//! takes `--econ commodity|bid`, `--set A|B`, `--scenario IDX`,
+//! `--value IDX`, `--policy NAME`.
 
 use ccs_economy::EconomicModel;
 use ccs_experiments::figures::{print_figure, write_figure};
 use ccs_experiments::{
-    build_figure, parse_cli_ext, replicate, run_all_ablations, run_evaluation, tables,
-    telemetry_report, EstimateSet, RawGrid, TelemetryReport,
+    build_figure, parse_cli_ext, progress, replicate, run_all_ablations, run_evaluation, tables,
+    telemetry_report, trace_report, EstimateSet, RawGrid, TelemetryReport, TraceCellSpec,
 };
 use ccs_risk::Objective;
 use ccs_workload::{apply_scenario, WorkloadSummary};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload> \
-         [--quick] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]"
+        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace> \
+         [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
+         trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]"
     );
     std::process::exit(2);
 }
@@ -46,6 +50,19 @@ fn main() {
     } else {
         None
     };
+    // `trace` strips its cell-selection flags before the shared parser
+    // (which panics on anything it does not know).
+    let spec = if cmd == "trace" {
+        match TraceCellSpec::parse_args(&mut args) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("utility_risk trace: {e}");
+                usage();
+            }
+        }
+    } else {
+        None
+    };
     let (cfg, out, telemetry) = parse_cli_ext(&args);
     // Grids retained by the subcommand (if any) for the end-of-run timing
     // summary and the optional --telemetry artifact.
@@ -58,7 +75,11 @@ fn main() {
             let fig = build_figure(&id, &cfg);
             print!("{}", print_figure(&fig));
             let files = write_figure(&out, &fig).expect("write artifacts");
-            eprintln!("wrote {} files under {}", files.len(), out.display());
+            progress::note(&format!(
+                "wrote {} files under {}",
+                files.len(),
+                out.display()
+            ));
         }
         "all" => {
             println!("{}", tables::all_tables());
@@ -76,7 +97,7 @@ fn main() {
             ccs_experiments::EvaluationExport::from_evaluation(&ev)
                 .write(&out.join("evaluation.json"))
                 .expect("write evaluation.json");
-            eprintln!("artifacts under {}", out.display());
+            progress::note(&format!("artifacts under {}", out.display()));
             raw_grids = ev.raw_grids;
         }
         "ablations" => {
@@ -152,16 +173,41 @@ fn main() {
             println!("{}\n", WorkloadSummary::compute(&jobs, cfg.nodes));
             println!("{}", ccs_workload::TraceHistograms::of(&base).render(48));
         }
+        "trace" => {
+            let spec = spec.expect("parsed above");
+            let bundle = ccs_experiments::capture_cell(&spec, &cfg);
+            let files = ccs_experiments::write_bundle(&bundle, &out).expect("write trace bundle");
+            progress::note(&format!(
+                "wrote {} files under {}",
+                files.len(),
+                out.display()
+            ));
+            let analysis =
+                trace_report::analyze(&bundle.trace.records).expect("trace is causally ordered");
+            println!(
+                "== traced run: {} / {} / {} = {} / {} ==",
+                bundle.manifest.econ,
+                bundle.manifest.set,
+                bundle.manifest.scenario,
+                bundle.manifest.value,
+                bundle.manifest.policy
+            );
+            print!("{}", analysis.render(Some(&bundle.manifest.metrics), 10));
+            if !analysis.crosscheck(&bundle.manifest.metrics).is_empty() {
+                eprintln!("trace cross-check FAILED: trace and runner metrics disagree");
+                std::process::exit(1);
+            }
+        }
         _ => usage(),
     }
 
     if !raw_grids.is_empty() {
-        eprint!("{}", telemetry_report::slowest_cells_summary(&raw_grids, 5));
+        progress::note_raw(&telemetry_report::slowest_cells_summary(&raw_grids, 5));
     }
     if let Some(path) = telemetry {
         TelemetryReport::collect(&raw_grids)
             .write(&path)
             .expect("write telemetry report");
-        eprintln!("telemetry report written to {}", path.display());
+        progress::note(&format!("telemetry report written to {}", path.display()));
     }
 }

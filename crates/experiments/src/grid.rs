@@ -6,13 +6,13 @@
 //! slow cells can be reported even in uninstrumented builds. With the
 //! `telemetry` feature the same timings also feed the global registry.
 
+use crate::progress;
 use crate::scenario::{EstimateSet, Scenario};
 use ccs_economy::EconomicModel;
 use ccs_policies::PolicyKind;
 use ccs_simsvc::{simulate, RunConfig};
 use ccs_workload::{apply_scenario, BaseJob, SdscSp2Model};
 use serde::{Deserialize, Serialize};
-use std::io::{IsTerminal, Write as _};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -143,37 +143,6 @@ pub fn policies_for(econ: EconomicModel) -> Vec<PolicyKind> {
     }
 }
 
-/// Whether to draw the live progress/ETA line on stderr.
-///
-/// On when stderr is a terminal; `CCS_PROGRESS=1` forces it on (for piped
-/// logs), `CCS_PROGRESS=0` forces it off.
-fn progress_enabled() -> bool {
-    match std::env::var("CCS_PROGRESS") {
-        Ok(v) if v == "0" => false,
-        Ok(v) if v == "1" => true,
-        _ => std::io::stderr().is_terminal(),
-    }
-}
-
-fn draw_progress(done: usize, total: usize, started: Instant) {
-    let elapsed = started.elapsed().as_secs_f64();
-    let eta = if done > 0 {
-        elapsed / done as f64 * (total - done) as f64
-    } else {
-        f64::NAN
-    };
-    let mut err = std::io::stderr().lock();
-    let _ = write!(
-        err,
-        "\rgrid: {done}/{total} points ({:.0}%) elapsed {elapsed:.1}s ETA {eta:.1}s   ",
-        done as f64 / total as f64 * 100.0
-    );
-    if done == total {
-        let _ = writeln!(err);
-    }
-    let _ = err.flush();
-}
-
 /// Runs the full 12 × 6 grid for one (economic model, estimate set) pair.
 ///
 /// Experiment points are independent, so they are fanned out over worker
@@ -217,7 +186,7 @@ pub fn run_grid_with_base(
     .min(points.len())
     .max(1);
     let busy = Mutex::new(vec![0.0f64; threads]);
-    let progress = progress_enabled();
+    let progress = progress::bar_enabled();
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -246,7 +215,7 @@ pub fn run_grid_with_base(
                     cell_secs.lock().unwrap()[s][v] = timings;
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
-                        draw_progress(finished, points.len(), started);
+                        progress::draw_bar(finished, points.len(), started);
                     }
                 }
                 busy.lock().unwrap()[worker] = my_busy;
@@ -275,18 +244,19 @@ fn record_grid_telemetry(grid: &RawGrid) {
         return;
     }
     let t = ccs_telemetry::global();
-    let cell_ns = t.histogram("grid.cell_ns");
+    let cell_ns = t.histogram("grid.cell.duration_ns");
     for per_value in &grid.cell_secs {
         for per_policy in per_value {
             for &secs in per_policy {
                 cell_ns.record_f64(secs * 1e9);
-                t.counter("grid.cells").inc();
+                t.counter("grid.cells.completed").inc();
             }
         }
     }
-    t.histogram("grid.wall_ns").record_f64(grid.wall_secs * 1e9);
+    t.histogram("grid.wall.duration_ns")
+        .record_f64(grid.wall_secs * 1e9);
     for &busy in &grid.worker_busy_secs {
-        t.histogram("grid.worker_busy_ns").record_f64(busy * 1e9);
+        t.histogram("grid.worker.busy_ns").record_f64(busy * 1e9);
     }
 }
 

@@ -24,11 +24,14 @@ pub mod analysis;
 pub mod export;
 pub mod figures;
 pub mod grid;
+pub mod progress;
 pub mod replications;
 pub mod report_md;
 pub mod scenario;
 pub mod tables;
 pub mod telemetry_report;
+pub mod trace_report;
+pub mod trace_run;
 
 pub use ablation::{run_all as run_all_ablations, Ablation};
 pub use analysis::{analyze, analyze_with, GridAnalysis};
@@ -39,6 +42,8 @@ pub use replications::{
 };
 pub use scenario::{baseline, EstimateSet, QosAttr, Scenario};
 pub use telemetry_report::TelemetryReport;
+pub use trace_report::TraceAnalysis;
+pub use trace_run::{capture_cell, write_bundle, ProvenanceManifest, TraceBundle, TraceCellSpec};
 
 use ccs_economy::EconomicModel;
 
@@ -137,7 +142,8 @@ pub fn build_figure(id: &str, cfg: &ExperimentConfig) -> figures::Figure {
 }
 
 /// Parses the tiny CLI convention shared by the experiment binaries:
-/// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`.
+/// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`,
+/// `--quiet` (suppress all stderr progress output — see [`progress`]).
 pub fn parse_cli(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
     let (cfg, out, _) = parse_cli_ext(args);
     (cfg, out)
@@ -165,6 +171,7 @@ pub fn parse_cli_ext(
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
+            "--quiet" => progress::set_quiet(true),
             "--jobs" => {
                 i += 1;
                 cfg.trace.jobs = value(args, i, "--jobs").parse().expect("--jobs N");
@@ -186,7 +193,7 @@ pub fn parse_cli_ext(
                 telemetry = Some(std::path::PathBuf::from(value(args, i, "--telemetry")));
             }
             other => panic!(
-                "unknown argument {other} (supported: --quick --jobs --seed --threads --out --telemetry)"
+                "unknown argument {other} (supported: --quick --quiet --jobs --seed --threads --out --telemetry)"
             ),
         }
         i += 1;

@@ -56,19 +56,19 @@ fn utility_risk_emits_parseable_telemetry() {
     if cfg!(feature = "telemetry") {
         let s = &report.snapshot;
         assert!(
-            s.counters.get("des.events_processed").copied().unwrap_or(0) > 0,
+            s.counters.get("des.events.processed").copied().unwrap_or(0) > 0,
             "kernel events-processed counter missing: {:?}",
             s.counters
         );
         assert!(
-            s.gauges.get("des.queue_depth_hwm").copied().unwrap_or(0) > 0,
+            s.gauges.get("des.queue.depth_hwm").copied().unwrap_or(0) > 0,
             "queue-depth high-water mark missing: {:?}",
             s.gauges
         );
         let decision_histograms: Vec<_> = s
             .histograms
             .iter()
-            .filter(|(name, h)| name.starts_with("runner.decision_ns.") && h.count > 0)
+            .filter(|(name, h)| name.starts_with("runner.decision.duration_ns.") && h.count > 0)
             .collect();
         assert!(
             !decision_histograms.is_empty(),
@@ -78,10 +78,16 @@ fn utility_risk_emits_parseable_telemetry() {
         assert!(
             s.histograms
                 .iter()
-                .any(|(name, h)| name.starts_with("runner.run_ns.") && h.count > 0),
+                .any(|(name, h)| name.starts_with("runner.run.duration_ns.") && h.count > 0),
             "per-run wall-time histograms missing"
         );
-        assert!(s.counters.get("runner.runs").copied().unwrap_or(0) > 0);
+        assert!(
+            s.counters
+                .get("runner.runs.completed")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     } else {
         assert!(
             report.snapshot.is_empty(),

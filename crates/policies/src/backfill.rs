@@ -17,7 +17,7 @@
 //!   queue. In the commodity market model a job whose expected cost exceeds
 //!   its budget is rejected as well.
 
-use crate::traits::{Outcome, Policy};
+use crate::traits::{Outcome, Policy, RejectReason};
 use ccs_cluster::SpaceShared;
 use ccs_des::{EventQueue, SimTime};
 use ccs_economy::{base_cost, EconomicModel, PriceSchedule};
@@ -152,22 +152,22 @@ impl BackfillPolicy {
     }
 
     /// Generous admission control, applied whenever a job is considered for
-    /// execution. Returns `false` when the job must be rejected.
-    fn admissible(&self, job: &Job, now: f64) -> bool {
+    /// execution. Returns the rejection reason when the job must go.
+    fn admission_error(&self, job: &Job, now: f64) -> Option<RejectReason> {
         if !self.options.admission_control {
-            return true; // ablation: accept everything, deadlines be damned
+            return None; // ablation: accept everything, deadlines be damned
         }
         let abs_deadline = job.absolute_deadline();
         if now > abs_deadline + T_EPS {
-            return false; // (ii) deadline lapsed while waiting
+            return Some(RejectReason::DeadlineLapsed); // (ii) lapsed while waiting
         }
         if now + job.estimate > abs_deadline + T_EPS {
-            return false; // (i) predicted to exceed deadline
+            return Some(RejectReason::EstimateExceedsDeadline); // (i)
         }
         if self.econ == EconomicModel::CommodityMarket && self.quote(job, now) > job.budget {
-            return false; // expected cost exceeds the user's budget
+            return Some(RejectReason::OverBudget);
         }
-        true
+        None
     }
 
     fn start(&mut self, job: Job, now: f64, out: &mut Vec<Outcome>) {
@@ -203,11 +203,12 @@ impl BackfillPolicy {
             let Some(head) = self.queue.first() else {
                 return;
             };
-            if !self.admissible(head, now) {
+            if let Some(reason) = self.admission_error(head, now) {
                 let job = self.queue.remove(0);
                 out.push(Outcome::Rejected {
                     job: job.id,
                     at: now,
+                    reason,
                 });
                 continue;
             }
@@ -229,11 +230,12 @@ impl BackfillPolicy {
         let mut i = 1;
         while i < self.queue.len() {
             let cand = self.queue[i];
-            if !self.admissible(&cand, now) {
+            if let Some(reason) = self.admission_error(&cand, now) {
                 self.queue.remove(i);
                 out.push(Outcome::Rejected {
                     job: cand.id,
                     at: now,
+                    reason,
                 });
                 continue;
             }
@@ -280,6 +282,7 @@ impl Policy for BackfillPolicy {
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
+                reason: RejectReason::TooLarge,
             });
             return;
         }

@@ -18,7 +18,7 @@
 //! full re-plan of the waiting queue, preserving the relative reservation
 //! order — the standard "compression" step of conservative backfilling.
 
-use crate::traits::{Outcome, Policy};
+use crate::traits::{Outcome, Policy, RejectReason};
 use ccs_des::{EventQueue, SimTime};
 use ccs_economy::{base_cost, EconomicModel};
 use ccs_workload::{Job, JobId};
@@ -74,14 +74,15 @@ impl ConservativeBf {
     }
 
     /// The generous admission control shared with the EASY policies.
-    fn admissible(&self, job: &Job, planned_start: f64) -> bool {
+    /// Returns the rejection reason when the job cannot be admitted.
+    fn admission_error(&self, job: &Job, planned_start: f64) -> Option<RejectReason> {
         if planned_start + job.estimate > job.absolute_deadline() + T_EPS {
-            return false;
+            return Some(RejectReason::EstimateExceedsDeadline);
         }
         if self.econ == EconomicModel::CommodityMarket && base_cost(job) > job.budget {
-            return false;
+            return Some(RejectReason::OverBudget);
         }
-        true
+        None
     }
 
     /// Earliest estimate-feasible start for `job` given the running set and
@@ -159,10 +160,11 @@ impl ConservativeBf {
     /// now), queues it, or rejects it.
     fn place(&mut self, job: Job, now: f64, out: &mut Vec<Outcome>) {
         let start = self.earliest_start(&job, &self.plan, now);
-        if !self.admissible(&job, start) {
+        if let Some(reason) = self.admission_error(&job, start) {
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
+                reason,
             });
             return;
         }
@@ -229,6 +231,7 @@ impl Policy for ConservativeBf {
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
+                reason: RejectReason::TooLarge,
             });
             return;
         }

@@ -18,7 +18,7 @@
 //! to multi-processor parallel jobs; **no backfilling** (head-of-line
 //! blocking can leave processors idle).
 
-use crate::traits::{Outcome, Policy};
+use crate::traits::{Outcome, Policy, RejectReason};
 use ccs_cluster::SpaceShared;
 use ccs_des::{EventQueue, SimTime};
 use ccs_workload::{Job, JobId};
@@ -185,10 +185,18 @@ impl Policy for FirstRewardPolicy {
     }
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
-        if job.procs > self.cluster.total() || !self.admissible(job) {
+        let refusal = if job.procs > self.cluster.total() {
+            Some(RejectReason::TooLarge)
+        } else if !self.admissible(job) {
+            Some(RejectReason::LowSlack)
+        } else {
+            None
+        };
+        if let Some(reason) = refusal {
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
+                reason,
             });
             return;
         }

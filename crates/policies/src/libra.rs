@@ -19,7 +19,7 @@
 //!   estimate) are eligible, and node demand is re-evaluated dynamically so
 //!   shares freed by early-finishing jobs can be re-committed.
 
-use crate::traits::{Outcome, Policy};
+use crate::traits::{Outcome, Policy, RejectReason};
 use ccs_cluster::{PsCluster, WeightMode};
 use ccs_economy::{
     libra_cost, libra_dollar_cost, libra_dollar_rate, EconomicModel, LibraDollarParams, LibraParams,
@@ -228,6 +228,7 @@ impl Policy for LibraPolicy {
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
+                reason: RejectReason::InsufficientShare,
             });
             return;
         };
@@ -237,6 +238,7 @@ impl Policy for LibraPolicy {
                 out.push(Outcome::Rejected {
                     job: job.id,
                     at: now,
+                    reason: RejectReason::OverBudget,
                 });
                 return;
             }

@@ -8,6 +8,59 @@
 
 use ccs_workload::{Job, JobId};
 
+/// Root cause of an SLA rejection — the label every policy attaches to
+/// [`Outcome::Rejected`], surfaced per job by the trace layer and counted
+/// in trace reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RejectReason {
+    /// The job requests more processors than the whole cluster owns.
+    TooLarge,
+    /// The deadline lapsed while the job waited in the queue.
+    DeadlineLapsed,
+    /// Estimated completion would overshoot the deadline.
+    EstimateExceedsDeadline,
+    /// Quoted cost exceeds the job's budget (commodity market).
+    OverBudget,
+    /// No node can supply the proportional share the deadline needs (Libra).
+    InsufficientShare,
+    /// Reward slack below the admission threshold (FirstReward).
+    LowSlack,
+    /// A reason outside the built-in taxonomy (custom policies).
+    Other,
+}
+
+impl RejectReason {
+    /// Every built-in reason, in a stable reporting order.
+    pub const ALL: [RejectReason; 7] = [
+        RejectReason::TooLarge,
+        RejectReason::DeadlineLapsed,
+        RejectReason::EstimateExceedsDeadline,
+        RejectReason::OverBudget,
+        RejectReason::InsufficientShare,
+        RejectReason::LowSlack,
+        RejectReason::Other,
+    ];
+
+    /// Stable snake_case code used in traces and reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::TooLarge => "too_large",
+            RejectReason::DeadlineLapsed => "deadline_lapsed",
+            RejectReason::EstimateExceedsDeadline => "estimate_exceeds_deadline",
+            RejectReason::OverBudget => "over_budget",
+            RejectReason::InsufficientShare => "insufficient_share",
+            RejectReason::LowSlack => "low_slack",
+            RejectReason::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// Something observable that happened inside a policy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Outcome {
@@ -24,6 +77,8 @@ pub enum Outcome {
         job: JobId,
         /// Absolute time of rejection.
         at: f64,
+        /// Why the policy declined the SLA.
+        reason: RejectReason,
     },
     /// The job began executing at time `at` (this is `tst_i` in the paper's
     /// wait objective, Eq. 1).

@@ -30,8 +30,10 @@ pub mod record;
 pub mod runner;
 pub mod samples;
 pub mod timeline;
+pub mod trace;
 
 pub use metrics::RunMetrics;
 pub use record::JobRecord;
 pub use runner::{simulate, simulate_with, RunConfig, RunResult};
 pub use timeline::{TimePoint, Timeline};
+pub use trace::{simulate_traced, simulate_traced_with, RunTrace};

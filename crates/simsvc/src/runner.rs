@@ -55,13 +55,22 @@ pub fn simulate_with(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig) -> 
 /// Instrumentation never feeds back into simulation state, so results are
 /// bit-identical whether or not the `telemetry` feature is compiled in;
 /// with the feature off every guard below is a zero-sized no-op.
-fn simulate_named(
+fn simulate_named(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig, name: &str) -> RunResult {
+    run_with_outcomes(jobs, policy, cfg, name).0
+}
+
+/// The full driver, also yielding the raw outcome stream — the trace layer
+/// synthesises per-job lifecycles from it after the run (see
+/// [`crate::trace`]). The policy (and with it any DES event queues it owns)
+/// is dropped *before* this returns, so a kernel-span capture window opened
+/// around this call observes the queue-stat flushes.
+pub(crate) fn run_with_outcomes(
     jobs: &[Job],
     mut policy: Box<dyn Policy>,
     cfg: &RunConfig,
     name: &str,
-) -> RunResult {
-    let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run_ns", name);
+) -> (RunResult, Vec<Outcome>) {
+    let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run.duration_ns", name);
     let mut out: Vec<Outcome> = Vec::with_capacity(jobs.len() * 4);
     let mut prev_submit = f64::NEG_INFINITY;
     for job in jobs {
@@ -71,24 +80,26 @@ fn simulate_named(
         );
         prev_submit = job.submit;
         policy.advance_to(job.submit, &mut out);
-        let _decision_span = ccs_telemetry::TimerGuard::start_labeled("runner.decision_ns", name);
+        let _decision_span =
+            ccs_telemetry::TimerGuard::start_labeled("runner.decision.duration_ns", name);
         policy.on_submit(job, job.submit, &mut out);
     }
     policy.drain(&mut out);
+    drop(policy);
     let result = collect(jobs, cfg, &out);
     if ccs_telemetry::ENABLED {
         let t = ccs_telemetry::global();
-        t.counter("runner.jobs_submitted")
+        t.counter("runner.jobs.submitted")
             .add(result.metrics.submitted as u64);
-        t.counter("runner.jobs_accepted")
+        t.counter("runner.jobs.accepted")
             .add(result.metrics.accepted as u64);
-        t.counter("runner.jobs_rejected")
+        t.counter("runner.jobs.rejected")
             .add((result.metrics.submitted - result.metrics.accepted) as u64);
-        t.counter("runner.jobs_fulfilled")
+        t.counter("runner.jobs.fulfilled")
             .add(result.metrics.fulfilled as u64);
-        t.counter("runner.runs").inc();
+        t.counter("runner.runs.completed").inc();
     }
-    result
+    (result, out)
 }
 
 /// Folds the outcome stream into metrics and per-job records.
@@ -119,7 +130,7 @@ fn collect(jobs: &[Job], cfg: &RunConfig, out: &[Outcome]) -> RunResult {
                 r.accepted = true;
                 r.decided_at = at;
             }
-            Outcome::Rejected { job, at } => {
+            Outcome::Rejected { job, at, .. } => {
                 let prev = records.insert(job, JobRecord::rejected(job, at));
                 assert!(prev.is_none(), "job {job} decided twice");
                 ledger.reject(job, by_id[&job].budget);

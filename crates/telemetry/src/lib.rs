@@ -24,10 +24,17 @@
 //! holds `v == 1`, bucket `k` holds `2^(k-1) ..= 2^k - 1`. Sum, count, min
 //! and max are tracked exactly, so means are not quantised.
 
+//!
+//! # Tracing
+//!
+//! The [`trace`] module adds per-job SLA lifecycle *events* on top of these
+//! aggregates; see its docs for the schema and the `trace` feature gate.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod snapshot;
+pub mod trace;
 
 pub use snapshot::{HistogramSnapshot, Snapshot};
 

@@ -2,7 +2,7 @@
 //! and associative, and counter totals are conserved — the contract that
 //! lets per-worker snapshots be folded in any order.
 
-use ccs_telemetry::{bucket_index, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+use ccs_telemetry::{bucket_index, bucket_lower_bound, HistogramSnapshot, Snapshot, NUM_BUCKETS};
 use proptest::prelude::*;
 
 fn hist_from(samples: &[u64]) -> HistogramSnapshot {
@@ -107,5 +107,48 @@ proptest! {
         let sa = snap_from(&a.0, &a.1, &a.2);
         prop_assert_eq!(sa.clone().merged(&Snapshot::default()), sa.clone());
         prop_assert_eq!(Snapshot::default().merged(&sa), sa);
+    }
+
+    // --- bucketing: round-trip, monotonicity -----------------------------
+
+    #[test]
+    fn bucket_round_trip_lower_bound_is_le_value(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(idx) <= v);
+        // The lower bound is the smallest member of its own bucket.
+        prop_assert_eq!(bucket_index(bucket_lower_bound(idx)), idx);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn bucket_upper_neighbour_is_gt_value(v in any::<u64>()) {
+        // Values below the next bucket's lower bound stay in this bucket.
+        let idx = bucket_index(v);
+        if idx + 1 < NUM_BUCKETS {
+            prop_assert!(v < bucket_lower_bound(idx + 1));
+        }
+    }
+}
+
+#[test]
+fn bucket_boundaries() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_lower_bound(1), 1);
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    assert_eq!(bucket_lower_bound(NUM_BUCKETS - 1), 1u64 << 63);
+    // Powers of two open new buckets; their predecessors close the old one.
+    for k in 1..64 {
+        let p = 1u64 << k;
+        assert_eq!(bucket_index(p), k + 1);
+        assert_eq!(bucket_index(p - 1), k);
+        assert_eq!(bucket_lower_bound(k + 1), p);
     }
 }

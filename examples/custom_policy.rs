@@ -12,7 +12,7 @@
 use ccs_cluster::SpaceShared;
 use ccs_des::{EventQueue, SimTime};
 use ccs_economy::EconomicModel;
-use ccs_policies::{Outcome, Policy, PolicyKind};
+use ccs_policies::{Outcome, Policy, PolicyKind, RejectReason};
 use ccs_simsvc::{simulate, simulate_with, RunConfig};
 use ccs_workload::{apply_scenario, Job, JobId, ScenarioTransform, SdscSp2Model};
 use std::collections::HashMap;
@@ -48,7 +48,11 @@ impl GreedyValue {
             while let Some(head) = self.queue.first() {
                 if now + head.estimate > head.absolute_deadline() {
                     let j = self.queue.remove(0);
-                    out.push(Outcome::Rejected { job: j.id, at: now });
+                    out.push(Outcome::Rejected {
+                        job: j.id,
+                        at: now,
+                        reason: RejectReason::EstimateExceedsDeadline,
+                    });
                 } else {
                     break;
                 }
