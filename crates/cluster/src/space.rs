@@ -21,8 +21,15 @@ struct Running {
 }
 
 /// Space-shared processor pool.
+///
+/// `total` is the *currently up* capacity: failure injection shrinks it one
+/// processor at a time ([`SpaceShared::fail_one`]) and repair restores it
+/// ([`SpaceShared::repair_one`]), never above the nominal `base` size the
+/// pool was created with.
 #[derive(Clone, Debug)]
 pub struct SpaceShared {
+    /// Nominal capacity (processors when every node is up).
+    base: u32,
     total: u32,
     free: u32,
     running: Vec<Running>,
@@ -42,15 +49,26 @@ impl SpaceShared {
     pub fn new(total: u32) -> Self {
         assert!(total > 0, "cluster must have at least one processor");
         SpaceShared {
+            base: total,
             total,
             free: total,
             running: Vec::new(),
         }
     }
 
-    /// Total processors.
+    /// Currently up processors (nominal size minus failed nodes).
     pub fn total(&self) -> u32 {
         self.total
+    }
+
+    /// Nominal capacity the pool was created with.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Processors currently down (`base - total`).
+    pub fn down(&self) -> u32 {
+        self.base - self.total
     }
 
     /// Currently free processors.
@@ -144,6 +162,45 @@ impl SpaceShared {
     pub fn running_ids(&self) -> impl Iterator<Item = JobId> + '_ {
         self.running.iter().map(|r| r.job_id)
     }
+
+    /// Takes one processor down. A free processor is absorbed silently; if
+    /// every processor is busy, the job with the *latest* estimated finish
+    /// (ties broken by highest id, so the choice is deterministic) is
+    /// preempted and its id returned — the caller must treat it as
+    /// interrupted. Returns `Err(())` when no processor is left to fail.
+    #[allow(clippy::result_unit_err)]
+    pub fn fail_one(&mut self) -> Result<Option<JobId>, ()> {
+        if self.total == 0 {
+            return Err(());
+        }
+        self.total -= 1;
+        if self.free > 0 {
+            self.free -= 1;
+            return Ok(None);
+        }
+        let idx = (0..self.running.len())
+            .max_by(|&a, &b| {
+                self.running[a]
+                    .est_finish
+                    .total_cmp(&self.running[b].est_finish)
+                    .then(self.running[a].job_id.cmp(&self.running[b].job_id))
+            })
+            .expect("free == 0 and total > 0 imply at least one running job");
+        let victim = self.running.swap_remove(idx);
+        // The victim's processors come back to the pool, minus the one that
+        // just died.
+        self.free += victim.procs - 1;
+        debug_assert!(self.free + self.running.iter().map(|r| r.procs).sum::<u32>() == self.total);
+        Ok(Some(victim.job_id))
+    }
+
+    /// Brings one failed processor back up. No-op when nothing is down.
+    pub fn repair_one(&mut self) {
+        if self.total < self.base {
+            self.total += 1;
+            self.free += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +285,41 @@ mod tests {
         let r = c.reservation(12, 0.0);
         assert_eq!(r.shadow_time, 50.0);
         assert_eq!(r.extra_procs, 0);
+    }
+
+    #[test]
+    fn fail_one_absorbs_free_capacity_first() {
+        let mut c = SpaceShared::new(4);
+        c.start(1, 2, 100.0);
+        assert_eq!(c.fail_one(), Ok(None));
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.free_procs(), 1);
+        assert_eq!(c.down(), 1);
+        c.repair_one();
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.free_procs(), 2);
+        // Repairing an intact cluster is a no-op.
+        c.repair_one();
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn fail_one_preempts_latest_estimated_finish() {
+        let mut c = SpaceShared::new(4);
+        c.start(1, 2, 50.0);
+        c.start(2, 2, 200.0);
+        assert_eq!(c.fail_one(), Ok(Some(2)), "longest job is the victim");
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.free_procs(), 1, "victim's other processor is freed");
+        assert_eq!(c.running_jobs(), 1);
+    }
+
+    #[test]
+    fn fail_one_on_empty_cluster_errs() {
+        let mut c = SpaceShared::new(1);
+        assert_eq!(c.fail_one(), Ok(None));
+        assert_eq!(c.fail_one(), Err(()));
+        assert_eq!(c.total(), 0);
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub struct PsCluster {
     /// Speed rating of each node (1.0 = the reference speed the trace's
     /// runtimes are expressed in; 2.0 runs jobs twice as fast).
     ratings: Vec<f64>,
+    /// Up/down state per node (failure injection): a down node holds no
+    /// tasks and must not receive submissions.
+    up: Vec<bool>,
     nodes: Vec<PsNode>,
     queue: EventQueue<usize>,
     /// Tasks still outstanding per job.
@@ -138,6 +141,7 @@ impl PsCluster {
         PsCluster {
             mode,
             escalation,
+            up: vec![true; ratings.len()],
             ratings,
             nodes,
             queue: EventQueue::new(),
@@ -245,6 +249,11 @@ impl PsCluster {
             self.now
         );
         self.now = self.now.max(now);
+        assert!(
+            node_ids.iter().all(|&nid| self.up[nid]),
+            "job {} submitted to a down node",
+            job.id
+        );
         let prev = self.open_tasks.insert(job.id, node_ids.len() as u32);
         assert!(prev.is_none(), "job {} submitted twice", job.id);
         for &nid in node_ids {
@@ -297,6 +306,94 @@ impl PsCluster {
     /// Total outstanding (incomplete) jobs.
     pub fn open_jobs(&self) -> usize {
         self.open_tasks.len()
+    }
+
+    /// Whether `node` is up (down nodes hold no tasks and reject submits).
+    pub fn node_up(&self, node: usize) -> bool {
+        self.up[node]
+    }
+
+    /// Number of nodes currently up.
+    pub fn up_nodes(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Takes `node` down at time `now`. Every job with a task on the node is
+    /// interrupted *whole*: all of its tasks — on this node and any other —
+    /// are removed, since a gang-scheduled job cannot continue with a
+    /// missing member. Returns the interrupted jobs with their remaining
+    /// work (the max over the job's tasks of `work_total − work_done`,
+    /// accrued to `now`), in ascending job-id order. No-op (empty result)
+    /// if the node is already down.
+    pub fn fail_node(&mut self, node: usize, now: f64) -> Vec<(JobId, f64)> {
+        assert!(
+            now + 1e-9 >= self.now,
+            "fail_node at {now} before engine time {}",
+            self.now
+        );
+        self.now = self.now.max(now);
+        if !self.up[node] {
+            return Vec::new();
+        }
+        self.up[node] = false;
+        let resident: Vec<JobId> = self.nodes[node].tasks.iter().map(|t| t.job_id).collect();
+        if resident.is_empty() {
+            return Vec::new();
+        }
+        // Accrue every node holding a task of an interrupted job so the
+        // remaining-work figures (and surviving neighbours) are exact at
+        // `now`, then remove the tasks and re-plan the survivors.
+        let affected: Vec<usize> = (0..self.nodes.len())
+            .filter(|&nid| {
+                self.nodes[nid]
+                    .tasks
+                    .iter()
+                    .any(|t| resident.contains(&t.job_id))
+            })
+            .collect();
+        for &nid in &affected {
+            self.accrue(nid, now);
+        }
+        let mut interrupted: Vec<(JobId, f64)> = resident
+            .iter()
+            .map(|&job_id| {
+                let remaining = affected
+                    .iter()
+                    .flat_map(|&nid| self.nodes[nid].tasks.iter())
+                    .filter(|t| t.job_id == job_id)
+                    .map(|t| t.remaining())
+                    .fold(0.0, f64::max);
+                (job_id, remaining)
+            })
+            .collect();
+        interrupted.sort_unstable_by_key(|&(job_id, _)| job_id);
+        for &nid in &affected {
+            self.nodes[nid]
+                .tasks
+                .retain(|t| !resident.contains(&t.job_id));
+            self.recompute(nid, now);
+        }
+        for &job_id in &resident {
+            self.open_tasks.remove(&job_id);
+        }
+        interrupted
+    }
+
+    /// Brings `node` back up at time `now` with no resident tasks. No-op if
+    /// the node is already up.
+    pub fn repair_node(&mut self, node: usize, now: f64) {
+        assert!(
+            now + 1e-9 >= self.now,
+            "repair_node at {now} before engine time {}",
+            self.now
+        );
+        self.now = self.now.max(now);
+        if self.up[node] {
+            return;
+        }
+        self.up[node] = true;
+        debug_assert!(self.nodes[node].tasks.is_empty(), "down node held tasks");
+        self.nodes[node].last_update = now;
     }
 
     /// Advances a node's task work to `now` at the current rates.
@@ -624,6 +721,54 @@ mod tests {
     #[should_panic]
     fn non_positive_rating_rejected() {
         let _ = PsCluster::with_ratings(vec![1.0, 0.0], WeightMode::Static, true);
+    }
+
+    #[test]
+    fn fail_node_interrupts_whole_jobs_and_spares_neighbours() {
+        let mut c = PsCluster::new(3, WeightMode::Static);
+        let wide = job(0, 0.0, 100.0, 100.0, 500.0, 2); // nodes 0 and 1
+        let lone = job(1, 0.0, 100.0, 100.0, 500.0, 1); // node 2 only
+        c.submit(&wide, &[0, 1], 0.0);
+        c.submit(&lone, &[2], 0.0);
+        c.advance_to(40.0);
+        let hit = c.fail_node(1, 40.0);
+        assert_eq!(hit.len(), 1, "only the wide job is resident on node 1");
+        assert_eq!(hit[0].0, 0);
+        assert!((hit[0].1 - 60.0).abs() < 1e-6, "remaining {}", hit[0].1);
+        assert!(!c.node_up(1));
+        assert_eq!(c.up_nodes(), 2);
+        assert_eq!(
+            c.resident_tasks(0),
+            0,
+            "the wide job's task on the surviving node is removed too"
+        );
+        assert_eq!(c.open_jobs(), 1);
+        let done = c.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job_id, 1, "the lone job still completes");
+    }
+
+    #[test]
+    fn fail_and_repair_round_trip() {
+        let mut c = PsCluster::new(2, WeightMode::Static);
+        assert!(c.fail_node(0, 0.0).is_empty(), "idle node: nobody hurt");
+        assert!(c.fail_node(0, 1.0).is_empty(), "double fail is a no-op");
+        c.repair_node(0, 10.0);
+        assert!(c.node_up(0));
+        c.repair_node(0, 11.0); // repairing an up node is a no-op
+        let a = job(0, 20.0, 50.0, 50.0, 500.0, 1);
+        c.submit(&a, &[0], 20.0);
+        let done = c.drain();
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn submit_to_down_node_panics() {
+        let mut c = PsCluster::new(2, WeightMode::Static);
+        c.fail_node(1, 0.0);
+        let a = job(0, 0.0, 10.0, 10.0, 100.0, 1);
+        c.submit(&a, &[1], 0.0);
     }
 
     #[test]

@@ -178,3 +178,65 @@ proptest! {
         prop_assert!(dy.free_share(0, probe_t) >= stat.free_share(0, probe_t) - 1e-9);
     }
 }
+
+/// One random operation against a [`SpaceShared`] pool with fault
+/// injection: allocate, release, fail a processor, or repair one.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    prop::collection::vec((0u8..4, 1u32..5), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Capacity conservation under arbitrary fail/repair/allocate/release
+    /// interleavings: after every operation, free + running == total, total
+    /// never exceeds the nominal base, and `down` accounts for the rest.
+    #[test]
+    fn space_shared_conserves_capacity_under_faults(ops in ops_strategy()) {
+        let base = 16u32;
+        let mut c = SpaceShared::new(base);
+        let mut next_id: u32 = 0;
+        let mut running: Vec<(u32, u32)> = Vec::new(); // (job id, procs)
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    // Allocate, when it fits.
+                    let procs = arg.min(c.free_procs());
+                    if procs > 0 {
+                        c.start(next_id, procs, f64::from(next_id) + 10.0);
+                        running.push((next_id, procs));
+                        next_id += 1;
+                    }
+                }
+                1 => {
+                    // Release an arbitrary running job.
+                    if !running.is_empty() {
+                        let (id, _) = running.swap_remove(arg as usize % running.len());
+                        c.finish(id);
+                    }
+                }
+                2 => {
+                    // Fail one processor; a preempted victim leaves the
+                    // model's running set too.
+                    match c.fail_one() {
+                        Ok(Some(victim)) => {
+                            let before = running.len();
+                            running.retain(|&(id, _)| id != victim);
+                            prop_assert_eq!(before, running.len() + 1,
+                                "victim {} must have been running exactly once", victim);
+                        }
+                        Ok(None) => {}
+                        Err(()) => prop_assert_eq!(c.total(), 0),
+                    }
+                }
+                _ => c.repair_one(),
+            }
+            // The conservation invariant, after every single step.
+            let occupied: u32 = running.iter().map(|&(_, p)| p).sum();
+            prop_assert_eq!(c.free_procs() + occupied, c.total());
+            prop_assert!(c.total() <= base);
+            prop_assert_eq!(c.down(), base - c.total());
+            prop_assert_eq!(c.running_jobs(), running.len());
+        }
+    }
+}

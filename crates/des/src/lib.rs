@@ -35,6 +35,7 @@
 pub mod calendar;
 pub mod dist;
 pub mod entity;
+pub mod failure;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -42,8 +43,9 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
-pub use dist::{Distribution, Exponential, LogNormal, Normal, TruncatedNormal, Uniform};
+pub use dist::{Distribution, Exponential, LogNormal, Normal, TruncatedNormal, Uniform, Weibull};
 pub use entity::{Entity, EntityId, Outbox, World};
+pub use failure::{FailureDist, FailureEventKind, FailureProcess, NodeFailureEvent};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sim::Simulation;

@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn analysis_dimensions() {
         let a = quick_analysis();
-        assert_eq!(a.separate.len(), 12);
+        assert_eq!(a.separate.len(), Scenario::ALL.len());
         assert_eq!(a.separate[0].len(), 5);
         assert_eq!(a.policy_names.len(), 5);
     }
@@ -172,7 +172,7 @@ mod tests {
         let plot = a.separate_plot(Objective::Sla);
         assert_eq!(plot.series.len(), 5);
         for s in &plot.series {
-            assert_eq!(s.points.len(), 12);
+            assert_eq!(s.points.len(), Scenario::ALL.len());
             for p in &s.points {
                 assert!((0.0..=1.0).contains(&p.performance));
                 assert!((0.0..=0.5 + 1e-9).contains(&p.volatility));
@@ -184,7 +184,7 @@ mod tests {
     fn integrated_plot_blends_measures() {
         let a = quick_analysis();
         let all4 = a.integrated_plot(&Objective::ALL);
-        assert_eq!(all4.series[0].points.len(), 12);
+        assert_eq!(all4.series[0].points.len(), Scenario::ALL.len());
         // Integrated of all four lies within the per-objective envelope.
         for (p, _) in a.policy_names.iter().enumerate() {
             for (s, row) in a.separate.iter().enumerate() {

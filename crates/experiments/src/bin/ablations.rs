@@ -4,7 +4,8 @@
 use ccs_experiments::run_all_ablations;
 
 fn main() {
-    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (cfg, _) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let base = cfg.trace.generate(cfg.seed);
     for ablation in run_all_ablations(&base, cfg.seed, cfg.nodes) {
         println!("{}", ablation.render());

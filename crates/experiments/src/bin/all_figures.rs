@@ -1,7 +1,8 @@
 //! Regenerates every paper figure (1–8) and table (I–VI) in one run.
 //!
-//! The default configuration is the paper's full study: 12 scenarios × 6
-//! values × 5 policies × 2 economic models × 2 estimate sets = 1440
+//! The default configuration is the paper's 12 scenarios plus the
+//! failure-rate extension: 13 scenarios × 6 values × 5 policies × 2
+//! economic models × 2 estimate sets = 1560
 //! simulation runs of 5000 jobs on a 128-node cluster. Use --quick (200
 //! jobs) or --jobs N to shrink it, and --quiet to silence stderr progress.
 
@@ -12,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let (cfg, out, telemetry) =
-        ccs_experiments::parse_cli_ext(&std::env::args().skip(1).collect::<Vec<_>>());
+        ccs_experiments::parse_cli_ext_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("{}", tables::all_tables());
 
     let t0 = Instant::now();

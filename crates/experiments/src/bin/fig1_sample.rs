@@ -5,7 +5,8 @@ use ccs_experiments::figures::{figure1, print_figure, write_figure};
 use ccs_experiments::tables;
 
 fn main() {
-    let (_, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (_, out) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let fig = figure1();
     print!("{}", print_figure(&fig));
     println!();

@@ -6,7 +6,8 @@ use ccs_experiments::figures::figure2_curves;
 use std::fmt::Write as _;
 
 fn main() {
-    let (_, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (_, out) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let curves = figure2_curves();
     let mut dat = String::from("# fig2: utility vs completion time (s after submit)\n");
     for (label, curve) in &curves {

@@ -4,7 +4,8 @@
 use ccs_experiments::figures::{print_figure, write_figure};
 
 fn main() {
-    let (cfg, out) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (cfg, out) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let fig = ccs_experiments::build_figure("fig7", &cfg);
     print!("{}", print_figure(&fig));
     let files = write_figure(&out, &fig).expect("write figure artifacts");

@@ -9,7 +9,8 @@ use ccs_economy::EconomicModel;
 use ccs_experiments::{replicate, EstimateSet};
 
 fn main() {
-    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (cfg, _) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let seeds = [1u64, 2, 3, 4, 5];
     for econ in EconomicModel::ALL {
         for set in EstimateSet::ALL {

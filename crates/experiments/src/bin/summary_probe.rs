@@ -8,7 +8,8 @@ use ccs_experiments::*;
 use ccs_risk::Objective;
 
 fn main() {
-    let (cfg, _) = ccs_experiments::parse_cli(&std::env::args().skip(1).collect::<Vec<_>>());
+    let (cfg, _) =
+        ccs_experiments::parse_cli_or_exit(&std::env::args().skip(1).collect::<Vec<_>>());
     let t0 = std::time::Instant::now();
     let ev = run_evaluation(&cfg);
     eprintln!("full evaluation in {:.1?}", t0.elapsed());

@@ -20,8 +20,9 @@
 use ccs_economy::EconomicModel;
 use ccs_experiments::figures::{print_figure, write_figure};
 use ccs_experiments::{
-    build_figure, parse_cli_ext, progress, replicate, run_all_ablations, run_evaluation, tables,
-    telemetry_report, trace_report, EstimateSet, RawGrid, TelemetryReport, TraceCellSpec,
+    build_figure, parse_cli_checked, progress, replicate, run_all_ablations, run_evaluation_ctl,
+    tables, telemetry_report, trace_report, CellError, EstimateSet, GridControl, RawGrid,
+    TelemetryReport, TraceCellSpec,
 };
 use ccs_risk::Objective;
 use ccs_workload::{apply_scenario, WorkloadSummary};
@@ -30,9 +31,65 @@ fn usage() -> ! {
     eprintln!(
         "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace> \
          [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
+         grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N]\n\
          trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]"
     );
     std::process::exit(2);
+}
+
+/// Strips `--resume FILE` and `--cell-budget N` (crash-safe grid control)
+/// from the argument list before the shared parser sees them.
+fn parse_grid_control(args: &mut Vec<String>) -> Result<GridControl, String> {
+    let mut ctl = GridControl::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--resume" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--resume requires a journal path")?;
+                ctl.journal = Some(std::path::PathBuf::from(v));
+                args.drain(i..i + 2);
+            }
+            "--cell-budget" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--cell-budget requires a count")?;
+                ctl.cell_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cell-budget: expected a count, got {v:?}"))?,
+                );
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(ctl)
+}
+
+/// Reports panicked cells: writes `cell_errors.json` under `out` and prints
+/// each error. Returns true when there was anything to report (the process
+/// should then exit nonzero once the telemetry artifacts are flushed).
+fn report_cell_errors(errors: &[CellError], out: &std::path::Path) -> bool {
+    if errors.is_empty() {
+        return false;
+    }
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("cell_errors.json");
+    let json = serde_json::to_string_pretty(&errors.to_vec()).expect("cell errors serialise");
+    std::fs::write(&path, json).expect("write cell_errors.json");
+    for e in errors {
+        eprintln!("utility_risk: {e}");
+    }
+    eprintln!(
+        "utility_risk: {} grid cell(s) panicked — details in {} (rerun with --resume to retry \
+         only the missing cells)",
+        errors.len(),
+        path.display()
+    );
+    true
 }
 
 fn main() {
@@ -63,10 +120,25 @@ fn main() {
     } else {
         None
     };
-    let (cfg, out, telemetry) = parse_cli_ext(&args);
+    let ctl = match parse_grid_control(&mut args) {
+        Ok(ctl) => ctl,
+        Err(e) => {
+            eprintln!("utility_risk: {e}");
+            usage();
+        }
+    };
+    let (cfg, out, telemetry) = match parse_cli_checked(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("utility_risk: {e}");
+            std::process::exit(2);
+        }
+    };
     // Grids retained by the subcommand (if any) for the end-of-run timing
     // summary and the optional --telemetry artifact.
     let mut raw_grids: Vec<RawGrid> = Vec::new();
+    // Panicked grid cells, reported (with a nonzero exit) at the end.
+    let mut cell_errors: Vec<CellError> = Vec::new();
 
     match cmd.as_str() {
         "tables" => print!("{}", tables::all_tables()),
@@ -83,7 +155,8 @@ fn main() {
         }
         "all" => {
             println!("{}", tables::all_tables());
-            let ev = run_evaluation(&cfg);
+            let ev = run_evaluation_ctl(&cfg, &ctl);
+            cell_errors = ev.cell_errors().into_iter().cloned().collect();
             for fig in ev.paper_figures() {
                 print!("{}", print_figure(&fig));
                 write_figure(&out, &fig).expect("write artifacts");
@@ -137,7 +210,8 @@ fn main() {
             }
         }
         "summary" => {
-            let ev = run_evaluation(&cfg);
+            let ev = run_evaluation_ctl(&cfg, &ctl);
+            cell_errors = ev.cell_errors().into_iter().cloned().collect();
             for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {
                 println!("\n== {} / {} ==", g.econ, g.set);
                 print!("{:<12}", "policy");
@@ -156,7 +230,8 @@ fn main() {
             raw_grids = ev.raw_grids;
         }
         "dominance" => {
-            let ev = run_evaluation(&cfg);
+            let ev = run_evaluation_ctl(&cfg, &ctl);
+            cell_errors = ev.cell_errors().into_iter().cloned().collect();
             for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {
                 let plot = g.integrated_plot(&Objective::ALL);
                 println!(
@@ -209,5 +284,8 @@ fn main() {
             .write(&path)
             .expect("write telemetry report");
         progress::note(&format!("telemetry report written to {}", path.display()));
+    }
+    if report_cell_errors(&cell_errors, &out) {
+        std::process::exit(1);
     }
 }

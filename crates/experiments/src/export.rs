@@ -4,7 +4,7 @@
 //! JSON — every separate risk measure per (economic model, estimate set,
 //! scenario, policy, objective) — so figures can be re-rendered, diffed
 //! across versions, or consumed by external tooling without re-running the
-//! 1440 simulations.
+//! 1560 simulations.
 
 use crate::analysis::GridAnalysis;
 use crate::scenario::Scenario;
@@ -89,7 +89,7 @@ mod tests {
         let ex = quick_export();
         let back = EvaluationExport::from_json(&ex.to_json()).unwrap();
         assert_eq!(back.schema, SCHEMA_VERSION);
-        assert_eq!(back.scenarios.len(), 12);
+        assert_eq!(back.scenarios.len(), 13);
         assert_eq!(
             back.objectives,
             vec!["wait", "SLA", "reliability", "profitability"]

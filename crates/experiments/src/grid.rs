@@ -1,19 +1,22 @@
-//! The experiment grid: 12 scenarios × 6 values × policies, per economic
-//! model and estimate set — and the parallel runner that fills it.
+//! The experiment grid: 13 scenarios (the paper's 12 + failure rate) × 6
+//! values × policies, per economic model and estimate set — and the
+//! parallel, crash-safe runner that fills it.
 //!
 //! The runner always records per-cell wall-clock timings (cheap: one
 //! `Instant` pair per simulation run, far off the kernel hot path), so
 //! slow cells can be reported even in uninstrumented builds. With the
 //! `telemetry` feature the same timings also feed the global registry.
 
+use crate::journal::{cell_key, CellError, CellRecord, Journal};
 use crate::progress;
 use crate::scenario::{EstimateSet, Scenario};
 use ccs_economy::EconomicModel;
 use ccs_policies::PolicyKind;
-use ccs_simsvc::{simulate, RunConfig};
-use ccs_workload::{apply_scenario, BaseJob, SdscSp2Model};
+use ccs_simsvc::{simulate, simulate_faulty, RunConfig};
+use ccs_workload::{apply_scenario, BaseJob, Job, SdscSp2Model};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -58,6 +61,25 @@ impl ExperimentConfig {
     }
 }
 
+/// Runtime controls of one grid run: crash-safe checkpointing and the
+/// testing hook that truncates a run after a fixed number of cells.
+#[derive(Clone, Debug, Default)]
+pub struct GridControl {
+    /// JSONL journal path for crash-safe resume: completed cells are
+    /// appended as they finish, and cells already present are reused
+    /// instead of re-simulated. `None` disables journaling.
+    pub journal: Option<std::path::PathBuf>,
+    /// Simulate at most this many cells (journal hits don't count), then
+    /// skip the rest — the hook integration tests use to "kill" a run at a
+    /// deterministic point. `None` = unlimited.
+    pub cell_budget: Option<usize>,
+    /// Deliberately panic the cell `"scenarioIdx:valueIdx:PolicyName"` —
+    /// the fault-injection backdoor proving a broken policy cannot take
+    /// down a grid run. Falls back to the [`FAIL_CELL_ENV`] environment
+    /// variable (read once per grid) when `None`.
+    pub fail_cell: Option<String>,
+}
+
 /// Wall-clock timing of one grid cell (one policy at one scenario value).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellTiming {
@@ -92,6 +114,10 @@ pub struct RawGrid {
     pub worker_busy_secs: Vec<f64>,
     /// End-to-end wall-clock seconds for the whole grid.
     pub wall_secs: f64,
+    /// Cells that panicked instead of completing, sorted by (scenario,
+    /// value, policy). Their `raw` entries hold `[0.0; 4]` placeholders —
+    /// never NaN — so downstream normalisation and plots stay defined.
+    pub errors: Vec<CellError>,
 }
 
 impl RawGrid {
@@ -143,13 +169,25 @@ pub fn policies_for(econ: EconomicModel) -> Vec<PolicyKind> {
     }
 }
 
-/// Runs the full 12 × 6 grid for one (economic model, estimate set) pair.
+/// Runs the full 13 × 6 grid for one (economic model, estimate set) pair.
 ///
 /// Experiment points are independent, so they are fanned out over worker
 /// threads; results are deterministic regardless of the thread count.
 pub fn run_grid(econ: EconomicModel, set: EstimateSet, cfg: &ExperimentConfig) -> RawGrid {
     let base = cfg.trace.generate(cfg.seed);
     run_grid_with_base(econ, set, cfg, &base)
+}
+
+/// Like [`run_grid`], but with [`GridControl`] (resume journal and/or cell
+/// budget).
+pub fn run_grid_ctl(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    ctl: &GridControl,
+) -> RawGrid {
+    let base = cfg.trace.generate(cfg.seed);
+    run_grid_with_base_ctl(econ, set, cfg, &base, ctl)
 }
 
 /// Like [`run_grid`], but over caller-provided base jobs — the hook for
@@ -160,6 +198,34 @@ pub fn run_grid_with_base(
     cfg: &ExperimentConfig,
     base: &[BaseJob],
 ) -> RawGrid {
+    run_grid_with_base_ctl(econ, set, cfg, base, &GridControl::default())
+}
+
+/// The full grid runner: caller-provided base jobs plus [`GridControl`].
+///
+/// A policy that panics inside a cell does not abort the grid: the panic is
+/// caught, reported as a [`CellError`] on the returned grid, and the cell's
+/// objectives stay at a `[0.0; 4]` placeholder. With a journal, completed
+/// cells are checkpointed as they finish and journaled cells are reused —
+/// panicked or budget-skipped cells are *not* journaled, so a resume
+/// re-runs exactly the failed and missing work.
+pub fn run_grid_with_base_ctl(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    base: &[BaseJob],
+    ctl: &GridControl,
+) -> RawGrid {
+    let journal = ctl.journal.as_deref().map(|p| {
+        Journal::open(p).unwrap_or_else(|e| panic!("cannot open journal {}: {e}", p.display()))
+    });
+    let budget = ctl
+        .cell_budget
+        .map(|n| AtomicI64::new(i64::try_from(n).unwrap_or(i64::MAX)));
+    let fail_cell = ctl
+        .fail_cell
+        .clone()
+        .or_else(|| std::env::var(FAIL_CELL_ENV).ok());
     let policies = policies_for(econ);
     let base = base.to_vec();
     let points: Vec<(usize, usize)> = (0..Scenario::ALL.len())
@@ -186,6 +252,7 @@ pub fn run_grid_with_base(
     .min(points.len())
     .max(1);
     let busy = Mutex::new(vec![0.0f64; threads]);
+    let errors: Mutex<Vec<CellError>> = Mutex::new(Vec::new());
     let progress = progress::bar_enabled();
     let started = Instant::now();
 
@@ -199,6 +266,10 @@ pub fn run_grid_with_base(
             let base = &base;
             let policies = &policies;
             let points = &points;
+            let journal = journal.as_ref();
+            let budget = budget.as_ref();
+            let fail_cell = fail_cell.as_deref();
+            let errors = &errors;
             scope.spawn(move || {
                 let mut my_busy = 0.0f64;
                 loop {
@@ -208,8 +279,9 @@ pub fn run_grid_with_base(
                     }
                     let (s, v) = points[i];
                     let t0 = Instant::now();
-                    let (row, timings) =
-                        run_point(econ, set, cfg, base, Scenario::ALL[s], v, policies);
+                    let (row, timings) = run_point(
+                        econ, set, cfg, base, s, v, policies, journal, budget, fail_cell, errors,
+                    );
                     my_busy += t0.elapsed().as_secs_f64();
                     raw.lock().unwrap()[s][v] = row;
                     cell_secs.lock().unwrap()[s][v] = timings;
@@ -224,6 +296,10 @@ pub fn run_grid_with_base(
     });
 
     let wall_secs = started.elapsed().as_secs_f64();
+    let mut errors = errors.into_inner().unwrap();
+    errors.sort_by(|a, b| {
+        (a.scenario_idx, a.value_idx, &a.policy).cmp(&(b.scenario_idx, b.value_idx, &b.policy))
+    });
     let grid = RawGrid {
         econ,
         set,
@@ -232,6 +308,7 @@ pub fn run_grid_with_base(
         cell_secs: cell_secs.into_inner().unwrap(),
         worker_busy_secs: busy.into_inner().unwrap(),
         wall_secs,
+        errors,
     };
     record_grid_telemetry(&grid);
     grid
@@ -260,33 +337,114 @@ fn record_grid_telemetry(grid: &RawGrid) {
     }
 }
 
+/// Deliberately panics a chosen cell — the fault-injection backdoor the
+/// robustness tests (and CI) use to prove a broken policy cannot take down
+/// a whole grid run. Format: `"scenarioIdx:valueIdx:PolicyName"`.
+pub const FAIL_CELL_ENV: &str = "CCS_FAIL_CELL";
+
 /// Runs one experiment point (one scenario value) for every policy,
-/// returning the objective row and per-policy wall-clock seconds.
+/// returning the objective row and per-policy wall-clock seconds. Panics
+/// are confined to the failing cell; journal hits skip simulation entirely.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     econ: EconomicModel,
     set: EstimateSet,
     cfg: &ExperimentConfig,
     base: &[BaseJob],
-    scenario: Scenario,
+    scenario_idx: usize,
     value_idx: usize,
     policies: &[PolicyKind],
+    journal: Option<&Journal>,
+    budget: Option<&AtomicI64>,
+    fail_cell: Option<&str>,
+    errors: &Mutex<Vec<CellError>>,
 ) -> (Vec<[f64; 4]>, Vec<f64>) {
+    let scenario = Scenario::ALL[scenario_idx];
     let value = scenario.values()[value_idx];
-    let transform = scenario.transform(set, value);
-    let jobs = apply_scenario(base, &transform, cfg.seed);
+    let fault = scenario.fault(value, cfg.seed);
     let run_cfg = RunConfig {
         nodes: cfg.nodes,
         econ,
     };
+    // Generated lazily: a point fully served from the journal never pays
+    // for workload synthesis.
+    let mut jobs: Option<Vec<Job>> = None;
     let mut row = Vec::with_capacity(policies.len());
     let mut secs = Vec::with_capacity(policies.len());
     for &kind in policies {
+        let key = cell_key(econ, set, cfg, scenario_idx, value_idx, kind);
+        if let Some(rec) = journal.and_then(|j| j.get(&key)) {
+            row.push(rec.objectives);
+            secs.push(rec.secs);
+            continue;
+        }
+        if let Some(b) = budget {
+            if b.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                // Budget spent: leave the cell missing (placeholder, not
+                // journaled) so a resumed run picks it up.
+                row.push([0.0; 4]);
+                secs.push(0.0);
+                continue;
+            }
+        }
         let t0 = Instant::now();
-        let objectives = simulate(&jobs, kind, &run_cfg).metrics.objectives();
-        secs.push(t0.elapsed().as_secs_f64());
-        row.push(objectives);
+        let jobs = jobs
+            .get_or_insert_with(|| apply_scenario(base, &scenario.transform(set, value), cfg.seed));
+        let this_cell = format!("{scenario_idx}:{value_idx}:{}", kind.name());
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            assert!(
+                fail_cell != Some(this_cell.as_str()),
+                "{FAIL_CELL_ENV} injected panic in cell {this_cell}"
+            );
+            match &fault {
+                Some(f) => simulate_faulty(jobs, kind, &run_cfg, f),
+                None => simulate(jobs, kind, &run_cfg),
+            }
+            .metrics
+            .objectives()
+        }));
+        let cell_secs = t0.elapsed().as_secs_f64();
+        match outcome {
+            Ok(objectives) => {
+                if let Some(j) = journal {
+                    j.append(&CellRecord {
+                        key,
+                        scenario_idx,
+                        value_idx,
+                        policy: kind.name().to_string(),
+                        objectives,
+                        secs: cell_secs,
+                    });
+                }
+                row.push(objectives);
+                secs.push(cell_secs);
+            }
+            Err(payload) => {
+                errors.lock().unwrap().push(CellError {
+                    scenario: scenario.label(),
+                    scenario_idx,
+                    value_idx,
+                    policy: kind.name().to_string(),
+                    message: panic_message(payload),
+                });
+                row.push([0.0; 4]);
+                secs.push(cell_secs);
+            }
+        }
     }
     (row, secs)
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or `String`
+/// in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -294,13 +452,136 @@ mod tests {
     use super::*;
 
     #[test]
+    fn failure_rate_zero_point_matches_baseline_workload_point() {
+        // The failure-rate scenario's zero-rate cell must reproduce the
+        // default-workload cell of every other scenario's baseline exactly:
+        // same jobs, no faults.
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(60)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        let fr = Scenario::ALL
+            .iter()
+            .position(|s| *s == Scenario::FailureRate)
+            .unwrap();
+        // Workload scenario's value index 2 is the default delay factor
+        // 0.25 — i.e. the exact baseline workload.
+        assert_eq!(Scenario::Workload.values()[2], 0.25);
+        let wl = Scenario::ALL
+            .iter()
+            .position(|s| *s == Scenario::Workload)
+            .unwrap();
+        assert_eq!(g.raw[fr][0], g.raw[wl][2]);
+        // Nonzero failure rates must change at least one objective.
+        assert_ne!(g.raw[fr][0], g.raw[fr][5], "failures had no effect");
+    }
+
+    #[test]
+    fn journal_resume_reproduces_uninterrupted_grid() {
+        let dir = std::env::temp_dir().join("ccs_grid_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let full = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+
+        // "Kill" a journaled run after 30 cells ...
+        let truncated = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: Some(30),
+                ..Default::default()
+            },
+        );
+        assert!(truncated.errors.is_empty());
+        let journaled = Journal::open(&journal).unwrap().loaded();
+        assert_eq!(journaled, 30, "exactly the budgeted cells are journaled");
+
+        // ... then resume: only the missing cells run, and the merged grid
+        // is identical to the uninterrupted one.
+        let resumed = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.raw, full.raw);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_cell_is_confined_and_not_journaled() {
+        let dir = std::env::temp_dir().join("ccs_grid_failcell_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: None,
+                fail_cell: Some("0:1:SJF-BF".to_string()),
+            },
+        );
+
+        assert_eq!(g.errors.len(), 1, "exactly the injected cell fails");
+        let e = &g.errors[0];
+        assert_eq!((e.scenario_idx, e.value_idx), (0, 1));
+        assert_eq!(e.policy, "SJF-BF");
+        assert!(e.message.contains("injected panic"), "{}", e.message);
+        // The failed cell holds a defined placeholder, not NaN.
+        let p = g
+            .policies
+            .iter()
+            .position(|k| k.name() == "SJF-BF")
+            .unwrap();
+        assert_eq!(g.raw[0][1][p], [0.0; 4]);
+        // Every *other* cell completed and was journaled.
+        let total = Scenario::ALL.len() * 6 * g.policies.len();
+        assert_eq!(Journal::open(&journal).unwrap().loaded(), total - 1);
+
+        // Resuming without the env var re-runs only the failed cell and
+        // heals the grid.
+        let healed = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(healed.errors.is_empty());
+        let full = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        assert_eq!(healed.raw, full.raw);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn grid_dimensions() {
         let cfg = ExperimentConfig::quick().with_jobs(60);
         let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
-        assert_eq!(g.raw.len(), 12);
+        assert_eq!(g.raw.len(), 13);
         assert_eq!(g.raw[0].len(), 6);
         assert_eq!(g.raw[0][0].len(), 5);
         assert_eq!(g.policy_names()[0], "FCFS-BF");
+        assert!(g.errors.is_empty());
     }
 
     #[test]
@@ -342,7 +623,7 @@ mod tests {
             ..ExperimentConfig::quick().with_jobs(40)
         };
         let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
-        assert_eq!(g.cell_secs.len(), 12);
+        assert_eq!(g.cell_secs.len(), 13);
         assert_eq!(g.cell_secs[0].len(), 6);
         assert_eq!(g.cell_secs[0][0].len(), g.policies.len());
         let total: f64 = g.cell_secs.iter().flatten().flatten().copied().sum();

@@ -1,0 +1,322 @@
+//! Crash-safe grid checkpointing: a JSONL journal of completed cells.
+//!
+//! Every finished grid cell (one policy at one scenario value) appends one
+//! [`CellRecord`] line, keyed by a provenance hash over everything that
+//! determines the cell's result (seed, trace size, cluster size, economic
+//! model, estimate set, scenario, value, policy, fault parameters). A rerun
+//! with `--resume <journal>` loads the file and skips every cell whose key
+//! matches — so a run killed halfway (or one that lost cells to a panicking
+//! policy) only pays for the missing cells, and the merged report is
+//! byte-identical to an uninterrupted run.
+//!
+//! Cells that *fail* (panic) are never journaled: a resume retries them.
+
+use crate::grid::ExperimentConfig;
+use crate::scenario::{EstimateSet, Scenario};
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One grid cell that panicked instead of completing. The grid reports
+/// these (and the run exits nonzero) rather than aborting the whole sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellError {
+    /// Scenario label.
+    pub scenario: String,
+    /// Scenario index into [`Scenario::ALL`].
+    pub scenario_idx: usize,
+    /// Scenario value index, 0..6.
+    pub value_idx: usize,
+    /// Policy display name.
+    pub policy: String,
+    /// The panic payload, as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell [{} @ value {} / {}] panicked: {}",
+            self.scenario, self.value_idx, self.policy, self.message
+        )
+    }
+}
+
+/// One completed grid cell, as journaled.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Provenance hash of everything that determines this cell's result.
+    pub key: String,
+    /// Scenario index into [`Scenario::ALL`] (for human inspection).
+    pub scenario_idx: usize,
+    /// Scenario value index, 0..6.
+    pub value_idx: usize,
+    /// Policy display name.
+    pub policy: String,
+    /// The cell's objective row `[wait, SLA, reliability, profitability]`.
+    pub objectives: [f64; 4],
+    /// Wall-clock seconds the cell originally took.
+    pub secs: f64,
+}
+
+/// Append-only JSONL journal of completed cells, shared across grid worker
+/// threads.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    /// Previously journaled cells, by provenance key.
+    seen: HashMap<String, CellRecord>,
+    writer: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal at `path` and loads every
+    /// parseable record already in it. Torn trailing lines — the expected
+    /// residue of a killed run — are skipped, not fatal.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut seen = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Ok(rec) = serde_json::from_str::<CellRecord>(line) {
+                    seen.insert(rec.key.clone(), rec);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            seen,
+            writer: Mutex::new(file),
+        })
+    }
+
+    /// The journal's location on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of cells loaded from disk at open time.
+    pub fn loaded(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// A previously completed cell, if this exact cell was journaled.
+    pub fn get(&self, key: &str) -> Option<&CellRecord> {
+        self.seen.get(key)
+    }
+
+    /// Appends one completed cell and flushes it to disk immediately, so a
+    /// crash right after loses nothing.
+    pub fn append(&self, rec: &CellRecord) {
+        let line = serde_json::to_string(rec).expect("CellRecord serialises");
+        let mut w = self.writer.lock().unwrap();
+        // One write call per line keeps concurrent appends line-atomic on
+        // POSIX O_APPEND files.
+        let _ = w.write_all(format!("{line}\n").as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Provenance hash of one grid cell: FNV-1a over a canonical description of
+/// every input that determines its result. Any change — seed, trace size,
+/// cluster size, economic model, estimate set, scenario definition, fault
+/// parameters, policy — changes the key, so a stale journal can never leak
+/// wrong numbers into a resumed run.
+pub fn cell_key(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    scenario_idx: usize,
+    value_idx: usize,
+    policy: PolicyKind,
+) -> String {
+    let scenario = Scenario::ALL[scenario_idx];
+    let value = scenario.values()[value_idx];
+    let fault = scenario.fault(value, cfg.seed);
+    let canon = format!(
+        "v1|seed={}|nodes={}|jobs={}|interarrival={}|econ={:?}|set={:?}|scenario={:?}|value={}|policy={:?}|fault={:?}",
+        cfg.seed,
+        cfg.nodes,
+        cfg.trace.jobs,
+        cfg.trace.mean_interarrival,
+        econ,
+        set,
+        scenario,
+        value,
+        policy,
+        fault,
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: &str, idx: usize) -> CellRecord {
+        CellRecord {
+            key: key.to_string(),
+            scenario_idx: idx,
+            value_idx: 1,
+            policy: "FCFS-BF".to_string(),
+            objectives: [1.0, 2.0, 3.0, 4.0],
+            secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn round_trips_records_and_survives_torn_lines() {
+        let dir = std::env::temp_dir().join("ccs_journal_test_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        {
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.loaded(), 0);
+            j.append(&rec("aaaa", 0));
+            j.append(&rec("bbbb", 1));
+        }
+        // Simulate a crash mid-append: a torn, unparseable trailing line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"cc").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.loaded(), 2);
+        assert_eq!(j.get("aaaa"), Some(&rec("aaaa", 0)));
+        assert_eq!(j.get("bbbb"), Some(&rec("bbbb", 1)));
+        assert_eq!(j.get("cccc"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_every_provenance_dimension() {
+        let cfg = ExperimentConfig::quick();
+        let base = cell_key(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            0,
+            0,
+            PolicyKind::FcfsBf,
+        );
+        let mut other_seed = cfg;
+        other_seed.seed += 1;
+        let variants = [
+            cell_key(
+                EconomicModel::BidBased,
+                EstimateSet::A,
+                &cfg,
+                0,
+                0,
+                PolicyKind::FcfsBf,
+            ),
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::B,
+                &cfg,
+                0,
+                0,
+                PolicyKind::FcfsBf,
+            ),
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &other_seed,
+                0,
+                0,
+                PolicyKind::FcfsBf,
+            ),
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &cfg,
+                1,
+                0,
+                PolicyKind::FcfsBf,
+            ),
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &cfg,
+                0,
+                1,
+                PolicyKind::FcfsBf,
+            ),
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &cfg,
+                0,
+                0,
+                PolicyKind::SjfBf,
+            ),
+        ];
+        for v in &variants {
+            assert_ne!(&base, v);
+        }
+        // Deterministic: same inputs, same key.
+        assert_eq!(
+            base,
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &cfg,
+                0,
+                0,
+                PolicyKind::FcfsBf,
+            )
+        );
+    }
+
+    #[test]
+    fn failure_rate_cells_key_on_fault_parameters() {
+        // Same scenario, different value index → different fault config →
+        // different key even though the workload transform is identical.
+        let cfg = ExperimentConfig::quick();
+        let fr = Scenario::ALL
+            .iter()
+            .position(|s| *s == Scenario::FailureRate)
+            .unwrap();
+        let k0 = cell_key(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            fr,
+            0,
+            PolicyKind::FcfsBf,
+        );
+        let k1 = cell_key(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            fr,
+            1,
+            PolicyKind::FcfsBf,
+        );
+        assert_ne!(k0, k1);
+    }
+}

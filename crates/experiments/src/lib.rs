@@ -1,9 +1,12 @@
 //! # ccs-experiments — reproduction harness for every table and figure
 //!
-//! Drives the full evaluation of the paper (Sections 5–6): the 12-scenario ×
-//! 6-value experiment grid over both economic models and both estimate sets,
-//! the separate/integrated risk analyses, and the renderers that regenerate
-//! every paper table (I–VI) and figure (1–8).
+//! Drives the full evaluation of the paper (Sections 5–6): the 13-scenario
+//! (the paper's 12 + a failure-rate extension) × 6-value experiment grid
+//! over both economic models and both estimate sets, the
+//! separate/integrated risk analyses, and the renderers that regenerate
+//! every paper table (I–VI) and figure (1–8). Grid runs are crash-safe:
+//! cells checkpoint to a JSONL [`journal`] and panicking cells are
+//! confined and reported instead of aborting the sweep.
 //!
 //! Entry points:
 //!
@@ -24,6 +27,7 @@ pub mod analysis;
 pub mod export;
 pub mod figures;
 pub mod grid;
+pub mod journal;
 pub mod progress;
 pub mod replications;
 pub mod report_md;
@@ -36,7 +40,11 @@ pub mod trace_run;
 pub use ablation::{run_all as run_all_ablations, Ablation};
 pub use analysis::{analyze, analyze_with, GridAnalysis};
 pub use export::EvaluationExport;
-pub use grid::{policies_for, run_grid, run_grid_with_base, CellTiming, ExperimentConfig, RawGrid};
+pub use grid::{
+    policies_for, run_grid, run_grid_ctl, run_grid_with_base, run_grid_with_base_ctl, CellTiming,
+    ExperimentConfig, GridControl, RawGrid, FAIL_CELL_ENV,
+};
+pub use journal::{cell_key, CellError, CellRecord, Journal};
 pub use replications::{
     across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy,
 };
@@ -64,10 +72,17 @@ pub struct Evaluation {
 }
 
 /// Runs all four grids (2 economic models × 2 estimate sets) and their
-/// separate risk analyses. With the default config this is the paper's full
-/// study: 12 scenarios × 6 values × 5 policies × 4 grids = 1440 simulation
-/// runs of 5000 jobs each — run in release mode.
+/// separate risk analyses. With the default config this is the full study:
+/// 13 scenarios × 6 values × 5 policies × 4 grids = 1560 simulation runs
+/// of 5000 jobs each — run in release mode.
 pub fn run_evaluation(cfg: &ExperimentConfig) -> Evaluation {
+    run_evaluation_ctl(cfg, &GridControl::default())
+}
+
+/// Like [`run_evaluation`], but with [`GridControl`]: all four grids share
+/// one resume journal, so a killed run resumes across the whole study.
+/// (The cell budget, if set, applies per grid.)
+pub fn run_evaluation_ctl(cfg: &ExperimentConfig, ctl: &GridControl) -> Evaluation {
     let grids: Vec<RawGrid> = [
         (EconomicModel::CommodityMarket, EstimateSet::A),
         (EconomicModel::CommodityMarket, EstimateSet::B),
@@ -75,7 +90,7 @@ pub fn run_evaluation(cfg: &ExperimentConfig) -> Evaluation {
         (EconomicModel::BidBased, EstimateSet::B),
     ]
     .into_iter()
-    .map(|(econ, set)| run_grid(econ, set, cfg))
+    .map(|(econ, set)| run_grid_ctl(econ, set, cfg, ctl))
     .collect();
     Evaluation {
         commodity_a: analyze(&grids[0]),
@@ -83,6 +98,13 @@ pub fn run_evaluation(cfg: &ExperimentConfig) -> Evaluation {
         bid_a: analyze(&grids[2]),
         bid_b: analyze(&grids[3]),
         raw_grids: grids,
+    }
+}
+
+impl Evaluation {
+    /// Every cell error across the four grids, in grid order.
+    pub fn cell_errors(&self) -> Vec<&CellError> {
+        self.raw_grids.iter().flat_map(|g| &g.errors).collect()
     }
 }
 
@@ -141,6 +163,35 @@ pub fn build_figure(id: &str, cfg: &ExperimentConfig) -> figures::Figure {
     }
 }
 
+/// A configuration error surfaced to CLI users: the offending flag or
+/// field plus what was wrong with it. Binaries print it and exit with
+/// status 2 instead of panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigError {
+    /// The flag or field at fault (e.g. `"--jobs"`, `"mtbf"`).
+    pub field: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Shorthand constructor.
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration error in {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Parses the tiny CLI convention shared by the experiment binaries:
 /// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`,
 /// `--quiet` (suppress all stderr progress output — see [`progress`]).
@@ -151,7 +202,9 @@ pub fn parse_cli(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
 
 /// Like [`parse_cli`], but also returns the `--telemetry FILE` path when
 /// given (honoured by `utility_risk` and `all_figures`, which write a
-/// [`TelemetryReport`] there at the end of the run).
+/// [`TelemetryReport`] there at the end of the run). Panics on invalid
+/// arguments; binaries should prefer [`parse_cli_checked`] and report the
+/// [`ConfigError`] instead.
 pub fn parse_cli_ext(
     args: &[String],
 ) -> (
@@ -159,14 +212,52 @@ pub fn parse_cli_ext(
     std::path::PathBuf,
     Option<std::path::PathBuf>,
 ) {
+    parse_cli_checked(args).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`parse_cli`] for binaries: reports the [`ConfigError`] on stderr and
+/// exits with status 2 instead of panicking.
+pub fn parse_cli_or_exit(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
+    let (cfg, out, _) = parse_cli_ext_or_exit(args);
+    (cfg, out)
+}
+
+/// [`parse_cli_ext`] for binaries: reports the [`ConfigError`] on stderr
+/// and exits with status 2 instead of panicking.
+pub fn parse_cli_ext_or_exit(
+    args: &[String],
+) -> (
+    ExperimentConfig,
+    std::path::PathBuf,
+    Option<std::path::PathBuf>,
+) {
+    parse_cli_checked(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// The validating CLI parser behind [`parse_cli_ext`]: every flag value is
+/// checked up front (parseable, finite, in range) and the first problem is
+/// returned as a typed [`ConfigError`] naming the offending flag.
+pub fn parse_cli_checked(
+    args: &[String],
+) -> Result<
+    (
+        ExperimentConfig,
+        std::path::PathBuf,
+        Option<std::path::PathBuf>,
+    ),
+    ConfigError,
+> {
     let mut cfg = ExperimentConfig::default();
     let mut out = std::path::PathBuf::from("target/figures");
     let mut telemetry = None;
     let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, ConfigError> {
         args.get(i)
-            .unwrap_or_else(|| panic!("{flag} requires a value"))
-            .clone()
+            .cloned()
+            .ok_or_else(|| ConfigError::new(flag, "requires a value"))
     };
     while i < args.len() {
         match args[i].as_str() {
@@ -174,31 +265,102 @@ pub fn parse_cli_ext(
             "--quiet" => progress::set_quiet(true),
             "--jobs" => {
                 i += 1;
-                cfg.trace.jobs = value(args, i, "--jobs").parse().expect("--jobs N");
+                let v = value(args, i, "--jobs")?;
+                cfg.trace.jobs = v.parse().map_err(|_| {
+                    ConfigError::new("--jobs", format!("expected a count, got {v:?}"))
+                })?;
+                if cfg.trace.jobs == 0 {
+                    return Err(ConfigError::new("--jobs", "must be at least 1"));
+                }
             }
             "--seed" => {
                 i += 1;
-                cfg.seed = value(args, i, "--seed").parse().expect("--seed S");
+                let v = value(args, i, "--seed")?;
+                cfg.seed = v.parse().map_err(|_| {
+                    ConfigError::new("--seed", format!("expected an unsigned integer, got {v:?}"))
+                })?;
             }
             "--threads" => {
                 i += 1;
-                cfg.threads = value(args, i, "--threads").parse().expect("--threads T");
+                let v = value(args, i, "--threads")?;
+                cfg.threads = v.parse().map_err(|_| {
+                    ConfigError::new(
+                        "--threads",
+                        format!("expected a thread count (0 = auto), got {v:?}"),
+                    )
+                })?;
             }
             "--out" => {
                 i += 1;
-                out = std::path::PathBuf::from(value(args, i, "--out"));
+                out = std::path::PathBuf::from(value(args, i, "--out")?);
             }
             "--telemetry" => {
                 i += 1;
-                telemetry = Some(std::path::PathBuf::from(value(args, i, "--telemetry")));
+                telemetry = Some(std::path::PathBuf::from(value(args, i, "--telemetry")?));
             }
-            other => panic!(
-                "unknown argument {other} (supported: --quick --quiet --jobs --seed --threads --out --telemetry)"
-            ),
+            other => {
+                return Err(ConfigError::new(
+                    other,
+                    "unknown argument (supported: --quick --quiet --jobs --seed --threads --out \
+                     --telemetry)",
+                ))
+            }
         }
         i += 1;
     }
-    (cfg, out, telemetry)
+    validate_config(&cfg)?;
+    Ok((cfg, out, telemetry))
+}
+
+/// Up-front validation of a full experiment configuration, including every
+/// scenario's sweep values and the derived fault configurations — so a bad
+/// value surfaces as a named [`ConfigError`] before any simulation starts,
+/// not as a panic (or NaN) deep inside a worker thread.
+pub fn validate_config(cfg: &ExperimentConfig) -> Result<(), ConfigError> {
+    if cfg.nodes == 0 {
+        return Err(ConfigError::new("nodes", "cluster size must be at least 1"));
+    }
+    if cfg.trace.jobs == 0 {
+        return Err(ConfigError::new(
+            "jobs",
+            "trace must contain at least 1 job",
+        ));
+    }
+    if !cfg.trace.mean_interarrival.is_finite() || cfg.trace.mean_interarrival <= 0.0 {
+        return Err(ConfigError::new(
+            "mean_interarrival",
+            format!(
+                "must be finite and positive, got {}",
+                cfg.trace.mean_interarrival
+            ),
+        ));
+    }
+    for (idx, s) in Scenario::ALL.iter().enumerate() {
+        let values = s.values();
+        for v in values {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError::new(
+                    format!("scenario[{idx}] ({})", s.label()),
+                    format!("sweep value {v} is not finite and non-negative"),
+                ));
+            }
+        }
+        let width = values[values.len() - 1] - values[0];
+        if width <= 0.0 {
+            return Err(ConfigError::new(
+                format!("scenario[{idx}] ({})", s.label()),
+                "sweep has zero width (first and last value coincide)",
+            ));
+        }
+        for v in values {
+            if let Some(fault) = s.fault(v, cfg.seed) {
+                fault
+                    .validate()
+                    .map_err(|e| ConfigError::new(format!("scenario[{idx}] ({})", s.label()), e))?;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

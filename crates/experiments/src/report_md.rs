@@ -84,7 +84,7 @@ pub fn evaluation_report(ev: &Evaluation) -> String {
     let _ = writeln!(
         s,
         "Separate and integrated risk analysis (Yeo & Buyya, IPDPS 2007) of \
-         the {} policies over the 12-scenario grid.\n",
+         the {} policies over the 13-scenario grid.\n",
         ev.commodity_a.policy_names.len()
     );
     for g in [&ev.commodity_a, &ev.commodity_b, &ev.bid_a, &ev.bid_b] {

@@ -1,15 +1,20 @@
-//! The twelve experiment scenarios of paper Table VI.
+//! The experiment scenarios: the twelve of paper Table VI plus a
+//! failure-rate extension.
 //!
 //! Each scenario sweeps one experimental parameter across six values while
 //! everything else stays at its default: job mix (% high-urgency), workload
 //! (arrival-delay factor), runtime-estimate inaccuracy, and — for each of
 //! the deadline, budget, and penalty attributes — bias, high:low ratio, and
-//! low-value mean.
+//! low-value mean. The thirteenth scenario, [`Scenario::FailureRate`],
+//! leaves the workload at its defaults and instead injects node failures at
+//! increasing per-node rates (see [`Scenario::fault`]); its zero-rate point
+//! is the exact fault-free baseline.
 //!
 //! Two experiment sets differ only in the *default* estimate inaccuracy:
 //! Set A assumes accurate estimates (0 %), Set B the trace's own estimates
 //! (100 %).
 
+use ccs_simsvc::FaultConfig;
 use ccs_workload::{QosConfig, ScenarioTransform};
 use serde::{Deserialize, Serialize};
 
@@ -60,7 +65,8 @@ pub enum QosAttr {
     Penalty,
 }
 
-/// One of the twelve scenarios (paper Table VI rows).
+/// One of the experiment scenarios (paper Table VI rows plus the
+/// failure-rate extension).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Hash)]
 pub enum Scenario {
     /// Varying percentage of high-urgency jobs.
@@ -75,11 +81,16 @@ pub enum Scenario {
     Ratio(QosAttr),
     /// Varying low-value mean of one QoS attribute.
     LowMean(QosAttr),
+    /// Varying per-node failure rate (failures per node-week) with
+    /// exponential repairs — the fault-injection extension. The workload
+    /// stays at the set's defaults; only the cluster's weather changes.
+    FailureRate,
 }
 
 impl Scenario {
-    /// All twelve scenarios, in a fixed order (plot point order).
-    pub const ALL: [Scenario; 12] = [
+    /// All scenarios, in a fixed order (plot point order): the paper's
+    /// twelve followed by the failure-rate extension.
+    pub const ALL: [Scenario; 13] = [
         Scenario::JobMix,
         Scenario::Workload,
         Scenario::Inaccuracy,
@@ -92,7 +103,14 @@ impl Scenario {
         Scenario::LowMean(QosAttr::Deadline),
         Scenario::LowMean(QosAttr::Budget),
         Scenario::LowMean(QosAttr::Penalty),
+        Scenario::FailureRate,
     ];
+
+    /// The paper's original twelve scenarios (Table VI), excluding the
+    /// failure-rate extension.
+    pub fn paper() -> &'static [Scenario] {
+        &Scenario::ALL[..12]
+    }
 
     /// The six varying values of this scenario (Table VI columns).
     pub fn values(self) -> [f64; 6] {
@@ -103,6 +121,7 @@ impl Scenario {
             Scenario::Bias(_) | Scenario::Ratio(_) | Scenario::LowMean(_) => {
                 [1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
             }
+            Scenario::FailureRate => [0.0, 0.25, 0.5, 1.0, 2.0, 4.0],
         }
     }
 
@@ -120,6 +139,7 @@ impl Scenario {
             Scenario::Bias(a) => format!("{} bias", attr(a)),
             Scenario::Ratio(a) => format!("{} high:low ratio", attr(a)),
             Scenario::LowMean(a) => format!("{} low-value mean", attr(a)),
+            Scenario::FailureRate => "failure rate (node failures/week)".to_string(),
         }
     }
 
@@ -134,8 +154,33 @@ impl Scenario {
             Scenario::Bias(a) => attr_mut(&mut t.qos, a).bias = value,
             Scenario::Ratio(a) => attr_mut(&mut t.qos, a).high_low_ratio = value,
             Scenario::LowMean(a) => attr_mut(&mut t.qos, a).low_mean = value,
+            // Failure rate varies the *cluster*, not the workload: the jobs
+            // are the set's exact baseline so the zero-rate point reproduces
+            // the fault-free results bit for bit.
+            Scenario::FailureRate => {}
         }
         t
+    }
+
+    /// Failure-injection configuration for one experiment point: `Some` only
+    /// for [`Scenario::FailureRate`] with a nonzero rate. `value` is
+    /// failures per node-week (exponential MTBF = week ÷ value, exponential
+    /// MTTR = 2 h, restart-from-scratch, at most 3 restarts per job). The
+    /// fault seed mixes `seed` with a fixed tag so the failure timeline is
+    /// independent of workload sampling, and is the same for every policy
+    /// facing the same experiment point — competing policies see identical
+    /// weather.
+    pub fn fault(self, value: f64, seed: u64) -> Option<FaultConfig> {
+        const WEEK_SECS: f64 = 7.0 * 24.0 * 3600.0;
+        const FAULT_SEED_TAG: u64 = 0xFA11_7AB1_E5EE_D001;
+        match self {
+            Scenario::FailureRate if value > 0.0 => Some(FaultConfig::exponential(
+                seed ^ FAULT_SEED_TAG,
+                WEEK_SECS / value,
+                2.0 * 3600.0,
+            )),
+            _ => None,
+        }
     }
 }
 
@@ -168,11 +213,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twelve_scenarios_six_values_each() {
-        assert_eq!(Scenario::ALL.len(), 12);
+    fn thirteen_scenarios_six_values_each() {
+        assert_eq!(Scenario::ALL.len(), 13);
+        assert_eq!(Scenario::paper().len(), 12);
+        assert!(!Scenario::paper().contains(&Scenario::FailureRate));
         for s in Scenario::ALL {
             assert_eq!(s.values().len(), 6);
         }
+    }
+
+    #[test]
+    fn failure_rate_scenario_shape() {
+        // First point is the exact fault-free baseline ...
+        assert_eq!(Scenario::FailureRate.values()[0], 0.0);
+        assert!(Scenario::FailureRate.fault(0.0, 42).is_none());
+        // ... every other scenario never injects faults ...
+        for s in Scenario::paper() {
+            assert!(s.fault(10.0, 42).is_none(), "{s:?}");
+        }
+        // ... and nonzero rates yield a validated config whose MTBF scales
+        // inversely with the rate.
+        let f1 = Scenario::FailureRate.fault(1.0, 42).unwrap();
+        let f4 = Scenario::FailureRate.fault(4.0, 42).unwrap();
+        f1.validate().unwrap();
+        assert!((f1.mtbf.mean() / f4.mtbf.mean() - 4.0).abs() < 1e-9);
+        assert_eq!(f1.seed, f4.seed, "same weather seed across the sweep");
+        // The transform itself is the untouched baseline.
+        let t = Scenario::FailureRate.transform(EstimateSet::A, 4.0);
+        let b = baseline(EstimateSet::A);
+        assert_eq!(t.arrival_delay_factor, b.arrival_delay_factor);
+        assert_eq!(t.inaccuracy_pct, b.inaccuracy_pct);
+        assert_eq!(t.qos.pct_high_urgency, b.qos.pct_high_urgency);
     }
 
     #[test]
@@ -223,6 +294,6 @@ mod tests {
     fn labels_are_distinct() {
         let labels: std::collections::HashSet<String> =
             Scenario::ALL.iter().map(|s| s.label()).collect();
-        assert_eq!(labels.len(), 12);
+        assert_eq!(labels.len(), 13);
     }
 }

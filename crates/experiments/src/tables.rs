@@ -100,7 +100,8 @@ pub fn table5() -> String {
     s
 }
 
-/// Table VI: the twelve scenarios and their varying values.
+/// Table VI: the scenarios (the paper's twelve plus the failure-rate
+/// extension) and their varying values.
 pub fn table6() -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -133,7 +134,7 @@ pub fn all_tables() -> String {
         ("Table III — Ranking by best performance", table3()),
         ("Table IV — Ranking by best volatility", table4()),
         ("Table V — Policies for performance evaluation", table5()),
-        ("Table VI — Varying values of twelve scenarios", table6()),
+        ("Table VI — Varying values of the scenarios", table6()),
     ] {
         let _ = writeln!(s, "=== {n} ===\n{t}");
     }
@@ -171,7 +172,7 @@ mod tests {
     #[test]
     fn table6_lists_twelve_scenarios() {
         let t = table6();
-        // Header + 12 scenario rows at least.
+        // Header + 13 scenario rows at least.
         assert!(t.lines().count() >= 13);
         assert!(t.contains("deadline bias"));
         assert!(t.contains("penalty low-value mean"));

@@ -152,9 +152,9 @@ mod tests {
         assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.grids.len(), 1);
         let table = &report.grids[0];
-        assert_eq!(table.scenarios.len(), 12);
+        assert_eq!(table.scenarios.len(), 13);
         assert_eq!(table.policies.len(), 5);
-        assert_eq!(table.secs.len(), 12);
+        assert_eq!(table.secs.len(), 13);
         assert!(table.secs.iter().flatten().sum::<f64>() > 0.0);
         assert_eq!(report.slowest_cells.len(), 10);
         assert_eq!(report.feature_enabled, ccs_telemetry::ENABLED);

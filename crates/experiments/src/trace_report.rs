@@ -40,6 +40,8 @@ pub struct JobLifecycle {
     pub utility: f64,
     /// Penalty paid on this job (dollars).
     pub penalty: f64,
+    /// Failure-induced restarts (re-admissions) of this job.
+    pub restarts: u32,
 }
 
 /// Kernel-event counters aggregated over all spans in the trace.
@@ -95,6 +97,12 @@ pub struct TraceAnalysis {
     pub penalty_total: f64,
     /// Rejection counts keyed by reason code.
     pub rejection_reasons: BTreeMap<String, u32>,
+    /// Node-failure events in the trace (fault injection).
+    pub node_failures: u32,
+    /// Node-repair events in the trace (fault injection).
+    pub node_repairs: u32,
+    /// Failure-induced job restarts across all jobs.
+    pub restarts: u32,
     /// Aggregated DES-kernel counters (empty without the `trace` feature).
     pub kernel: KernelTotals,
     /// Total records analysed.
@@ -109,6 +117,8 @@ pub fn analyze(records: &[TraceRecord]) -> Result<TraceAnalysis, String> {
 
     let mut lives: BTreeMap<u64, JobLifecycle> = BTreeMap::new();
     let mut kernel = KernelTotals::default();
+    let mut node_failures: u32 = 0;
+    let mut node_repairs: u32 = 0;
     let known = |lives: &mut BTreeMap<u64, JobLifecycle>, job: u64, what: &str| {
         if lives.contains_key(&job) {
             Ok(())
@@ -146,8 +156,12 @@ pub fn analyze(records: &[TraceRecord]) -> Result<TraceAnalysis, String> {
             TraceEvent::JobStarted { job, wait } => {
                 known(&mut lives, *job, "job_started")?;
                 let l = lives.get_mut(job).unwrap();
-                l.start = Some(r.t);
-                l.wait = Some(*wait);
+                // A restarted job starts more than once; Eq. 1 measures the
+                // wait to its *first* start, so later starts don't overwrite.
+                if l.start.is_none() {
+                    l.start = Some(r.t);
+                    l.wait = Some(*wait);
+                }
             }
             TraceEvent::JobCompleted {
                 job,
@@ -174,6 +188,16 @@ pub fn analyze(records: &[TraceRecord]) -> Result<TraceAnalysis, String> {
                 l.penalty = *penalty;
                 l.utility = *utility;
             }
+            TraceEvent::JobRestart { job, .. } => {
+                known(&mut lives, *job, "job_restart")?;
+                let l = lives.get_mut(job).unwrap();
+                l.restarts += 1;
+                // The lifecycle rewinds: completion state is re-earned.
+                l.finish = None;
+                l.fulfilled = false;
+            }
+            TraceEvent::NodeFail { .. } => node_failures += 1,
+            TraceEvent::NodeRepair { .. } => node_repairs += 1,
             TraceEvent::KernelSpan(span) => kernel.absorb(span),
         }
     }
@@ -190,10 +214,14 @@ pub fn analyze(records: &[TraceRecord]) -> Result<TraceAnalysis, String> {
         budget_total: 0.0,
         penalty_total: 0.0,
         rejection_reasons: BTreeMap::new(),
+        node_failures,
+        node_repairs,
+        restarts: 0,
         kernel,
         records: records.len(),
     };
     for (_, l) in lives {
+        a.restarts += l.restarts;
         a.submitted += 1;
         a.budget_total += l.budget;
         if l.accepted {
@@ -327,6 +355,13 @@ impl TraceAnalysis {
             "  utility ${:.2} of ${:.2} offered; penalties ${:.2}",
             self.utility_total, self.budget_total, self.penalty_total
         );
+        if self.node_failures > 0 || self.node_repairs > 0 || self.restarts > 0 {
+            let _ = writeln!(
+                s,
+                "fault injection: {} node failures, {} repairs, {} job restarts",
+                self.node_failures, self.node_repairs, self.restarts
+            );
+        }
 
         if self.rejection_reasons.is_empty() {
             let _ = writeln!(s, "rejections: none");

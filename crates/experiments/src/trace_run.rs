@@ -90,12 +90,16 @@ impl TraceCellSpec {
             };
         }
         if let Some(v) = take("--scenario")? {
-            let idx: usize = v
-                .parse()
-                .map_err(|_| format!("--scenario {v}: expected an index 0..12"))?;
-            spec.scenario = *Scenario::ALL
-                .get(idx)
-                .ok_or(format!("--scenario {idx}: only 0..12 exist"))?;
+            let idx: usize = v.parse().map_err(|_| {
+                format!(
+                    "--scenario {v}: expected an index 0..{}",
+                    Scenario::ALL.len()
+                )
+            })?;
+            spec.scenario = *Scenario::ALL.get(idx).ok_or(format!(
+                "--scenario {idx}: only 0..{} exist",
+                Scenario::ALL.len()
+            ))?;
         }
         if let Some(v) = take("--value")? {
             let idx: usize = v
@@ -258,7 +262,12 @@ pub fn capture_cell(spec: &TraceCellSpec, cfg: &ExperimentConfig) -> TraceBundle
         nodes: cfg.nodes,
         econ: spec.econ,
     };
-    let (result, trace) = simulate_traced(&jobs, spec.policy, &run_cfg);
+    // The failure-rate scenario injects faults exactly as the grid does, so
+    // a traced cell reproduces its grid counterpart bit for bit.
+    let (result, trace) = match spec.scenario.fault(value, cfg.seed) {
+        Some(fault) => ccs_simsvc::simulate_traced_faulty(&jobs, spec.policy, &run_cfg, &fault),
+        None => simulate_traced(&jobs, spec.policy, &run_cfg),
+    };
     let timeline = Timeline::from_run(&jobs, &result.records, cfg.nodes, TIMELINE_BUCKET_SECS);
 
     let version = env!("CARGO_PKG_VERSION").to_string();

@@ -17,9 +17,9 @@
 //!   queue. In the commodity market model a job whose expected cost exceeds
 //!   its budget is rejected as well.
 
-use crate::traits::{Outcome, Policy, RejectReason};
+use crate::traits::{Interruption, Outcome, Policy, RejectReason};
 use ccs_cluster::SpaceShared;
-use ccs_des::{EventQueue, SimTime};
+use ccs_des::{EventHandle, EventQueue, SimTime};
 use ccs_economy::{base_cost, EconomicModel, PriceSchedule};
 use ccs_workload::{Job, JobId};
 use std::collections::HashMap;
@@ -63,6 +63,10 @@ pub enum PriorityOrder {
 struct RunInfo {
     start: f64,
     charged: Option<f64>,
+    /// The job itself, kept so a preemption can compute remaining work.
+    job: Job,
+    /// Handle of the scheduled completion event, cancelled on preemption.
+    handle: EventHandle,
 }
 
 /// The shared FCFS/SJF/EDF backfilling policy.
@@ -176,7 +180,8 @@ impl BackfillPolicy {
             EconomicModel::BidBased => None,
         };
         self.cluster.start(job.id, job.procs, now + job.estimate);
-        self.completions
+        let handle = self
+            .completions
             .push(SimTime::new(now + job.runtime), job.id);
         out.push(Outcome::Accepted {
             job: job.id,
@@ -191,6 +196,8 @@ impl BackfillPolicy {
             RunInfo {
                 start: now,
                 charged,
+                job,
+                handle,
             },
         );
     }
@@ -225,6 +232,12 @@ impl BackfillPolicy {
             return; // ablation: plain priority scheduling, no backfill
         }
         let head = self.queue[0];
+        if head.procs > self.cluster.total() {
+            // Failures shrank the cluster below the head's demand: no
+            // reservation is computable until capacity returns (or the
+            // head's deadline lapses and it is rejected above).
+            return;
+        }
         let res = self.cluster.reservation(head.procs, now);
         let mut extra = res.extra_procs;
         let mut i = 1;
@@ -277,8 +290,9 @@ impl Policy for BackfillPolicy {
     }
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
-        if job.procs > self.cluster.total() {
-            // Physically impossible on this cluster, regardless of options.
+        if job.procs > self.cluster.base() {
+            // Physically impossible on this cluster (even with every node
+            // up), regardless of options.
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
@@ -308,6 +322,40 @@ impl Policy for BackfillPolicy {
         self.advance_to(f64::INFINITY, out);
         debug_assert!(self.queue.is_empty(), "queue must drain");
         debug_assert!(self.running.is_empty(), "no job may be left running");
+    }
+
+    fn on_node_fail(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        let mut interruptions = Vec::new();
+        if let Ok(victim) = self.cluster.fail_one() {
+            if let Some(victim) = victim {
+                let info = self
+                    .running
+                    .remove(&victim)
+                    .expect("preempted job must be running");
+                self.completions.cancel(info.handle);
+                let elapsed = (now - info.start).max(0.0);
+                interruptions.push(Interruption {
+                    job: victim,
+                    started_at: info.start,
+                    remaining_work: (info.job.runtime - elapsed).max(0.0),
+                });
+            }
+            // Capacity changed: re-examine the queue. This re-runs the
+            // admission checks, rejecting queued jobs whose deadline can no
+            // longer be met, and may backfill into a preempted job's
+            // surviving processors.
+            self.try_schedule(now, out);
+        }
+        interruptions
+    }
+
+    fn on_node_repair(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) {
+        self.cluster.repair_one();
+        self.try_schedule(now, out);
+    }
+
+    fn queued_jobs(&self) -> usize {
+        self.queue.len()
     }
 }
 
@@ -562,6 +610,47 @@ mod tests {
         let c = completions(&out);
         assert_eq!(c[0], (0, 500.0));
         assert_eq!(c[1], (1, 600.0), "head started only at the real finish");
+    }
+
+    #[test]
+    fn node_fail_preempts_and_repair_restarts_the_queue() {
+        let mut p = BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, 4);
+        let mut out = Vec::new();
+        let a = job(0, 0.0, 100.0, 100.0, 1e6, 4);
+        p.on_submit(&a, 0.0, &mut out);
+        let b = job(1, 1.0, 50.0, 50.0, 1e6, 4);
+        p.advance_to(1.0, &mut out);
+        p.on_submit(&b, 1.0, &mut out);
+        assert_eq!(p.queued_jobs(), 1);
+
+        // A node dies at t=10: every processor is busy, so job 0 (the only
+        // candidate) is preempted; job 1 still needs 4 > 3 up processors.
+        let hit = p.on_node_fail(0, 10.0, &mut out);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].job, 0);
+        assert!((hit[0].remaining_work - 90.0).abs() < 1e-9);
+        assert_eq!(p.queued_jobs(), 1, "job 1 cannot start on 3 procs");
+
+        // Repair at t=20: job 1 finally starts.
+        p.on_node_repair(0, 20.0, &mut out);
+        assert_eq!(p.queued_jobs(), 0);
+        p.drain(&mut out);
+        assert_eq!(completions(&out), vec![(1, 70.0)]);
+    }
+
+    #[test]
+    fn node_fail_rejects_queued_jobs_with_lapsed_deadlines() {
+        let mut p = BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, 2);
+        let mut out = Vec::new();
+        p.on_submit(&job(0, 0.0, 1000.0, 1000.0, 1e6, 2), 0.0, &mut out);
+        // Estimate 100 with deadline 150: feasible only if started by t=50.
+        p.advance_to(1.0, &mut out);
+        p.on_submit(&job(1, 1.0, 100.0, 100.0, 150.0, 2), 1.0, &mut out);
+        // The failure at t=200 triggers a queue re-examination which notices
+        // job 1's deadline lapsed while it waited.
+        let hit = p.on_node_fail(0, 200.0, &mut out);
+        assert_eq!(hit[0].job, 0);
+        assert!(rejected(&out).contains(&1));
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //! to multi-processor parallel jobs; **no backfilling** (head-of-line
 //! blocking can leave processors idle).
 
-use crate::traits::{Outcome, Policy, RejectReason};
+use crate::traits::{Interruption, Outcome, Policy, RejectReason};
 use ccs_cluster::SpaceShared;
-use ccs_des::{EventQueue, SimTime};
+use ccs_des::{EventHandle, EventQueue, SimTime};
 use ccs_workload::{Job, JobId};
 use std::collections::HashMap;
 
@@ -57,6 +57,8 @@ impl Default for FirstRewardParams {
 struct RunInfo {
     start: f64,
     job: Job,
+    /// Handle of the scheduled completion event, cancelled on preemption.
+    handle: EventHandle,
 }
 
 /// The FirstReward policy.
@@ -113,7 +115,9 @@ impl FirstRewardPolicy {
                     .map(|r| r.job.penalty_rate),
             )
             .sum();
-        let machine_fraction = job.procs as f64 / self.cluster.total() as f64;
+        // Nominal capacity, so a transient failure does not perturb the
+        // admission economics (and a fully down cluster divides by zero).
+        let machine_fraction = job.procs as f64 / self.cluster.base() as f64;
         sum_pr * rpt * machine_fraction
     }
 
@@ -153,13 +157,21 @@ impl FirstRewardPolicy {
             }
             self.queue.remove(idx);
             self.cluster.start(job.id, job.procs, now + job.estimate);
-            self.completions
+            let handle = self
+                .completions
                 .push(SimTime::new(now + job.runtime), job.id);
             out.push(Outcome::Started {
                 job: job.id,
                 at: now,
             });
-            self.running.insert(job.id, RunInfo { start: now, job });
+            self.running.insert(
+                job.id,
+                RunInfo {
+                    start: now,
+                    job,
+                    handle,
+                },
+            );
         }
     }
 
@@ -185,7 +197,7 @@ impl Policy for FirstRewardPolicy {
     }
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
-        let refusal = if job.procs > self.cluster.total() {
+        let refusal = if job.procs > self.cluster.base() {
             Some(RejectReason::TooLarge)
         } else if !self.admissible(job) {
             Some(RejectReason::LowSlack)
@@ -226,6 +238,36 @@ impl Policy for FirstRewardPolicy {
         self.advance_to(f64::INFINITY, out);
         debug_assert!(self.queue.is_empty(), "accepted jobs must all run");
         debug_assert!(self.running.is_empty());
+    }
+
+    fn on_node_fail(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        let mut interruptions = Vec::new();
+        if let Ok(victim) = self.cluster.fail_one() {
+            if let Some(victim) = victim {
+                let info = self
+                    .running
+                    .remove(&victim)
+                    .expect("preempted job must be running");
+                self.completions.cancel(info.handle);
+                let elapsed = (now - info.start).max(0.0);
+                interruptions.push(Interruption {
+                    job: victim,
+                    started_at: info.start,
+                    remaining_work: (info.job.runtime - elapsed).max(0.0),
+                });
+            }
+            self.try_schedule(now, out);
+        }
+        interruptions
+    }
+
+    fn on_node_repair(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) {
+        self.cluster.repair_one();
+        self.try_schedule(now, out);
+    }
+
+    fn queued_jobs(&self) -> usize {
+        self.queue.len()
     }
 }
 

@@ -31,7 +31,7 @@ pub use backfill::{BackfillOptions, BackfillPolicy, PriorityOrder};
 pub use conservative::ConservativeBf;
 pub use first_reward::{FirstRewardParams, FirstRewardPolicy};
 pub use libra::{LibraPolicy, LibraVariant, NodeSelection};
-pub use traits::{Outcome, Policy, PolicyKind, RejectReason};
+pub use traits::{Interruption, Outcome, Policy, PolicyKind, RejectReason};
 
 use ccs_economy::EconomicModel;
 

@@ -19,7 +19,7 @@
 //!   estimate) are eligible, and node demand is re-evaluated dynamically so
 //!   shares freed by early-finishing jobs can be re-committed.
 
-use crate::traits::{Outcome, Policy, RejectReason};
+use crate::traits::{Interruption, Outcome, Policy, RejectReason};
 use ccs_cluster::{PsCluster, WeightMode};
 use ccs_economy::{
     libra_cost, libra_dollar_cost, libra_dollar_rate, EconomicModel, LibraDollarParams, LibraParams,
@@ -159,6 +159,9 @@ impl LibraPolicy {
     ) -> Option<Vec<usize>> {
         let mut eligible: Vec<(f64, usize)> = (0..self.cluster.nodes())
             .filter_map(|n| {
+                if !self.cluster.node_up(n) {
+                    return None; // failed nodes host nothing
+                }
                 // Per-node requirement: fast nodes need less share.
                 let required = self.cluster.required_share(n, estimate, deadline);
                 if estimate > deadline * self.cluster.rating(n) {
@@ -283,6 +286,30 @@ impl Policy for LibraPolicy {
     fn drain(&mut self, out: &mut Vec<Outcome>) {
         self.advance_to(f64::INFINITY, out);
         debug_assert!(self.meta.is_empty(), "all accepted jobs must complete");
+    }
+
+    fn on_node_fail(&mut self, node: u32, now: f64, _out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        // The share engine preempts every job with a task on the node
+        // (cluster-wide: a gang-scheduled job cannot run short-handed).
+        self.cluster
+            .fail_node(node as usize, now)
+            .into_iter()
+            .map(|(job_id, remaining_work)| {
+                let meta = self
+                    .meta
+                    .remove(&job_id)
+                    .expect("preempted job must have metadata");
+                Interruption {
+                    job: job_id,
+                    started_at: meta.start,
+                    remaining_work,
+                }
+            })
+            .collect()
+    }
+
+    fn on_node_repair(&mut self, node: u32, now: f64, _out: &mut Vec<Outcome>) {
+        self.cluster.repair_node(node as usize, now);
     }
 }
 
@@ -571,6 +598,32 @@ mod tests {
             "finished at {}",
             finish_of(&out, 0)
         );
+    }
+
+    #[test]
+    fn node_fail_interrupts_and_down_node_is_unselectable() {
+        let mut p = LibraPolicy::new(LibraVariant::Plain, EconomicModel::BidBased, 2);
+        let mut out = Vec::new();
+        let wide = job(0, 0.0, 100.0, 100.0, 400.0, 2);
+        p.on_submit(&wide, 0.0, &mut out);
+        p.advance_to(10.0, &mut out);
+        let hit = p.on_node_fail(1, 10.0, &mut out);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].job, 0);
+        assert_eq!(hit[0].started_at, 0.0);
+        assert!(hit[0].remaining_work > 0.0);
+        // Another 2-node job cannot be placed while node 1 is down.
+        let j1 = job(1, 20.0, 10.0, 10.0, 400.0, 2);
+        p.advance_to(20.0, &mut out);
+        p.on_submit(&j1, 20.0, &mut out);
+        assert_eq!(rejected(&out), vec![1]);
+        // After repair it fits.
+        p.on_node_repair(1, 30.0, &mut out);
+        let j2 = job(2, 40.0, 10.0, 10.0, 400.0, 2);
+        p.advance_to(40.0, &mut out);
+        p.on_submit(&j2, 40.0, &mut out);
+        assert!(accepted(&out).contains(&2));
+        p.drain(&mut out);
     }
 
     #[test]

@@ -101,6 +101,60 @@ pub enum Outcome {
         /// where utility is derived from the completion time instead.
         charged: Option<f64>,
     },
+    /// A running job lost a node and was preempted (failure injection).
+    /// The runner decides what happens next: a restart/resume attempt
+    /// (later surfaced as [`Outcome::Restarted`]) or an abort.
+    Interrupted {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time of the node failure that hit it.
+        at: f64,
+    },
+    /// A previously interrupted job was re-admitted for another attempt.
+    Restarted {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time of re-admission.
+        at: f64,
+    },
+    /// A previously accepted job will never complete: after an
+    /// interruption it could not be re-admitted (deadline lapsed, restart
+    /// limit hit, …). The SLA is lost but — unlike a rejection — it *was*
+    /// accepted, so the abort counts against reliability (Eq. 3).
+    Aborted {
+        /// Job concerned.
+        job: JobId,
+        /// Absolute time the job was given up on.
+        at: f64,
+    },
+    /// A cluster node went down (failure injection).
+    NodeFailed {
+        /// Node index.
+        node: u32,
+        /// Absolute failure time.
+        at: f64,
+    },
+    /// A failed cluster node came back up.
+    NodeRepaired {
+        /// Node index.
+        node: u32,
+        /// Absolute repair time.
+        at: f64,
+    },
+}
+
+/// A running job preempted by a node failure, as reported by
+/// [`Policy::on_node_fail`]. The runner turns this into an
+/// [`Outcome::Interrupted`] and decides between resubmission and abort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interruption {
+    /// The preempted job.
+    pub job: JobId,
+    /// When its current attempt had started.
+    pub started_at: f64,
+    /// Processor-seconds of work still outstanding at the failure, as far
+    /// as the policy can tell (actual remaining runtime, not estimate).
+    pub remaining_work: f64,
 }
 
 /// A resource-management policy under evaluation.
@@ -121,6 +175,31 @@ pub trait Policy {
 
     /// Runs the policy to quiescence after the last arrival.
     fn drain(&mut self, out: &mut Vec<Outcome>);
+
+    /// Reacts to node `node` going down at `now` (failure injection): the
+    /// policy must reclaim the lost capacity in its cluster model and
+    /// report every preempted job as an [`Interruption`] — the *runner*
+    /// owns the restart/abort decision. May also emit regular outcomes
+    /// (e.g. a queued job rejected because the shrunken cluster can no
+    /// longer meet its deadline). Default: failure-oblivious no-op, so
+    /// custom policies keep compiling (and simply never lose capacity).
+    fn on_node_fail(&mut self, node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        let _ = (node, now, out);
+        Vec::new()
+    }
+
+    /// Reacts to node `node` coming back up at `now`: restore the capacity
+    /// and (for queueing policies) try to start waiting jobs. Default no-op.
+    fn on_node_repair(&mut self, node: u32, now: f64, out: &mut Vec<Outcome>) {
+        let _ = (node, now, out);
+    }
+
+    /// Number of admitted jobs waiting to start (0 for policies that run
+    /// jobs immediately on admission). The runner uses this during the
+    /// drain phase to decide whether future repairs can still unblock work.
+    fn queued_jobs(&self) -> usize {
+        0
+    }
 }
 
 /// Identifier of each concrete policy, as listed in paper Table V.

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod record;
 pub mod runner;
@@ -32,8 +33,11 @@ pub mod samples;
 pub mod timeline;
 pub mod trace;
 
+pub use fault::{Degradation, FaultConfig};
 pub use metrics::RunMetrics;
 pub use record::JobRecord;
-pub use runner::{simulate, simulate_with, RunConfig, RunResult};
+pub use runner::{
+    simulate, simulate_faulty, simulate_faulty_with, simulate_with, RunConfig, RunResult,
+};
 pub use timeline::{TimePoint, Timeline};
-pub use trace::{simulate_traced, simulate_traced_with, RunTrace};
+pub use trace::{simulate_traced, simulate_traced_faulty, simulate_traced_with, RunTrace};

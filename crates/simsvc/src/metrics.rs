@@ -22,6 +22,19 @@ pub struct RunMetrics {
     /// Σ delay past deadline over accepted jobs (seconds) — extra
     /// diagnostic, not one of the four objectives.
     pub delay_sum: f64,
+    /// Interruption events: a running job preempted by a node failure
+    /// (one job interrupted twice counts twice). 0 without fault injection.
+    pub interrupted: u32,
+    /// Interrupted jobs re-admitted for another attempt.
+    pub restarts: u32,
+    /// Accepted jobs the service gave up on after interruptions (deadline
+    /// lapsed or restart budget spent). They stay in `accepted` but never
+    /// reach `fulfilled`, so they depress reliability (Eq. 3).
+    pub aborted: u32,
+    /// Node-down events delivered by the failure process.
+    pub node_failures: u32,
+    /// Node-up (repair) events delivered by the failure process.
+    pub node_repairs: u32,
 }
 
 impl RunMetrics {
@@ -102,7 +115,7 @@ mod tests {
             wait_sum_fulfilled: 120.0,
             utility_total: 250.0,
             budget_total: 1000.0,
-            delay_sum: 0.0,
+            ..Default::default()
         };
         assert_eq!(m.wait(), 20.0);
         assert_eq!(m.sla_pct(), 60.0);
@@ -121,7 +134,35 @@ mod tests {
             utility_total: -500.0,
             budget_total: 100.0,
             delay_sum: 10.0,
+            ..Default::default()
         };
         assert_eq!(m.profitability_pct(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominators_never_produce_nan() {
+        // Eq. 1 over zero fulfilled jobs and Eq. 4 over zero (or negative)
+        // total budget are *defined* as 0 — NaN must never escape into
+        // normalisation or the SVG plots.
+        for m in [
+            RunMetrics::default(),
+            RunMetrics {
+                submitted: 5,
+                accepted: 3,
+                fulfilled: 0,
+                utility_total: 42.0,
+                budget_total: 0.0,
+                ..Default::default()
+            },
+            RunMetrics {
+                submitted: 5,
+                budget_total: -1.0,
+                ..Default::default()
+            },
+        ] {
+            for v in m.objectives() {
+                assert!(v.is_finite(), "objective {v} not finite for {m:?}");
+            }
+        }
     }
 }

@@ -1,12 +1,14 @@
 //! The service simulator: drives one workload through one policy.
 
+use crate::fault::{Degradation, FaultConfig};
 use crate::metrics::RunMetrics;
 use crate::record::JobRecord;
+use ccs_des::{FailureEventKind, FailureProcess, NodeFailureEvent};
 use ccs_economy::{bid_utility, EconomicModel, Ledger};
-use ccs_policies::{build_policy, Outcome, Policy, PolicyKind};
+use ccs_policies::{build_policy, Interruption, Outcome, Policy, PolicyKind};
 use ccs_workload::{Job, JobId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of one simulation run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -50,6 +52,33 @@ pub fn simulate_with(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig) -> 
     simulate_named(jobs, policy, cfg, "custom")
 }
 
+/// Like [`simulate`], but with node failures injected per `fault` (see
+/// [`FaultConfig`]). With a failure rate of zero — i.e. never calling this
+/// and using [`simulate`] — results are byte-identical to earlier releases:
+/// the fault machinery is entirely additive.
+///
+/// Panics if `fault` fails [`FaultConfig::validate`]; CLIs should validate
+/// first and report a configuration error instead.
+pub fn simulate_faulty(
+    jobs: &[Job],
+    kind: PolicyKind,
+    cfg: &RunConfig,
+    fault: &FaultConfig,
+) -> RunResult {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    run_with_outcomes_faulty(jobs, policy, cfg, kind.name(), Some(fault)).0
+}
+
+/// Like [`simulate_with`], but with node failures injected per `fault`.
+pub fn simulate_faulty_with(
+    jobs: &[Job],
+    policy: Box<dyn Policy>,
+    cfg: &RunConfig,
+    fault: &FaultConfig,
+) -> RunResult {
+    run_with_outcomes_faulty(jobs, policy, cfg, "custom", Some(fault)).0
+}
+
 /// Shared driver: `name` labels the per-policy telemetry series.
 ///
 /// Instrumentation never feeds back into simulation state, so results are
@@ -66,11 +95,34 @@ fn simulate_named(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig, name: 
 /// around this call observes the queue-stat flushes.
 pub(crate) fn run_with_outcomes(
     jobs: &[Job],
-    mut policy: Box<dyn Policy>,
+    policy: Box<dyn Policy>,
     cfg: &RunConfig,
     name: &str,
 ) -> (RunResult, Vec<Outcome>) {
+    run_with_outcomes_faulty(jobs, policy, cfg, name, None)
+}
+
+/// Drain-phase safety valve: after this many failure events delivered while
+/// the policy holds queued-but-unstartable work, assume the renewal process
+/// can no longer unblock it and fail loudly instead of spinning forever.
+const DRAIN_FAILURE_EVENT_CAP: u64 = 10_000_000;
+
+/// The driver, optionally interleaving a node failure/repair process with
+/// the workload. `fault: None` takes exactly the legacy code path — outcome
+/// for outcome identical to pre-fault releases.
+pub(crate) fn run_with_outcomes_faulty(
+    jobs: &[Job],
+    mut policy: Box<dyn Policy>,
+    cfg: &RunConfig,
+    name: &str,
+    fault: Option<&FaultConfig>,
+) -> (RunResult, Vec<Outcome>) {
     let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run.duration_ns", name);
+    let mut faults = fault.map(|f| {
+        f.validate()
+            .unwrap_or_else(|e| panic!("invalid FaultConfig: {e}"));
+        FaultDriver::new(jobs, f, cfg.nodes)
+    });
     let mut out: Vec<Outcome> = Vec::with_capacity(jobs.len() * 4);
     let mut prev_submit = f64::NEG_INFINITY;
     for job in jobs {
@@ -79,13 +131,46 @@ pub(crate) fn run_with_outcomes(
             "jobs must be sorted by submit time"
         );
         prev_submit = job.submit;
+        if let Some(fd) = faults.as_mut() {
+            fd.deliver_until(job.submit, policy.as_mut(), &mut out);
+        }
         policy.advance_to(job.submit, &mut out);
         let _decision_span =
             ccs_telemetry::TimerGuard::start_labeled("runner.decision.duration_ns", name);
         policy.on_submit(job, job.submit, &mut out);
     }
+    if let Some(fd) = faults.as_mut() {
+        // Drain under failures: merge the policy's internal events with the
+        // failure timeline in time order. Once the policy has no internal
+        // events left but still holds queued jobs, only future repairs can
+        // free them — keep delivering failure events until the queue moves
+        // or empties.
+        let mut delivered: u64 = 0;
+        loop {
+            match (policy.next_event_time(), fd.peek_time()) {
+                (Some(t), Some(f)) if f <= t => {
+                    fd.deliver_next(policy.as_mut(), &mut out);
+                }
+                (Some(t), _) => policy.advance_to(t, &mut out),
+                (None, Some(_)) if policy.queued_jobs() > 0 => {
+                    delivered += 1;
+                    assert!(
+                        delivered < DRAIN_FAILURE_EVENT_CAP,
+                        "fault drain did not converge: {} jobs still queued after {} failure events",
+                        policy.queued_jobs(),
+                        delivered,
+                    );
+                    fd.deliver_next(policy.as_mut(), &mut out);
+                }
+                _ => break,
+            }
+        }
+    }
     policy.drain(&mut out);
     drop(policy);
+    if faults.is_some() {
+        reconcile_fault_outcomes(&mut out);
+    }
     let result = collect(jobs, cfg, &out);
     if ccs_telemetry::ENABLED {
         let t = ccs_telemetry::global();
@@ -100,6 +185,138 @@ pub(crate) fn run_with_outcomes(
         t.counter("runner.runs.completed").inc();
     }
     (result, out)
+}
+
+/// Owns the failure timeline of one run and delivers its events to the
+/// policy, translating each preemption into a restart or an abort.
+struct FaultDriver<'a> {
+    cfg: &'a FaultConfig,
+    process: FailureProcess,
+    /// Restart attempts consumed per job.
+    attempts: HashMap<JobId, u32>,
+    /// Original (as-submitted) jobs, for rebuilding resubmissions.
+    by_id: HashMap<JobId, &'a Job>,
+}
+
+impl<'a> FaultDriver<'a> {
+    fn new(jobs: &'a [Job], cfg: &'a FaultConfig, nodes: u32) -> Self {
+        FaultDriver {
+            cfg,
+            process: FailureProcess::new(cfg.seed, cfg.mtbf, cfg.mttr, nodes),
+            attempts: HashMap::new(),
+            by_id: jobs.iter().map(|j| (j.id, j)).collect(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        self.process.peek_time()
+    }
+
+    /// Delivers every failure event at or before `t`, in time order.
+    fn deliver_until(&mut self, t: f64, policy: &mut dyn Policy, out: &mut Vec<Outcome>) {
+        while self.process.peek_time().is_some_and(|ft| ft <= t) {
+            let ev = self.process.pop().expect("peeked event must pop");
+            self.deliver(ev, policy, out);
+        }
+    }
+
+    /// Delivers the single next failure event (the process is an unending
+    /// renewal, so one always exists).
+    fn deliver_next(&mut self, policy: &mut dyn Policy, out: &mut Vec<Outcome>) {
+        let ev = self.process.pop().expect("renewal process never ends");
+        self.deliver(ev, policy, out);
+    }
+
+    fn deliver(&mut self, ev: NodeFailureEvent, policy: &mut dyn Policy, out: &mut Vec<Outcome>) {
+        // Let completions strictly before the failure happen first.
+        policy.advance_to(ev.t, out);
+        match ev.kind {
+            FailureEventKind::Fail => {
+                out.push(Outcome::NodeFailed {
+                    node: ev.node,
+                    at: ev.t,
+                });
+                let interruptions = policy.on_node_fail(ev.node, ev.t, out);
+                for i in interruptions {
+                    out.push(Outcome::Interrupted {
+                        job: i.job,
+                        at: ev.t,
+                    });
+                    let attempts = self.attempts.entry(i.job).or_insert(0);
+                    if *attempts < self.cfg.max_restarts {
+                        *attempts += 1;
+                        let job = resubmission(self.by_id[&i.job], &i, ev.t, self.cfg.degradation);
+                        // The policy re-runs admission (deadline feasibility
+                        // on today's — possibly shrunken — cluster); its
+                        // accept/reject is rewritten to Restarted/Aborted by
+                        // `reconcile_fault_outcomes`.
+                        policy.on_submit(&job, ev.t, out);
+                    } else {
+                        out.push(Outcome::Aborted {
+                            job: i.job,
+                            at: ev.t,
+                        });
+                    }
+                }
+            }
+            FailureEventKind::Repair => {
+                out.push(Outcome::NodeRepaired {
+                    node: ev.node,
+                    at: ev.t,
+                });
+                policy.on_node_repair(ev.node, ev.t, out);
+            }
+        }
+    }
+}
+
+/// Builds the job handed back to admission after an interruption at `now`.
+/// The deadline stays the *original* absolute deadline (`submit + deadline`
+/// of the first submission) — an SLA does not stretch because the provider's
+/// node died — so the relative deadline can come out negative, in which case
+/// admission rejects and the job is aborted.
+fn resubmission(original: &Job, i: &Interruption, now: f64, degradation: Degradation) -> Job {
+    let mut job = *original;
+    job.submit = now;
+    job.deadline = original.submit + original.deadline - now;
+    match degradation {
+        Degradation::Restart => {} // full runtime and estimate all over again
+        Degradation::ResumePenalty { penalty } => {
+            let remaining = i.remaining_work.max(0.0);
+            let fraction = if original.runtime > 0.0 {
+                (remaining / original.runtime).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            job.runtime = (remaining * (1.0 + penalty)).max(1e-6);
+            job.estimate =
+                (original.estimate * fraction * (1.0 + penalty)).max(job.runtime.min(1.0));
+        }
+    }
+    job
+}
+
+/// Post-pass over the outcome stream of a faulty run: any accept/reject
+/// decision *after* a job's first interruption is really a restart/abort.
+/// (Done after the fact because backfill policies may defer decisions, so
+/// the resubmission's outcome is not necessarily pushed inside
+/// [`FaultDriver::deliver`].)
+fn reconcile_fault_outcomes(out: &mut [Outcome]) {
+    let mut interrupted: HashSet<JobId> = HashSet::new();
+    for o in out.iter_mut() {
+        match *o {
+            Outcome::Interrupted { job, .. } => {
+                interrupted.insert(job);
+            }
+            Outcome::Accepted { job, at } if interrupted.contains(&job) => {
+                *o = Outcome::Restarted { job, at };
+            }
+            Outcome::Rejected { job, at, .. } if interrupted.contains(&job) => {
+                *o = Outcome::Aborted { job, at };
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Folds the outcome stream into metrics and per-job records.
@@ -136,10 +353,13 @@ fn collect(jobs: &[Job], cfg: &RunConfig, out: &[Outcome]) -> RunResult {
                 ledger.reject(job, by_id[&job].budget);
             }
             Outcome::Started { job, at } => {
+                // `get_or_insert`: a restarted job keeps its *first* start,
+                // the one Eq. 1 measures the wait to.
                 records
                     .get_mut(&job)
                     .expect("started before accepted")
-                    .started_at = Some(at);
+                    .started_at
+                    .get_or_insert(at);
             }
             Outcome::Completed {
                 job,
@@ -165,16 +385,37 @@ fn collect(jobs: &[Job], cfg: &RunConfig, out: &[Outcome]) -> RunResult {
                     j.delay_at(finish),
                     j.penalty_rate,
                 );
+                let r = records.get_mut(&job).expect("completed before accepted");
+                let first_start = *r.started_at.get_or_insert(start);
                 if fulfilled {
                     metrics.fulfilled += 1;
-                    metrics.wait_sum_fulfilled += (start - j.submit).max(0.0);
+                    metrics.wait_sum_fulfilled += (first_start - j.submit).max(0.0);
                 }
-                let r = records.get_mut(&job).expect("completed before accepted");
-                r.started_at.get_or_insert(start);
                 r.finished_at = Some(finish);
                 r.fulfilled = fulfilled;
                 r.utility = utility;
             }
+            Outcome::Interrupted { .. } => metrics.interrupted += 1,
+            Outcome::Restarted { job, .. } => {
+                metrics.restarts += 1;
+                debug_assert!(
+                    records.contains_key(&job),
+                    "restarted job {job} was never accepted"
+                );
+            }
+            Outcome::Aborted { job, .. } => {
+                // Accepted but never completing: the SLA is lost (hits
+                // reliability, Eq. 3) and — a documented billing choice —
+                // no invoice is issued: the provider earns nothing and the
+                // client owes nothing for a job the provider's failure
+                // killed.
+                metrics.aborted += 1;
+                let r = records.get_mut(&job).expect("aborted before accepted");
+                r.finished_at = None;
+                r.fulfilled = false;
+            }
+            Outcome::NodeFailed { .. } => metrics.node_failures += 1,
+            Outcome::NodeRepaired { .. } => metrics.node_repairs += 1,
         }
     }
 
@@ -332,6 +573,126 @@ mod tests {
             );
             assert!((st.total_budget - res.metrics.budget_total).abs() < 1e-6);
         }
+    }
+
+    fn fault(seed: u64, mtbf: f64, mttr: f64) -> FaultConfig {
+        FaultConfig::exponential(seed, mtbf, mttr)
+    }
+
+    #[test]
+    fn distant_failures_leave_results_untouched() {
+        // MTBF far beyond the simulated horizon: the fault-aware driver must
+        // reproduce the plain run outcome for outcome.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, i as f64 * 80.0, 400.0, 4000.0, 1 + (i % 8), 1e5))
+            .collect();
+        for econ in EconomicModel::ALL {
+            let kinds = match econ {
+                EconomicModel::CommodityMarket => PolicyKind::COMMODITY,
+                EconomicModel::BidBased => PolicyKind::BID_BASED,
+            };
+            for kind in kinds {
+                let cfg = RunConfig { nodes: 16, econ };
+                let plain = simulate(&jobs, kind, &cfg);
+                let faulty = simulate_faulty(&jobs, kind, &cfg, &fault(9, 1e15, 3600.0));
+                assert_eq!(plain.records, faulty.records, "{kind} {econ}");
+                assert_eq!(plain.metrics.objectives(), faulty.metrics.objectives());
+                assert_eq!(faulty.metrics.node_failures, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| job(i, i as f64 * 50.0, 600.0, 6000.0, 1 + (i % 4), 1e5))
+            .collect();
+        for kind in [
+            PolicyKind::FcfsBf,
+            PolicyKind::Libra,
+            PolicyKind::FirstReward,
+        ] {
+            let econ = if kind == PolicyKind::FcfsBf {
+                EconomicModel::CommodityMarket
+            } else {
+                EconomicModel::BidBased
+            };
+            let cfg = RunConfig { nodes: 8, econ };
+            let f = fault(3, 2000.0, 500.0);
+            let a = simulate_faulty(&jobs, kind, &cfg, &f);
+            let b = simulate_faulty(&jobs, kind, &cfg, &f);
+            assert_eq!(a.records, b.records, "{kind}");
+            assert_eq!(a.metrics.objectives(), b.metrics.objectives());
+            assert!(a.metrics.node_failures > 0, "{kind}: fault rate too low");
+        }
+    }
+
+    #[test]
+    fn failures_interrupt_restart_and_abort() {
+        // Aggressive failures on a small cluster: jobs get interrupted, some
+        // restart, some abort, and the run-level invariants still hold.
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, i as f64 * 100.0, 800.0, 8000.0, 1 + (i % 4), 1e5))
+            .collect();
+        for kind in [PolicyKind::EdfBf, PolicyKind::Libra] {
+            let cfg = RunConfig {
+                nodes: 8,
+                econ: EconomicModel::BidBased,
+            };
+            let res = simulate_faulty(&jobs, kind, &cfg, &fault(11, 1500.0, 2000.0));
+            let m = &res.metrics;
+            assert_eq!(res.records.len(), jobs.len(), "{kind}");
+            assert!(m.node_failures > 0 && m.node_repairs > 0, "{kind}");
+            assert!(m.interrupted > 0, "{kind}: nothing interrupted");
+            assert!(m.restarts + m.aborted > 0, "{kind}");
+            assert!(m.restarts + m.aborted >= m.interrupted.min(1), "{kind}");
+            assert!(m.fulfilled <= m.accepted && m.accepted <= m.submitted);
+            // Aborted jobs are accepted-but-unfinished records.
+            let unfinished = res
+                .records
+                .iter()
+                .filter(|r| r.accepted && r.finished_at.is_none())
+                .count() as u32;
+            assert_eq!(unfinished, m.aborted, "{kind}");
+            for v in m.objectives() {
+                assert!(v.is_finite(), "{kind}: objective {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_penalty_beats_restart_under_failures() {
+        // Resuming with a small penalty can only shorten reruns compared to
+        // restarting from scratch, so total fulfilled work should not drop.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, i as f64 * 150.0, 1000.0, 15000.0, 2, 1e5))
+            .collect();
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::CommodityMarket,
+        };
+        let mut restart = fault(5, 3000.0, 500.0);
+        restart.degradation = Degradation::Restart;
+        let mut resume = restart;
+        resume.degradation = Degradation::ResumePenalty { penalty: 0.1 };
+        let a = simulate_faulty(&jobs, PolicyKind::FcfsBf, &cfg, &restart);
+        let b = simulate_faulty(&jobs, PolicyKind::FcfsBf, &cfg, &resume);
+        assert!(a.metrics.interrupted > 0);
+        assert!(
+            b.metrics.fulfilled >= a.metrics.fulfilled,
+            "resume {} vs restart {}",
+            b.metrics.fulfilled,
+            a.metrics.fulfilled
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultConfig")]
+    fn invalid_fault_config_panics_with_named_field() {
+        let jobs = vec![job(0, 0.0, 10.0, 100.0, 1, 1.0)];
+        let mut f = fault(1, 100.0, 10.0);
+        f.mtbf = ccs_des::FailureDist::Exponential { mean: f64::NAN };
+        simulate_faulty(&jobs, PolicyKind::FcfsBf, &RunConfig::default(), &f);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! `telemetry` and `trace` cargo features. Without them, traces simply
 //! carry no `KernelSpan` records.
 
-use crate::runner::{run_with_outcomes, RunConfig, RunResult};
+use crate::fault::FaultConfig;
+use crate::runner::{run_with_outcomes, run_with_outcomes_faulty, RunConfig, RunResult};
 use ccs_policies::{build_policy, Outcome, Policy, PolicyKind};
 use ccs_telemetry::trace::{
     begin_kernel_capture, take_kernel_capture, TraceEvent, TraceRecord, TraceSink,
@@ -58,6 +59,22 @@ pub fn simulate_traced_with(
     cfg: &RunConfig,
 ) -> (RunResult, RunTrace) {
     simulate_traced_with_name(jobs, policy, cfg, "custom")
+}
+
+/// Like [`simulate_faulty`](crate::simulate_faulty), but also returns the
+/// trace, including `node_fail` / `node_repair` / `job_restart` records.
+pub fn simulate_traced_faulty(
+    jobs: &[Job],
+    kind: PolicyKind,
+    cfg: &RunConfig,
+    fault: &FaultConfig,
+) -> (RunResult, RunTrace) {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    begin_kernel_capture();
+    let (result, outcomes) = run_with_outcomes_faulty(jobs, policy, cfg, kind.name(), Some(fault));
+    let kernel_spans = take_kernel_capture();
+    let trace = synthesise(jobs, cfg, kind.name(), &outcomes, &result, kernel_spans);
+    (result, trace)
 }
 
 fn simulate_traced_with_name(
@@ -113,6 +130,7 @@ fn synthesise(
         );
     }
 
+    let mut attempts: HashMap<JobId, u32> = HashMap::new();
     for o in outcomes {
         match *o {
             Outcome::Accepted { job, at } => {
@@ -183,6 +201,23 @@ fn synthesise(
                     );
                 }
             }
+            Outcome::Restarted { job, at } => {
+                let n = attempts.entry(job).or_insert(0);
+                *n += 1;
+                push(
+                    at,
+                    TraceEvent::JobRestart {
+                        job: job as u64,
+                        attempt: *n,
+                    },
+                );
+            }
+            Outcome::NodeFailed { node, at } => push(at, TraceEvent::NodeFail { node }),
+            Outcome::NodeRepaired { node, at } => push(at, TraceEvent::NodeRepair { node }),
+            // An interruption with no later restart surfaces as an accepted
+            // job with no completion; the abort itself adds no lifecycle
+            // record of its own.
+            Outcome::Interrupted { .. } | Outcome::Aborted { .. } => {}
         }
     }
 
@@ -278,6 +313,34 @@ mod tests {
             count("job_completed") - result.metrics.fulfilled
         );
         assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn faulty_trace_is_causally_ordered_and_carries_failure_events() {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, i as f64 * 100.0, 800.0, 8000.0, 1 + (i % 4), 1e5))
+            .collect();
+        let cfg = RunConfig {
+            nodes: 8,
+            econ: EconomicModel::CommodityMarket,
+        };
+        let fault = crate::FaultConfig::exponential(11, 1500.0, 2000.0);
+        let (result, trace) = simulate_traced_faulty(&jobs, PolicyKind::FcfsBf, &cfg, &fault);
+        check_causal_order(&trace.records).unwrap();
+        let count = |kind: &str| {
+            trace
+                .records
+                .iter()
+                .filter(|r| r.event.kind() == kind)
+                .count() as u32
+        };
+        assert_eq!(count("node_fail"), result.metrics.node_failures);
+        assert_eq!(count("node_repair"), result.metrics.node_repairs);
+        assert_eq!(count("job_restart"), result.metrics.restarts);
+        assert!(result.metrics.node_failures > 0);
+        // The traced result is identical to the untraced faulty run.
+        let plain = crate::simulate_faulty(&jobs, PolicyKind::FcfsBf, &cfg, &fault);
+        assert_eq!(plain.records, result.records);
     }
 
     #[test]

@@ -142,3 +142,35 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With failure injection on, a run is still a pure function of its
+    /// inputs: same jobs, same seed, same fault parameters — byte-identical
+    /// records and metrics, and the objectives stay finite and in range.
+    #[test]
+    fn faulty_runs_are_byte_identical_for_same_seed(
+        jobs in jobs_strategy(),
+        seed in any::<u64>(),
+        mtbf in 2000.0f64..200_000.0,
+        mttr in 100.0f64..10_000.0,
+        resume in any::<bool>(),
+    ) {
+        use ccs_simsvc::{simulate_faulty, Degradation, FaultConfig};
+        let mut fault = FaultConfig::exponential(seed, mtbf, mttr);
+        if resume {
+            fault.degradation = Degradation::ResumePenalty { penalty: 0.1 };
+        }
+        let cfg = RunConfig { nodes: 16, econ: EconomicModel::CommodityMarket };
+        let a = simulate_faulty(&jobs, PolicyKind::SjfBf, &cfg, &fault);
+        let b = simulate_faulty(&jobs, PolicyKind::SjfBf, &cfg, &fault);
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(a.metrics.objectives(), b.metrics.objectives());
+        prop_assert_eq!(a.metrics.node_failures, b.metrics.node_failures);
+        prop_assert_eq!(a.metrics.restarts, b.metrics.restarts);
+        for v in a.metrics.objectives() {
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -33,7 +33,10 @@ use std::collections::VecDeque;
 
 /// Version of the serialised trace-record schema. See the module docs for
 /// the bump rule.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added the failure-injection variants `NodeFail`, `NodeRepair`, and
+/// `JobRestart`.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Default ring capacity of a [`TraceSink`]: comfortably holds the ~6
 /// events per job of a full 5000-job paper run.
@@ -131,6 +134,26 @@ pub enum TraceEvent {
         /// Net utility actually earned on the job.
         utility: f64,
     },
+    /// A cluster node went down (failure injection); capacity was lost and
+    /// any job resident on the node was preempted.
+    NodeFail {
+        /// Node index.
+        node: u32,
+    },
+    /// A failed cluster node came back up with full capacity.
+    NodeRepair {
+        /// Node index.
+        node: u32,
+    },
+    /// A previously started job was re-admitted after a node failure
+    /// preempted it (restart-from-scratch or resume-with-penalty). The
+    /// job's lifecycle rewinds: a fresh `JobStarted` follows.
+    JobRestart {
+        /// Job id.
+        job: u64,
+        /// Restart attempt number (1 = first re-admission).
+        attempt: u32,
+    },
     /// A DES event-queue lifetime (appended at the end of a run's trace).
     KernelSpan(KernelSpan),
 }
@@ -146,6 +169,9 @@ impl TraceEvent {
             TraceEvent::JobStarted { .. } => "job_started",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::SlaViolated { .. } => "sla_violated",
+            TraceEvent::NodeFail { .. } => "node_fail",
+            TraceEvent::NodeRepair { .. } => "node_repair",
+            TraceEvent::JobRestart { .. } => "job_restart",
             TraceEvent::KernelSpan(_) => "kernel_span",
         }
     }
@@ -159,22 +185,29 @@ impl TraceEvent {
             | TraceEvent::SlaRejected { job, .. }
             | TraceEvent::JobStarted { job, .. }
             | TraceEvent::JobCompleted { job, .. }
-            | TraceEvent::SlaViolated { job, .. } => Some(job),
+            | TraceEvent::SlaViolated { job, .. }
+            | TraceEvent::JobRestart { job, .. } => Some(job),
+            TraceEvent::NodeFail { .. } | TraceEvent::NodeRepair { .. } => None,
             TraceEvent::KernelSpan(_) => None,
         }
     }
 
     /// Position of this event kind in a job's lifecycle. Within one job the
     /// ranks of successive events must strictly increase; each kind occurs
-    /// at most once per job.
+    /// at most once per job. The exception is [`JobRestart`]
+    /// (TraceEvent::JobRestart): it *rewinds* the job's lifecycle back to
+    /// the accepted state, so a fresh `JobStarted` may legally follow — the
+    /// causal checker resets the job's rank at each restart.
     pub fn causal_rank(&self) -> u8 {
         match self {
             TraceEvent::JobSubmitted { .. } => 0,
             TraceEvent::BidEvaluated { .. } => 1,
             TraceEvent::SlaAccepted { .. } | TraceEvent::SlaRejected { .. } => 2,
+            TraceEvent::JobRestart { .. } => 2,
             TraceEvent::JobStarted { .. } => 3,
             TraceEvent::JobCompleted { .. } => 4,
             TraceEvent::SlaViolated { .. } => 5,
+            TraceEvent::NodeFail { .. } | TraceEvent::NodeRepair { .. } => 1,
             TraceEvent::KernelSpan(_) => 6,
         }
     }
@@ -280,6 +313,7 @@ pub fn check_causal_order(records: &[TraceRecord]) -> Result<(), String> {
         last_seq = Some(r.seq);
         if let Some(job) = r.event.job() {
             let rank = r.event.causal_rank();
+            let restart = matches!(r.event, TraceEvent::JobRestart { .. });
             if let Some(&(prev_t, prev_rank)) = per_job.get(&job) {
                 if r.t < prev_t {
                     return Err(format!(
@@ -288,12 +322,16 @@ pub fn check_causal_order(records: &[TraceRecord]) -> Result<(), String> {
                         r.t
                     ));
                 }
-                if rank <= prev_rank {
+                // A restart rewinds the lifecycle (rank resets to its own);
+                // every other kind must strictly advance it.
+                if !restart && rank <= prev_rank {
                     return Err(format!(
                         "job {job}: {} (rank {rank}) out of lifecycle order after rank {prev_rank}",
                         r.event.kind()
                     ));
                 }
+            } else if restart {
+                return Err(format!("job {job}: restart without a prior lifecycle"));
             }
             per_job.insert(job, (r.t, rank));
         }
@@ -438,6 +476,56 @@ mod tests {
             },
         );
         assert!(check_causal_order(&sink.into_records()).is_err());
+    }
+
+    #[test]
+    fn restart_rewinds_the_lifecycle() {
+        let mut sink = TraceSink::default();
+        sink.record(0.0, submitted(3));
+        sink.record(0.0, TraceEvent::SlaAccepted { job: 3 });
+        sink.record(1.0, TraceEvent::JobStarted { job: 3, wait: 1.0 });
+        sink.record(5.0, TraceEvent::NodeFail { node: 2 });
+        sink.record(5.0, TraceEvent::JobRestart { job: 3, attempt: 1 });
+        sink.record(5.0, TraceEvent::JobStarted { job: 3, wait: 0.0 });
+        sink.record(9.0, TraceEvent::NodeRepair { node: 2 });
+        sink.record(
+            15.0,
+            TraceEvent::JobCompleted {
+                job: 3,
+                start: 5.0,
+                finish: 15.0,
+                fulfilled: true,
+                utility: 1.0,
+            },
+        );
+        assert_eq!(check_causal_order(&sink.into_records()), Ok(()));
+
+        // A second start WITHOUT an intervening restart is still an error.
+        let mut sink = TraceSink::default();
+        sink.record(0.0, submitted(4));
+        sink.record(1.0, TraceEvent::JobStarted { job: 4, wait: 1.0 });
+        sink.record(2.0, TraceEvent::JobStarted { job: 4, wait: 2.0 });
+        assert!(check_causal_order(&sink.into_records()).is_err());
+
+        // A restart out of thin air (no prior lifecycle) is an error too.
+        let mut sink = TraceSink::default();
+        sink.record(0.0, TraceEvent::JobRestart { job: 5, attempt: 1 });
+        assert!(check_causal_order(&sink.into_records()).is_err());
+    }
+
+    #[test]
+    fn failure_events_have_no_job_and_round_trip() {
+        let ev = TraceEvent::NodeFail { node: 7 };
+        assert_eq!(ev.job(), None);
+        assert_eq!(ev.kind(), "node_fail");
+        let rec = TraceRecord {
+            seq: 1,
+            t: 2.0,
+            event: TraceEvent::JobRestart { job: 3, attempt: 2 },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
     }
 
     #[test]

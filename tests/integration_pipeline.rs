@@ -49,7 +49,7 @@ fn quick_grid_supports_all_figure_views() {
     }
     for (_omitted, triple) in Objective::triples() {
         let plot = analysis.integrated_plot(&triple);
-        assert_eq!(plot.series[0].points.len(), 12);
+        assert_eq!(plot.series[0].points.len(), 13);
         // Rankings are computable on every integrated plot.
         let rows = ccs_risk::rank(&plot, RankBy::BestPerformance);
         assert_eq!(rows.len(), 5);
