@@ -2,20 +2,40 @@
 //!
 //! Usage: `cargo run --release -p ccs-bench-suite --bin bench_kernel [out.json]`
 //!
-//! Two throughput numbers are tracked:
+//! Setting `CCS_BENCH_QUICK=1` shrinks the per-measurement time budget
+//! (~50 ms instead of 1 s) — the smoke mode CI uses to catch gross
+//! regressions without paying for a full benchmark run.
+//!
+//! Tracked throughput numbers:
 //!
 //! * `des_kernel_schedule_pop` — events/sec through the DES kernel
 //!   (schedule, a cancellation mix, pop in time order);
+//! * `ps_advance_to` / `ps_advance_to_sparse` — completions/sec through the
+//!   proportional-share cluster under dense and sparse residency;
+//! * `workload_gen` — jobs/sec through scenario-transform synthesis;
+//! * `policy_admission_<name>` — jobs/sec through one full run of each
+//!   commodity-market policy (admission + schedule + drain);
+//! * `single_cell_utility_risk` — jobs/sec through one full quick-config
+//!   grid cell (the unit of work `utility_risk` parallelises over);
 //! * `quick_grid` — jobs/sec through the full quick experiment grid
-//!   (12 scenarios × 6 values × 5 policies, commodity market).
+//!   (13 scenarios × 6 values × 5 policies, commodity market).
 
-use ccs_bench_suite::{measure, BenchReport, SCHEMA_VERSION};
+use ccs_bench_suite::{measure, BenchReport, Measurement, SCHEMA_VERSION};
+use ccs_cluster::{PsCluster, WeightMode};
 use ccs_des::{SimRng, SimTime, Simulation};
 use ccs_economy::EconomicModel;
 use ccs_experiments::{run_grid, EstimateSet, ExperimentConfig, Scenario};
+use ccs_policies::PolicyKind;
+use ccs_simsvc::{simulate, RunConfig};
+use ccs_workload::{apply_scenario, Job, JobId, ScenarioTransform, SdscSp2Model, Urgency};
 
 const KERNEL_EVENTS: u64 = 200_000;
 const GRID_JOBS: usize = 100;
+const PS_NODES: usize = 32;
+const PS_ROUNDS: usize = 200;
+const WORKLOAD_JOBS: usize = 2_000;
+const POLICY_JOBS: usize = 300;
+const CELL_JOBS: usize = 200;
 
 /// Schedules `n` events at pseudo-random times (cancelling every 16th) and
 /// drains them in time order; returns a checksum of the processed stream.
@@ -42,6 +62,87 @@ fn kernel_round(n: u64) -> u64 {
     checksum
 }
 
+fn ps_job(id: JobId, submit: f64, runtime: f64, deadline: f64) -> Job {
+    Job {
+        id,
+        submit,
+        runtime,
+        estimate: runtime,
+        procs: 1,
+        urgency: Urgency::Low,
+        deadline,
+        budget: 1e9,
+        penalty_rate: 1.0,
+    }
+}
+
+/// Drives the proportional-share cluster: `tasks_per_node` resident tasks
+/// per node per round (dense keeps nodes crowded, sparse nearly empty),
+/// advancing between submission waves. Returns a completion checksum.
+fn ps_round(tasks_per_node: usize, step: f64) -> u64 {
+    let mut cluster = PsCluster::new(PS_NODES, WeightMode::Dynamic);
+    let mut rng = SimRng::seed_from(0x50AD);
+    let mut completions = Vec::new();
+    let mut checksum = 0u64;
+    let mut id: JobId = 0;
+    let mut now = 0.0;
+    for _ in 0..PS_ROUNDS {
+        for node in 0..PS_NODES {
+            for _ in 0..tasks_per_node {
+                let runtime = rng.uniform(10.0, 200.0);
+                let job = ps_job(id, now, runtime, runtime * 8.0);
+                cluster.submit(&job, &[node], now);
+                id += 1;
+            }
+        }
+        now += step;
+        completions.clear();
+        cluster.advance_into(now, &mut completions);
+        for done in &completions {
+            checksum = checksum
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(u64::from(done.job_id))
+                .wrapping_add(done.finish.to_bits());
+        }
+    }
+    for done in cluster.drain() {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(u64::from(done.job_id))
+            .wrapping_add(done.finish.to_bits());
+    }
+    checksum
+}
+
+/// Synthesises the baseline scenario workload from a pre-generated trace.
+fn workload_round(base: &[ccs_workload::BaseJob]) -> u64 {
+    let jobs = apply_scenario(base, &ScenarioTransform::default(), 42);
+    let mut checksum = 0u64;
+    for j in &jobs {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(u64::from(j.id))
+            .wrapping_add(j.deadline.to_bits());
+    }
+    checksum
+}
+
+/// One full simulation run (admission + schedule + drain) of `kind`.
+fn policy_round(jobs: &[Job], kind: PolicyKind, nodes: u32) -> u64 {
+    let cfg = RunConfig {
+        nodes,
+        econ: EconomicModel::CommodityMarket,
+    };
+    let res = simulate(jobs, kind, &cfg);
+    let mut checksum = 0u64;
+    for x in res.metrics.objectives() {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(x.to_bits());
+    }
+    checksum
+}
+
 /// Runs the quick commodity grid; returns a checksum over the raw
 /// objective values so the work cannot be optimised away.
 fn grid_round(jobs: usize) -> u64 {
@@ -62,35 +163,107 @@ fn grid_round(jobs: usize) -> u64 {
     checksum
 }
 
+fn report_line(m: &Measurement) {
+    eprintln!(
+        "  {:<28} {:>12.1} units/sec ({} iters)",
+        m.name, m.units_per_sec, m.iters
+    );
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let quick = std::env::var("CCS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let min_secs = if quick { 0.05 } else { 1.0 };
+    if quick {
+        eprintln!("CCS_BENCH_QUICK set: ~{min_secs}s per measurement (smoke mode)");
+    }
+    let mut measurements = Vec::new();
 
     eprintln!("benchmarking DES kernel ({KERNEL_EVENTS} events/iter)...");
-    let kernel = measure("des_kernel_schedule_pop", KERNEL_EVENTS, 1.0, || {
+    let kernel = measure("des_kernel_schedule_pop", KERNEL_EVENTS, min_secs, || {
         kernel_round(KERNEL_EVENTS)
     });
-    eprintln!(
-        "  {:.2}M events/sec ({} iters)",
-        kernel.units_per_sec / 1e6,
-        kernel.iters
+    report_line(&kernel);
+    measurements.push(kernel);
+
+    // Dense: ~4 resident tasks per node per wave, short advances. Sparse:
+    // one task per node, long advances that drain the cluster each wave.
+    let dense_units = (PS_NODES * PS_ROUNDS * 4) as u64;
+    eprintln!("benchmarking PS cluster advance ({dense_units} completions/iter, dense)...");
+    let dense = measure("ps_advance_to", dense_units, min_secs, || ps_round(4, 40.0));
+    report_line(&dense);
+    measurements.push(dense);
+
+    let sparse_units = (PS_NODES * PS_ROUNDS) as u64;
+    eprintln!("benchmarking PS cluster advance ({sparse_units} completions/iter, sparse)...");
+    let sparse = measure("ps_advance_to_sparse", sparse_units, min_secs, || {
+        ps_round(1, 400.0)
+    });
+    report_line(&sparse);
+    measurements.push(sparse);
+
+    eprintln!("benchmarking workload synthesis ({WORKLOAD_JOBS} jobs/iter)...");
+    let base = SdscSp2Model {
+        jobs: WORKLOAD_JOBS,
+        ..SdscSp2Model::small()
+    }
+    .generate(42);
+    let workload = measure("workload_gen", WORKLOAD_JOBS as u64, min_secs, || {
+        workload_round(&base)
+    });
+    report_line(&workload);
+    measurements.push(workload);
+
+    let policy_base = SdscSp2Model {
+        jobs: POLICY_JOBS,
+        ..SdscSp2Model::small()
+    }
+    .generate(42);
+    let policy_jobs = apply_scenario(&policy_base, &ScenarioTransform::default(), 42);
+    for kind in PolicyKind::COMMODITY {
+        eprintln!(
+            "benchmarking policy admission ({POLICY_JOBS} jobs/iter, {})...",
+            kind.name()
+        );
+        let m = measure(
+            &format!("policy_admission_{}", kind.name()),
+            POLICY_JOBS as u64,
+            min_secs,
+            || policy_round(&policy_jobs, kind, 64),
+        );
+        report_line(&m);
+        measurements.push(m);
+    }
+
+    eprintln!("benchmarking single grid cell ({CELL_JOBS} jobs/iter)...");
+    let cell_base = SdscSp2Model {
+        jobs: CELL_JOBS,
+        ..SdscSp2Model::small()
+    }
+    .generate(42);
+    let cell_jobs = apply_scenario(&cell_base, &ScenarioTransform::default(), 42);
+    let cell = measure(
+        "single_cell_utility_risk",
+        CELL_JOBS as u64,
+        min_secs,
+        || policy_round(&cell_jobs, PolicyKind::Libra, 128),
     );
+    report_line(&cell);
+    measurements.push(cell);
 
     let grid_points = Scenario::ALL.len() * 6;
     let grid_units = (GRID_JOBS * grid_points * 5) as u64; // 5 commodity policies
     eprintln!("benchmarking quick grid ({GRID_JOBS} jobs x {grid_points} points x 5 policies)...");
-    let grid = measure("quick_grid", grid_units, 1.0, || grid_round(GRID_JOBS));
-    eprintln!(
-        "  {:.1}k jobs/sec ({} iters)",
-        grid.units_per_sec / 1e3,
-        grid.iters
-    );
+    let grid = measure("quick_grid", grid_units, min_secs, || grid_round(GRID_JOBS));
+    report_line(&grid);
+    measurements.push(grid);
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         telemetry_enabled: ccs_telemetry::ENABLED,
-        measurements: vec![kernel, grid],
+        measurements,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&out, json + "\n").expect("write baseline");

@@ -32,9 +32,8 @@
 //! resident task has already run past its estimate — LibraRiskD's
 //! "risk of deadline delay" signal, Yeo & Buyya ICPP 2006).
 
-use ccs_des::{EventHandle, EventQueue, SimTime};
+use ccs_des::{EventHandle, EventQueue, FastHashMap, SimTime};
 use ccs_workload::{Job, JobId};
-use std::collections::HashMap;
 
 /// Weight floor: keeps every incomplete task's rate strictly positive.
 const MIN_WEIGHT: f64 = 1e-6;
@@ -85,11 +84,49 @@ impl PsTask {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PsNode {
     tasks: Vec<PsTask>,
     last_update: f64,
     pending_event: Option<EventHandle>,
+    /// Incrementally maintained left-fold (in task order, from 0.0) of the
+    /// resident tasks' static weights. Appends add on the right — exactly
+    /// what extending the fold by one element does — and removals refold
+    /// over the surviving tasks in order, so this is always bit-identical
+    /// to `tasks.iter().map(|t| t.static_w).sum::<f64>()`.
+    static_sum: f64,
+    /// Earliest absolute deadline among resident tasks (`∞` when empty).
+    /// `min_deadline > now` ⟺ no resident task has escalated, the guard
+    /// for the static-mode fast path in `recompute`/`free_share`.
+    min_deadline: f64,
+}
+
+impl Default for PsNode {
+    fn default() -> Self {
+        PsNode {
+            tasks: Vec::new(),
+            last_update: 0.0,
+            pending_event: None,
+            static_sum: 0.0,
+            min_deadline: f64::INFINITY,
+        }
+    }
+}
+
+impl PsNode {
+    /// Refolds the cached aggregates after removals, in surviving task
+    /// order — the same fold `recompute`'s full rescan would perform.
+    ///
+    /// Only `WeightMode::Static` ever reads the aggregates (they guard the
+    /// static fast paths in `recompute`/`free_share`), so callers skip the
+    /// O(tasks) refold in dynamic mode — see `tracks_aggregates`.
+    fn refresh_aggregates(&mut self) {
+        self.static_sum = self.tasks.iter().fold(0.0, |a, t| a + t.static_w);
+        self.min_deadline = self
+            .tasks
+            .iter()
+            .fold(f64::INFINITY, |a, t| a.min(t.abs_deadline));
+    }
 }
 
 /// Event-driven processor-sharing cluster.
@@ -106,10 +143,18 @@ pub struct PsCluster {
     up: Vec<bool>,
     nodes: Vec<PsNode>,
     queue: EventQueue<usize>,
-    /// Tasks still outstanding per job.
-    open_tasks: HashMap<JobId, u32>,
+    /// Tasks still outstanding per job. Lookup-only access (never
+    /// iterated), so the deterministic fast hasher is output-neutral.
+    open_tasks: FastHashMap<JobId, u32>,
     completions: Vec<JobCompletion>,
+    /// Reusable per-event buffers (the event loop allocates nothing).
+    weights_scratch: Vec<f64>,
+    finished_scratch: Vec<JobId>,
     now: f64,
+    /// Test-only switch: route `recompute`/`free_share` through the naive
+    /// full-rescan reference implementation, the property-test oracle.
+    #[cfg(test)]
+    force_reference: bool,
 }
 
 impl PsCluster {
@@ -145,10 +190,21 @@ impl PsCluster {
             ratings,
             nodes,
             queue: EventQueue::new(),
-            open_tasks: HashMap::new(),
+            open_tasks: FastHashMap::default(),
             completions: Vec::new(),
+            weights_scratch: Vec::new(),
+            finished_scratch: Vec::new(),
             now: 0.0,
+            #[cfg(test)]
+            force_reference: false,
         }
+    }
+
+    /// Whether the cached per-node aggregates are worth maintaining: only
+    /// the static-mode fast paths read them, so dynamic-mode clusters skip
+    /// every refold (the values go stale but are provably never consulted).
+    fn tracks_aggregates(&self) -> bool {
+        self.mode == WeightMode::Static
     }
 
     /// The speed rating of `node`.
@@ -214,6 +270,79 @@ impl PsCluster {
     ///
     /// `now` must not precede the last processed event.
     pub fn free_share(&self, node: usize, now: f64) -> f64 {
+        #[cfg(test)]
+        if self.force_reference {
+            return self.free_share_reference(node, now);
+        }
+        let n = &self.nodes[node];
+        // Empty node: the rescan's empty sum is 0.0 and 1.0 − 0.0 is
+        // exactly 1.0, so this shortcut is byte-identical.
+        if n.tasks.is_empty() {
+            return 1.0;
+        }
+        // Static weights with no escalated resident (or escalation off):
+        // every weight is exactly `static_w`, so the cached left-fold is
+        // bit-identical to the rescan's `.sum()`.
+        if self.mode == WeightMode::Static && (!self.escalation || n.min_deadline > now) {
+            return 1.0 - n.static_sum;
+        }
+        let rating = self.ratings[node];
+        let used: f64 = n
+            .tasks
+            .iter()
+            .map(|t| self.weight_of(t, now, Self::projected_done(t, n.last_update, now), rating))
+            .sum();
+        1.0 - used
+    }
+
+    /// [`PsCluster::free_share`] with an admission cutoff: `Some(free)`
+    /// (the exact `free_share` value) when `free + eps >= required`, `None`
+    /// when the node is ineligible — decided, where possible, from a prefix
+    /// of the weight sum without scanning the remaining tasks.
+    ///
+    /// Byte-identity of the cutoff: every weight is ≥ `MIN_WEIGHT` > 0 and
+    /// f64 addition of a nonnegative term never decreases a sum, so the
+    /// running `used` is monotone nondecreasing across the scan (`1.0 - used`
+    /// and `free + eps` are monotone in turn). A prefix that already fails
+    /// `1.0 - used + eps >= required` therefore proves the full sum fails
+    /// the *same* comparison, and an eligible node completes the identical
+    /// left-fold `free_share` computes.
+    pub fn free_share_if_fits(
+        &self,
+        node: usize,
+        now: f64,
+        required: f64,
+        eps: f64,
+    ) -> Option<f64> {
+        #[cfg(test)]
+        if self.force_reference {
+            let free = self.free_share_reference(node, now);
+            return (free + eps >= required).then_some(free);
+        }
+        let n = &self.nodes[node];
+        if n.tasks.is_empty() {
+            let free = 1.0;
+            return (free + eps >= required).then_some(free);
+        }
+        if self.mode == WeightMode::Static && (!self.escalation || n.min_deadline > now) {
+            let free = 1.0 - n.static_sum;
+            return (free + eps >= required).then_some(free);
+        }
+        let rating = self.ratings[node];
+        let mut used = 0.0;
+        for t in &n.tasks {
+            used += self.weight_of(t, now, Self::projected_done(t, n.last_update, now), rating);
+            if 1.0 - used + eps < required {
+                return None;
+            }
+        }
+        Some(1.0 - used)
+    }
+
+    /// The pre-optimisation full-rescan `free_share`, kept as the
+    /// property-test oracle.
+    #[cfg(test)]
+    fn free_share_reference(&self, node: usize, now: f64) -> f64 {
         let n = &self.nodes[node];
         let rating = self.ratings[node];
         let used: f64 = n
@@ -258,17 +387,26 @@ impl PsCluster {
         assert!(prev.is_none(), "job {} submitted twice", job.id);
         for &nid in node_ids {
             let static_w = self.required_share(nid, job.estimate, job.deadline);
+            let abs_deadline = job.absolute_deadline();
             let task = PsTask {
                 job_id: job.id,
                 work_total: job.runtime,
                 work_done: 0.0,
                 est_total: job.estimate,
-                abs_deadline: job.absolute_deadline(),
+                abs_deadline,
                 static_w,
                 rate: 0.0,
             };
             self.accrue(nid, now);
-            self.nodes[nid].tasks.push(task);
+            let track = self.tracks_aggregates();
+            let n = &mut self.nodes[nid];
+            n.tasks.push(task);
+            if track {
+                // Extend the cached left-fold by the appended element — the
+                // exact operation a rescan's `.sum()` would end with.
+                n.static_sum += static_w;
+                n.min_deadline = n.min_deadline.min(abs_deadline);
+            }
             self.recompute(nid, now);
         }
     }
@@ -281,6 +419,15 @@ impl PsCluster {
     /// Processes every internal event up to and including time `t`, then
     /// returns the job completions that occurred (in completion order).
     pub fn advance_to(&mut self, t: f64) -> Vec<JobCompletion> {
+        let mut out = Vec::new();
+        self.advance_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`PsCluster::advance_to`]: appends the
+    /// completions to a caller-owned buffer, so a driver loop can reuse one
+    /// vector across every advance.
+    pub fn advance_into(&mut self, t: f64, out: &mut Vec<JobCompletion>) {
         while let Some(et) = self.queue.peek_time() {
             if et.as_secs() > t {
                 break;
@@ -294,7 +441,7 @@ impl PsCluster {
             self.recompute(node, et);
         }
         self.now = self.now.max(t);
-        std::mem::take(&mut self.completions)
+        out.append(&mut self.completions);
     }
 
     /// Runs the engine to quiescence (all tasks complete); returns the
@@ -371,6 +518,9 @@ impl PsCluster {
             self.nodes[nid]
                 .tasks
                 .retain(|t| !resident.contains(&t.job_id));
+            if self.tracks_aggregates() {
+                self.nodes[nid].refresh_aggregates();
+            }
             self.recompute(nid, now);
         }
         for &job_id in &resident {
@@ -394,6 +544,9 @@ impl PsCluster {
         self.up[node] = true;
         debug_assert!(self.nodes[node].tasks.is_empty(), "down node held tasks");
         self.nodes[node].last_update = now;
+        if self.tracks_aggregates() {
+            self.nodes[node].refresh_aggregates();
+        }
     }
 
     /// Advances a node's task work to `now` at the current rates.
@@ -410,7 +563,8 @@ impl PsCluster {
 
     /// Removes finished tasks on `node`, emitting job completions.
     fn harvest_completions(&mut self, node: usize, now: f64) {
-        let mut finished: Vec<JobId> = Vec::new();
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
         self.nodes[node].tasks.retain(|t| {
             if t.remaining() <= EPS_WORK {
                 finished.push(t.job_id);
@@ -419,7 +573,10 @@ impl PsCluster {
                 true
             }
         });
-        for job_id in finished {
+        if !finished.is_empty() && self.tracks_aggregates() {
+            self.nodes[node].refresh_aggregates();
+        }
+        for &job_id in &finished {
             let open = self
                 .open_tasks
                 .get_mut(&job_id)
@@ -433,10 +590,19 @@ impl PsCluster {
                 });
             }
         }
+        self.finished_scratch = finished;
     }
 
     /// Recomputes rates on `node` (work must already be accrued to `now`)
     /// and schedules the node's next event.
+    ///
+    /// Three byte-identical evaluation paths, fastest applicable first:
+    /// a lone task always runs at exactly the node rating (`w/denom` is
+    /// exactly 1.0 whatever `w` is); static weights with no escalated
+    /// resident reuse the incrementally maintained per-node weight sum;
+    /// everything else takes the general pass over `weights_scratch` —
+    /// the same arithmetic in the same order as the reference rescan, just
+    /// without allocating.
     fn recompute(&mut self, node: usize, now: f64) {
         if let Some(h) = self.nodes[node].pending_event.take() {
             self.queue.cancel(h);
@@ -444,6 +610,75 @@ impl PsCluster {
         if self.nodes[node].tasks.is_empty() {
             return;
         }
+        #[cfg(test)]
+        if self.force_reference {
+            self.recompute_reference(node, now);
+            return;
+        }
+        let rating = self.ratings[node];
+        let mode = self.mode;
+        let escalation = self.escalation;
+        let mut next = f64::INFINITY;
+        let n = &mut self.nodes[node];
+        if n.tasks.len() == 1 {
+            // Lone task: `(w / max(w, MIN_WEIGHT)).min(1.0)` is exactly 1.0
+            // because every weight is ≥ MIN_WEIGHT, so the rate is exactly
+            // the rating — no need to evaluate the weight at all.
+            let t = &mut n.tasks[0];
+            t.rate = rating;
+            next = now + t.remaining() / t.rate;
+            if t.abs_deadline > now {
+                next = next.min(t.abs_deadline);
+            }
+        } else if mode == WeightMode::Static && (!escalation || n.min_deadline > now) {
+            // Every weight is exactly `static_w` (≥ MIN_WEIGHT by the
+            // `required_share` clamp), and `static_sum` is bit-identical
+            // to the rescan's left-fold.
+            let denom = n.static_sum.max(MIN_WEIGHT);
+            for t in &mut n.tasks {
+                t.rate = (t.static_w / denom).min(1.0) * rating;
+                let completion = now + t.remaining() / t.rate;
+                next = next.min(completion);
+                if t.abs_deadline > now {
+                    next = next.min(t.abs_deadline); // escalation point
+                }
+            }
+        } else {
+            // General path (dynamic weights or an escalated resident):
+            // same two passes as the reference, into a reused buffer. The
+            // running `sum_w` is the identical left-fold `.sum()` computes.
+            let mut weights = std::mem::take(&mut self.weights_scratch);
+            weights.clear();
+            let mut sum_w = 0.0;
+            {
+                let n = &self.nodes[node];
+                for t in &n.tasks {
+                    let w = self.weight_of(t, now, t.work_done, rating);
+                    sum_w += w;
+                    weights.push(w);
+                }
+            }
+            let denom = sum_w.max(MIN_WEIGHT);
+            let n = &mut self.nodes[node];
+            for (t, w) in n.tasks.iter_mut().zip(&weights) {
+                t.rate = (w / denom).min(1.0) * rating;
+                let completion = now + t.remaining() / t.rate;
+                next = next.min(completion);
+                if t.abs_deadline > now {
+                    next = next.min(t.abs_deadline); // escalation point
+                }
+            }
+            self.weights_scratch = weights;
+        }
+        debug_assert!(next > now - 1e-9);
+        self.nodes[node].pending_event = Some(self.queue.push(SimTime::new(next.max(now)), node));
+    }
+
+    /// The pre-optimisation full-rescan recompute, kept verbatim as the
+    /// property-test oracle (`force_reference` routes here). Must stay in
+    /// lockstep with the optimised paths bit for bit.
+    #[cfg(test)]
+    fn recompute_reference(&mut self, node: usize, now: f64) {
         // Pass 1: weights (share fractions of this node).
         let rating = self.ratings[node];
         let weights: Vec<f64> = self.nodes[node]
@@ -769,6 +1004,134 @@ mod tests {
         c.fail_node(1, 0.0);
         let a = job(0, 0.0, 10.0, 10.0, 100.0, 1);
         c.submit(&a, &[1], 0.0);
+    }
+
+    /// The incremental recompute (cached weight sums, lone-task and
+    /// static-mode fast paths, scratch buffers) must be bit-identical to
+    /// the naive full-rescan reference under arbitrary interleavings of
+    /// submit / advance / fail / repair, in every mode × escalation
+    /// combination — including the free-share admission signal.
+    #[test]
+    fn incremental_recompute_matches_reference_oracle_bit_for_bit() {
+        use ccs_des::SimRng;
+        const NODES: usize = 6;
+        for &mode in &[WeightMode::Static, WeightMode::Dynamic] {
+            for &escalation in &[true, false] {
+                for seed in 0..4u64 {
+                    let mut fast = PsCluster::with_escalation(NODES, mode, escalation);
+                    let mut slow = PsCluster::with_escalation(NODES, mode, escalation);
+                    slow.force_reference = true;
+                    let mut rng = SimRng::seed_from(0xA11CE + seed);
+                    let mut now = 0.0f64;
+                    let mut next_id: JobId = 0;
+                    for _ in 0..400 {
+                        match rng.range_usize(0, 10) {
+                            0..=4 => {
+                                // Submit to 1–2 random up nodes.
+                                let procs = rng.range_usize(1, 3);
+                                let mut nids: Vec<usize> = Vec::new();
+                                for _ in 0..procs {
+                                    let nid = rng.range_usize(0, NODES);
+                                    if fast.node_up(nid) && !nids.contains(&nid) {
+                                        nids.push(nid);
+                                    }
+                                }
+                                if nids.is_empty() {
+                                    continue;
+                                }
+                                let runtime = rng.uniform(1.0, 200.0);
+                                let estimate = runtime * rng.uniform(0.2, 2.0);
+                                let deadline = rng.uniform(10.0, 500.0);
+                                let j = job(
+                                    next_id,
+                                    now,
+                                    runtime,
+                                    estimate,
+                                    deadline,
+                                    nids.len() as u32,
+                                );
+                                next_id += 1;
+                                fast.submit(&j, &nids, now);
+                                slow.submit(&j, &nids, now);
+                            }
+                            5..=7 => {
+                                now += rng.uniform(0.0, 80.0);
+                                let a = fast.advance_to(now);
+                                let b = slow.advance_to(now);
+                                assert_eq!(a.len(), b.len());
+                                for (x, y) in a.iter().zip(&b) {
+                                    assert_eq!(x.job_id, y.job_id);
+                                    assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+                                }
+                            }
+                            8 => {
+                                let nid = rng.range_usize(0, NODES);
+                                let a = fast.fail_node(nid, now);
+                                let b = slow.fail_node(nid, now);
+                                assert_eq!(a.len(), b.len());
+                                for (x, y) in a.iter().zip(&b) {
+                                    assert_eq!(x.0, y.0);
+                                    assert_eq!(x.1.to_bits(), y.1.to_bits());
+                                }
+                            }
+                            _ => {
+                                let nid = rng.range_usize(0, NODES);
+                                fast.repair_node(nid, now);
+                                slow.repair_node(nid, now);
+                            }
+                        }
+                        // Spot-check the admission signals at a random node
+                        // and probe time.
+                        let nid = rng.range_usize(0, NODES);
+                        let probe = now + rng.uniform(0.0, 20.0);
+                        assert_eq!(
+                            fast.free_share(nid, probe).to_bits(),
+                            slow.free_share(nid, probe).to_bits(),
+                            "free_share diverged (mode {mode:?}, escalation {escalation})"
+                        );
+                        assert_eq!(fast.node_at_risk(nid, probe), slow.node_at_risk(nid, probe));
+                        // The cutoff form must agree with "full scan, then
+                        // threshold" exactly: same decision, same bits.
+                        let required = rng.uniform(0.0, 1.2);
+                        let eps = 1e-9;
+                        let full = fast.free_share(nid, probe);
+                        let expect = (full + eps >= required).then_some(full);
+                        for c in [&fast, &slow] {
+                            assert_eq!(
+                                c.free_share_if_fits(nid, probe, required, eps)
+                                    .map(f64::to_bits),
+                                expect.map(f64::to_bits),
+                                "free_share_if_fits diverged (mode {mode:?})"
+                            );
+                        }
+                    }
+                    let a = fast.drain();
+                    let b = slow.drain();
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.job_id, y.job_id);
+                        assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+                    }
+                    assert_eq!(fast.open_jobs(), 0);
+                    assert_eq!(slow.open_jobs(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_into_reuses_caller_buffer() {
+        let mut c = PsCluster::new(1, WeightMode::Static);
+        let a = job(0, 0.0, 10.0, 10.0, 100.0, 1);
+        let b = job(1, 0.0, 30.0, 30.0, 300.0, 1);
+        c.submit(&a, &[0], 0.0);
+        c.submit(&b, &[0], 0.0);
+        let mut out = Vec::with_capacity(8);
+        c.advance_into(f64::INFINITY, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        c.advance_into(f64::INFINITY, &mut out);
+        assert!(out.is_empty(), "drained engine yields nothing more");
     }
 
     #[test]

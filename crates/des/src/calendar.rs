@@ -15,6 +15,7 @@
 //! they dequeue identical orders.
 
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
 struct Entry<T> {
@@ -27,7 +28,9 @@ struct Entry<T> {
 pub struct CalendarQueue<T> {
     /// `buckets[d]` holds the events of day `d`, sorted ascending by
     /// (time, seq) — cheapest to keep sorted on insert for small days.
-    buckets: Vec<Vec<Entry<T>>>,
+    /// Ring buffers instead of `Vec`s: the sweep always dequeues at the
+    /// front, so `pop_front` must not shift the whole day.
+    buckets: Vec<VecDeque<Entry<T>>>,
     /// Width of one day in seconds.
     width: f64,
     /// Index of the day currently being swept.
@@ -55,7 +58,7 @@ impl<T> CalendarQueue<T> {
 
     fn with_shape(days: usize, width: f64, start: f64) -> Self {
         let mut buckets = Vec::with_capacity(days);
-        buckets.resize_with(days, Vec::new);
+        buckets.resize_with(days, VecDeque::new);
         CalendarQueue {
             buckets,
             width,
@@ -123,9 +126,9 @@ impl<T> CalendarQueue<T> {
         let days = self.buckets.len();
         loop {
             let bucket = &mut self.buckets[self.current];
-            if let Some(front) = bucket.first() {
+            if let Some(front) = bucket.front() {
                 if front.time < self.bucket_top {
-                    let e = bucket.remove(0);
+                    let e = bucket.pop_front().expect("front exists");
                     self.len -= 1;
                     self.last_time = e.time;
                     if self.len < self.buckets.len() / 4 && self.buckets.len() > 8 {
@@ -155,7 +158,7 @@ impl<T> CalendarQueue<T> {
     fn global_min(&self) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (d, bucket) in self.buckets.iter().enumerate() {
-            if let Some(front) = bucket.first() {
+            if let Some(front) = bucket.front() {
                 if best.is_none_or(|(_, t)| front.time < t) {
                     best = Some((d, front.time));
                 }
@@ -185,7 +188,7 @@ impl<T> CalendarQueue<T> {
         entries.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
         for e in entries {
             let day = replacement.day_of(e.time);
-            replacement.buckets[day].push(e);
+            replacement.buckets[day].push_back(e);
             replacement.len += 1;
         }
         *self = replacement;

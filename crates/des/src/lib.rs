@@ -36,6 +36,7 @@ pub mod calendar;
 pub mod dist;
 pub mod entity;
 pub mod failure;
+pub mod fasthash;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -46,6 +47,7 @@ pub use calendar::CalendarQueue;
 pub use dist::{Distribution, Exponential, LogNormal, Normal, TruncatedNormal, Uniform, Weibull};
 pub use entity::{Entity, EntityId, Outbox, World};
 pub use failure::{FailureDist, FailureEventKind, FailureProcess, NodeFailureEvent};
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sim::Simulation;

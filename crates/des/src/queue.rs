@@ -4,11 +4,35 @@
 //! Events scheduled for the same instant pop in the order they were pushed,
 //! which keeps simulations deterministic regardless of heap internals.
 //! Cancellation is O(1) amortized: cancelled entries are tombstoned and
-//! skipped on pop.
+//! skipped on pop. When tombstones pile up past ~50% of the live entries
+//! the heap is compacted in one `retain` pass — pop order is unaffected
+//! because it is fully determined by the total `(time, seq)` order, not by
+//! the heap's internal arrangement.
+//!
+//! Liveness bookkeeping exploits the same total order: entries leave the
+//! heap in strictly increasing `(time, seq)` key order, so a *watermark* of
+//! the last fired key decides "has this handle's event already fired?"
+//! without any per-event set membership. Only the (rare) cancelled seqs go
+//! in a hash set; the common push → pop lifecycle never hashes at all.
+//!
+//! The backing store is a hand-rolled **quaternary** min-heap rather than
+//! `std::collections::BinaryHeap`: at DES depths (10⁵+ pending events) pop
+//! cost is dominated by cache misses along the sift-down path, and a 4-ary
+//! layout halves the depth while keeping all four children of a node on one
+//! cache line. Pop order is provably unchanged — each pop removes the
+//! `(time, seq)`-minimum, and that total order (not the heap shape) is what
+//! the determinism contract promises; the property tests below pin it
+//! against a `BinaryHeap` oracle.
 
+use crate::fasthash::FastHashSet;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+
+/// Compaction trigger: at least this many tombstones *and* tombstones
+/// outnumber half the live entries. The floor keeps tiny queues (where a
+/// rebuild would cost more than the sift waste) on the pure-lazy path,
+/// and makes the rebuild cost amortized O(1) per cancellation.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
 
 /// Per-queue instrumentation counters.
 ///
@@ -26,6 +50,11 @@ struct QueueStats {
     /// Cancelled entries skipped during `pop`/`peek_time` — a proxy for
     /// wasted heap sift work caused by lazy cancellation.
     tombstone_skips: u64,
+    /// Heap compaction passes and the tombstones they reclaimed in bulk
+    /// (reclaimed entries never show up in `tombstone_skips` — they were
+    /// removed before costing any sift work).
+    compactions: u64,
+    tombstones_compacted: u64,
     depth_hwm: u64,
 }
 
@@ -38,6 +67,9 @@ impl QueueStats {
         t.counter("des.events.processed").add(self.popped);
         t.counter("des.tombstones.skipped")
             .add(self.tombstone_skips);
+        t.counter("des.queue.compactions").add(self.compactions);
+        t.counter("des.tombstones.compacted")
+            .add(self.tombstones_compacted);
         t.gauge("des.queue.depth_hwm").observe(self.depth_hwm);
         #[cfg(feature = "trace")]
         ccs_telemetry::trace::record_kernel_span(ccs_telemetry::trace::KernelSpan {
@@ -51,8 +83,28 @@ impl QueueStats {
 }
 
 /// Handle to a scheduled event, usable to cancel it later.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventHandle(u64);
+///
+/// Carries the event's full `(time, seq)` ordering key so the queue can
+/// compare it against the pop watermark. A handle may be cancelled at most
+/// once; cancelling a handle that already fired (or cancelling any handle
+/// after [`EventQueue::clear`]) is a no-op returning `false`. Re-cancelling
+/// a handle whose tombstone already left the heap ahead of the live pop
+/// frontier (drained by a peek, or reclaimed by a compaction pass) is the
+/// one misuse the cheap bookkeeping cannot detect — debug builds panic on
+/// it; every in-tree consumer forgets its handle on first cancel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EventHandle {
+    time: SimTime,
+    seq: u64,
+}
+
+// Identity is the queue-unique seq; the time field only carries the
+// ordering key and adds nothing to it (and `f64` has no `Hash`).
+impl std::hash::Hash for EventHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.seq.hash(state);
+    }
+}
 
 struct Entry<T> {
     time: SimTime,
@@ -95,10 +147,25 @@ impl<T> PartialOrd for Entry<T> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
-    /// Sequence numbers of events that are scheduled and not yet fired or
-    /// cancelled. Entries in `heap` whose seq is absent here are tombstones.
-    pending: HashSet<u64>,
+    /// Quaternary min-heap ordered by `(time, seq)`: children of slot `i`
+    /// live at `4i + 1 ..= 4i + 4`, the minimum at slot 0.
+    heap: Vec<Entry<T>>,
+    /// Sequence numbers of *cancelled* events whose tombstones still occupy
+    /// heap slots — always a subset of the heap, usually tiny. Keyed by the
+    /// kernel's own monotone sequence numbers, so the deterministic
+    /// [`FastHashSet`] replaces SipHash; events that are never cancelled
+    /// (the vast majority) never enter any hash table.
+    cancelled: FastHashSet<u64>,
+    /// Number of pending (non-cancelled) events: `heap.len()` minus the
+    /// tombstones. Maintained arithmetically so `len` is O(1).
+    live: usize,
+    /// `(time, seq)` key of the last *live* event popped — the causality
+    /// frontier. Entries leave the heap in strictly increasing key order,
+    /// so an entry with `key ≤ watermark` is certainly gone, which is what
+    /// lets `cancel` skip per-event bookkeeping; pushes below it are
+    /// scheduling into the past and panic. Tombstone skips do not advance
+    /// it: a cancelled future event never fires, so it bounds nothing.
+    watermark: Option<(SimTime, u64)>,
     next_seq: u64,
     #[cfg(feature = "telemetry")]
     stats: QueueStats,
@@ -117,49 +184,180 @@ impl<T> Default for EventQueue<T> {
     }
 }
 
+/// `true` when `a` must pop before `b`: earlier time, then lower seq.
+#[inline]
+fn earlier<T>(a: &Entry<T>, b: &Entry<T>) -> bool {
+    match a.time.cmp(&b.time) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.seq < b.seq,
+    }
+}
+
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            heap: Vec::new(),
+            cancelled: FastHashSet::default(),
+            live: 0,
+            watermark: None,
             next_seq: 0,
             #[cfg(feature = "telemetry")]
             stats: QueueStats::default(),
         }
     }
 
+    /// True if the handle's event has already left the heap (fired, or
+    /// skipped as a tombstone): its key is at or below the watermark.
+    fn left_heap(&self, handle: &EventHandle) -> bool {
+        match self.watermark {
+            None => false,
+            Some((t, s)) => (handle.time, handle.seq) <= (t, s),
+        }
+    }
+
+    /// Restores the heap invariant upward from slot `i` after a push.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if earlier(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap invariant downward from slot `i` after a removal
+    /// or in-place rebuild.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            for c in (first + 1)..(first + 4).min(len) {
+                if earlier(&self.heap[c], &self.heap[best]) {
+                    best = c;
+                }
+            }
+            if earlier(&self.heap[best], &self.heap[i]) {
+                self.heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns the `(time, seq)`-minimum entry, tombstone or not.
+    fn pop_entry(&mut self) -> Option<Entry<T>> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(entry)
+    }
+
     /// Schedules `payload` at absolute time `time`. Returns a handle that can
     /// cancel the event as long as it has not yet been popped.
+    ///
+    /// Panics if `time` is earlier than the last popped event's time: this
+    /// is a future-event list, and scheduling into the past would corrupt
+    /// causality ([`crate::Simulation`] enforces the same rule against its
+    /// clock). The watermark liveness test in `cancel` relies on it.
     pub fn push(&mut self, time: SimTime, payload: T) -> EventHandle {
+        if let Some((wt, _)) = self.watermark {
+            assert!(
+                time >= wt,
+                "cannot schedule into the past: last popped t={wt}, requested t={time}"
+            );
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
-        self.pending.insert(seq);
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
         #[cfg(feature = "telemetry")]
         {
             self.stats.scheduled += 1;
-            self.stats.depth_hwm = self.stats.depth_hwm.max(self.pending.len() as u64);
+            self.stats.depth_hwm = self.stats.depth_hwm.max(self.live as u64);
         }
-        EventHandle(seq)
+        EventHandle { time, seq }
     }
 
     /// Cancels a scheduled event. Returns `true` if the event was still
     /// pending (it will never be popped), `false` if it already fired or was
     /// already cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        let was_pending = self.pending.remove(&handle.0);
+        if self.live == 0 || self.left_heap(&handle) {
+            return false; // fired, skipped, or the queue was cleared
+        }
+        if !self.cancelled.insert(handle.seq) {
+            return false; // second cancel of a still-tombstoned event
+        }
+        // The handle is above the watermark and not tombstoned, so its
+        // entry must still be in the heap — unless the caller re-cancelled
+        // a handle whose tombstone already drained ahead of the frontier
+        // (documented misuse; the scan is debug-only).
+        debug_assert!(
+            self.heap.iter().any(|e| e.seq == handle.seq),
+            "cancelled a handle whose tombstone was already compacted"
+        );
+        self.live -= 1;
         #[cfg(feature = "telemetry")]
-        if was_pending {
+        {
             self.stats.cancelled += 1;
         }
-        was_pending
+        self.maybe_compact();
+        true
+    }
+
+    /// Rebuilds the heap without tombstones once they exceed ~50% of the
+    /// live entries. Pop order is invariant: `Entry`'s `(time, seq)` `Ord`
+    /// is total, so a `BinaryHeap` holding the same live set pops the same
+    /// sequence no matter how it got there.
+    fn maybe_compact(&mut self) {
+        let tombstones = self.cancelled.len();
+        if tombstones < COMPACT_MIN_TOMBSTONES || tombstones * 2 <= self.live {
+            return;
+        }
+        let cancelled = &self.cancelled;
+        self.heap.retain(|e| !cancelled.contains(&e.seq));
+        self.cancelled.clear();
+        // Floyd heapify over the survivors: sift every internal node down,
+        // deepest parents first.
+        if self.heap.len() > 1 {
+            for i in (0..=(self.heap.len() - 2) / 4).rev() {
+                self.sift_down(i);
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            self.stats.compactions += 1;
+            self.stats.tombstones_compacted += tombstones as u64;
+        }
+    }
+
+    /// Number of cancelled entries still occupying heap slots (test and
+    /// diagnostics hook; the hot path never needs it).
+    pub fn tombstone_count(&self) -> usize {
+        self.heap.len() - self.live
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
+        while let Some(entry) = self.pop_entry() {
+            if self.cancelled.is_empty() || !self.cancelled.remove(&entry.seq) {
+                self.watermark = Some((entry.time, entry.seq));
+                self.live -= 1;
                 #[cfg(feature = "telemetry")]
                 {
                     self.stats.popped += 1;
@@ -178,11 +376,12 @@ impl<T> EventQueue<T> {
     /// Time of the earliest pending (non-cancelled) event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain tombstones off the top so peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
+        while let Some(entry) = self.heap.first() {
+            if self.cancelled.is_empty() || !self.cancelled.contains(&entry.seq) {
                 return Some(entry.time);
             }
-            self.heap.pop();
+            let e = self.pop_entry().expect("peeked entry pops");
+            self.cancelled.remove(&e.seq);
             #[cfg(feature = "telemetry")]
             {
                 self.stats.tombstone_skips += 1;
@@ -193,24 +392,28 @@ impl<T> EventQueue<T> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events. Outstanding handles are invalidated and
+    /// must not be cancelled afterwards.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
+        self.cancelled.clear();
+        self.live = 0;
+        self.watermark = None;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BinaryHeap;
 
     #[test]
     fn pops_in_time_order() {
@@ -287,5 +490,133 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    /// Never-compacting replica of the queue's lazy-cancellation scheme on
+    /// a `std::collections::BinaryHeap` — the oracle the property test
+    /// compares against, so one run checks both that compaction never
+    /// perturbs pop order *and* that the quaternary heap agrees with the
+    /// standard library's binary heap on the full `(time, seq)` order.
+    struct UncompactedQueue {
+        heap: BinaryHeap<Entry<u32>>,
+        pending: std::collections::HashSet<u64>,
+        next_seq: u64,
+    }
+
+    impl UncompactedQueue {
+        fn new() -> Self {
+            UncompactedQueue {
+                heap: BinaryHeap::new(),
+                pending: std::collections::HashSet::new(),
+                next_seq: 0,
+            }
+        }
+        fn push(&mut self, time: SimTime, payload: u32) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, payload });
+            self.pending.insert(seq);
+            seq
+        }
+        fn cancel(&mut self, seq: u64) {
+            self.pending.remove(&seq);
+        }
+        fn pop(&mut self) -> Option<(SimTime, u32)> {
+            while let Some(e) = self.heap.pop() {
+                if self.pending.remove(&e.seq) {
+                    return Some((e.time, e.payload));
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn compacted_pops_identical_to_uncompacted_on_random_streams() {
+        use crate::rng::SimRng;
+        for seed in 0..8u64 {
+            let mut rng = SimRng::seed_from(0xC0FFEE ^ seed);
+            let mut q = EventQueue::new();
+            let mut oracle = UncompactedQueue::new();
+            let mut live: Vec<EventHandle> = Vec::new();
+            let mut live_oracle: Vec<u64> = Vec::new();
+            // Schedule times never regress below the pop frontier — the
+            // queue's no-scheduling-into-the-past contract.
+            let mut frontier = 0.0;
+            let mut max_pushed = 0.0_f64;
+            for i in 0..4000u32 {
+                let t = SimTime::new(rng.uniform(frontier, frontier + 1e3));
+                max_pushed = max_pushed.max(t.as_secs());
+                live.push(q.push(t, i));
+                live_oracle.push(oracle.push(t, i));
+                // Cancel aggressively so compaction actually triggers.
+                if rng.bernoulli(0.6) && !live.is_empty() {
+                    let k = rng.range_usize(0, live.len());
+                    q.cancel(live.swap_remove(k));
+                    oracle.cancel(live_oracle.swap_remove(k));
+                }
+                // Interleave pops so compaction interacts with draining.
+                if rng.bernoulli(0.2) {
+                    let (a, b) = (q.pop(), oracle.pop());
+                    assert_eq!(a, b);
+                    match a {
+                        Some((t, _)) => frontier = t.as_secs(),
+                        // Queue drained: resume scheduling above everything
+                        // that has already fired.
+                        None => frontier = max_pushed,
+                    }
+                }
+            }
+            loop {
+                let (a, b) = (q.pop(), oracle.pop());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Wasted sift work must be visible whether a tombstone is drained by
+    /// `pop` or by `peek_time` — both paths charge `tombstone_skips`.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn tombstone_skips_counted_on_both_pop_and_peek() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::new(1.0), 1);
+        q.push(SimTime::new(2.0), 2);
+        q.cancel(h1);
+        assert_eq!(q.stats.tombstone_skips, 0);
+        // Peek drains the cancelled head and charges the skip.
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.stats.tombstone_skips, 1);
+        let h3 = q.push(SimTime::new(1.5), 3);
+        q.cancel(h3);
+        // Pop skips the fresh tombstone on its way to the live event.
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), 2)));
+        assert_eq!(q.stats.tombstone_skips, 2);
+        assert_eq!(q.stats.cancelled, 2);
+    }
+
+    #[test]
+    fn compaction_bounds_heap_slack() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10_000)
+            .map(|i| q.push(SimTime::new(f64::from(i)), i))
+            .collect();
+        // Cancel everything but the last 100 events.
+        for h in &handles[..9_900] {
+            q.cancel(*h);
+        }
+        assert_eq!(q.len(), 100);
+        // Lazy cancellation alone would leave 9 900 tombstones in the
+        // heap; compaction must have kept the slack below the trigger.
+        assert!(
+            q.tombstone_count() <= COMPACT_MIN_TOMBSTONES.max(q.len()),
+            "tombstones {} not compacted",
+            q.tombstone_count()
+        );
+        let survivors: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(survivors, (9_900..10_000).collect::<Vec<_>>());
     }
 }

@@ -12,12 +12,13 @@ use crate::progress;
 use crate::scenario::{EstimateSet, Scenario};
 use ccs_economy::EconomicModel;
 use ccs_policies::PolicyKind;
-use ccs_simsvc::{simulate, simulate_faulty, RunConfig};
+use ccs_simsvc::{simulate_counted, simulate_faulty_counted, RunConfig};
 use ccs_workload::{apply_scenario, BaseJob, Job, SdscSp2Model};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Global experiment configuration.
@@ -91,6 +92,59 @@ pub struct CellTiming {
     pub policy: String,
     /// Wall-clock seconds spent simulating this cell.
     pub secs: f64,
+    /// Simulation outcomes the cell produced (0 for journal hits and
+    /// skipped cells — their events were never re-simulated).
+    pub events: u64,
+}
+
+impl CellTiming {
+    /// Outcome events per wall-clock second, the grid's throughput measure
+    /// for one cell. Zero when the cell did not simulate.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-grid memoisation of synthesised job streams.
+///
+/// `apply_scenario` is deterministic in `(base, transform, seed)`, and one
+/// grid run fixes `base` and `seed` — so cells whose scenario transform is
+/// identical (every failure-rate value, plus any swept value that lands on
+/// the baseline) can share one immutable trace instead of re-synthesising
+/// it. Keyed by the transform's debug rendering, which spells out every
+/// field at full float precision.
+struct WorkloadCache {
+    map: Mutex<HashMap<String, Arc<Vec<Job>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorkloadCache {
+    fn new() -> Self {
+        WorkloadCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoised trace for `key`, synthesising it with `generate`
+    /// on a miss. Synthesis runs outside the lock: two workers racing the
+    /// same key at worst duplicate one synthesis (the first insert wins),
+    /// never block each other for its duration.
+    fn get_or_generate(&self, key: String, generate: impl FnOnce() -> Vec<Job>) -> Arc<Vec<Job>> {
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let jobs = Arc::new(generate());
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(jobs))
+    }
 }
 
 /// Raw objective measurements for one (economic model, estimate set) pair.
@@ -109,6 +163,14 @@ pub struct RawGrid {
     /// `cell_secs[scenario][value][policy]` — wall-clock seconds per cell.
     /// Always populated, independent of the `telemetry` feature.
     pub cell_secs: Vec<Vec<Vec<f64>>>,
+    /// `cell_events[scenario][value][policy]` — simulation outcomes per
+    /// cell (0 for journal hits and skipped cells).
+    pub cell_events: Vec<Vec<Vec<u64>>>,
+    /// Scenario traces served from the per-grid workload cache instead of
+    /// being re-synthesised.
+    pub workload_cache_hits: u64,
+    /// Scenario traces synthesised (cache misses).
+    pub workload_cache_misses: u64,
     /// Busy seconds per worker thread (simulation time, excluding idle
     /// waits on the work queue) — the basis for utilisation reporting.
     pub worker_busy_secs: Vec<f64>,
@@ -137,6 +199,7 @@ impl RawGrid {
                         value_idx: v,
                         policy: self.policies[p].name().to_string(),
                         secs,
+                        events: self.cell_events[s][v][p],
                     });
                 }
             }
@@ -240,6 +303,11 @@ pub fn run_grid_with_base_ctl(
         vec![vec![0.0; policies.len()]; 6];
         Scenario::ALL.len()
     ]);
+    let cell_events = Mutex::new(vec![
+        vec![vec![0u64; policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
+    let workload_cache = WorkloadCache::new();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let threads = if cfg.threads == 0 {
@@ -260,6 +328,8 @@ pub fn run_grid_with_base_ctl(
         for worker in 0..threads {
             let raw = &raw;
             let cell_secs = &cell_secs;
+            let cell_events = &cell_events;
+            let workload_cache = &workload_cache;
             let next = &next;
             let done = &done;
             let busy = &busy;
@@ -279,12 +349,24 @@ pub fn run_grid_with_base_ctl(
                     }
                     let (s, v) = points[i];
                     let t0 = Instant::now();
-                    let (row, timings) = run_point(
-                        econ, set, cfg, base, s, v, policies, journal, budget, fail_cell, errors,
+                    let (row, timings, events) = run_point(
+                        econ,
+                        set,
+                        cfg,
+                        base,
+                        s,
+                        v,
+                        policies,
+                        journal,
+                        budget,
+                        fail_cell,
+                        errors,
+                        workload_cache,
                     );
                     my_busy += t0.elapsed().as_secs_f64();
                     raw.lock().unwrap()[s][v] = row;
                     cell_secs.lock().unwrap()[s][v] = timings;
+                    cell_events.lock().unwrap()[s][v] = events;
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
                         progress::draw_bar(finished, points.len(), started);
@@ -306,6 +388,9 @@ pub fn run_grid_with_base_ctl(
         policies,
         raw: raw.into_inner().unwrap(),
         cell_secs: cell_secs.into_inner().unwrap(),
+        cell_events: cell_events.into_inner().unwrap(),
+        workload_cache_hits: workload_cache.hits.load(Ordering::Relaxed),
+        workload_cache_misses: workload_cache.misses.load(Ordering::Relaxed),
         worker_busy_secs: busy.into_inner().unwrap(),
         wall_secs,
         errors,
@@ -335,6 +420,10 @@ fn record_grid_telemetry(grid: &RawGrid) {
     for &busy in &grid.worker_busy_secs {
         t.histogram("grid.worker.busy_ns").record_f64(busy * 1e9);
     }
+    t.counter("grid.workload.cache_hits")
+        .add(grid.workload_cache_hits);
+    t.counter("grid.workload.cache_misses")
+        .add(grid.workload_cache_misses);
 }
 
 /// Deliberately panics a chosen cell — the fault-injection backdoor the
@@ -358,24 +447,28 @@ fn run_point(
     budget: Option<&AtomicI64>,
     fail_cell: Option<&str>,
     errors: &Mutex<Vec<CellError>>,
-) -> (Vec<[f64; 4]>, Vec<f64>) {
+    cache: &WorkloadCache,
+) -> (Vec<[f64; 4]>, Vec<f64>, Vec<u64>) {
     let scenario = Scenario::ALL[scenario_idx];
     let value = scenario.values()[value_idx];
     let fault = scenario.fault(value, cfg.seed);
+    let transform = scenario.transform(set, value);
     let run_cfg = RunConfig {
         nodes: cfg.nodes,
         econ,
     };
-    // Generated lazily: a point fully served from the journal never pays
-    // for workload synthesis.
-    let mut jobs: Option<Vec<Job>> = None;
+    // Fetched lazily: a point fully served from the journal never touches
+    // the workload cache, let alone pays for synthesis.
+    let mut jobs: Option<Arc<Vec<Job>>> = None;
     let mut row = Vec::with_capacity(policies.len());
     let mut secs = Vec::with_capacity(policies.len());
+    let mut events = Vec::with_capacity(policies.len());
     for &kind in policies {
         let key = cell_key(econ, set, cfg, scenario_idx, value_idx, kind);
         if let Some(rec) = journal.and_then(|j| j.get(&key)) {
             row.push(rec.objectives);
             secs.push(rec.secs);
+            events.push(rec.events);
             continue;
         }
         if let Some(b) = budget {
@@ -384,28 +477,31 @@ fn run_point(
                 // journaled) so a resumed run picks it up.
                 row.push([0.0; 4]);
                 secs.push(0.0);
+                events.push(0);
                 continue;
             }
         }
         let t0 = Instant::now();
-        let jobs = jobs
-            .get_or_insert_with(|| apply_scenario(base, &scenario.transform(set, value), cfg.seed));
+        let jobs = jobs.get_or_insert_with(|| {
+            cache.get_or_generate(format!("{transform:?}"), || {
+                apply_scenario(base, &transform, cfg.seed)
+            })
+        });
         let this_cell = format!("{scenario_idx}:{value_idx}:{}", kind.name());
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             assert!(
                 fail_cell != Some(this_cell.as_str()),
                 "{FAIL_CELL_ENV} injected panic in cell {this_cell}"
             );
-            match &fault {
-                Some(f) => simulate_faulty(jobs, kind, &run_cfg, f),
-                None => simulate(jobs, kind, &run_cfg),
-            }
-            .metrics
-            .objectives()
+            let (result, n_events) = match &fault {
+                Some(f) => simulate_faulty_counted(jobs, kind, &run_cfg, f),
+                None => simulate_counted(jobs, kind, &run_cfg),
+            };
+            (result.metrics.objectives(), n_events)
         }));
         let cell_secs = t0.elapsed().as_secs_f64();
         match outcome {
-            Ok(objectives) => {
+            Ok((objectives, n_events)) => {
                 if let Some(j) = journal {
                     j.append(&CellRecord {
                         key,
@@ -414,10 +510,12 @@ fn run_point(
                         policy: kind.name().to_string(),
                         objectives,
                         secs: cell_secs,
+                        events: n_events,
                     });
                 }
                 row.push(objectives);
                 secs.push(cell_secs);
+                events.push(n_events);
             }
             Err(payload) => {
                 errors.lock().unwrap().push(CellError {
@@ -429,10 +527,11 @@ fn run_point(
                 });
                 row.push([0.0; 4]);
                 secs.push(cell_secs);
+                events.push(0);
             }
         }
     }
-    (row, secs)
+    (row, secs, events)
 }
 
 /// Renders a caught panic payload as text (panics carry `&str` or `String`
@@ -614,6 +713,32 @@ mod tests {
         let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &one);
         let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &many);
         assert_eq!(a.raw, b.raw);
+    }
+
+    #[test]
+    fn workload_cache_shares_identical_transforms() {
+        let cfg = ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        // One cache lookup per experiment point; single-threaded, so no
+        // racing double-misses.
+        assert_eq!(
+            g.workload_cache_hits + g.workload_cache_misses,
+            (Scenario::ALL.len() * 6) as u64
+        );
+        // The failure-rate scenario sweeps only the fault process: all six
+        // of its values share one transform, so at least five lookups hit.
+        assert!(g.workload_cache_hits >= 5, "hits {}", g.workload_cache_hits);
+        // Every simulated cell decides every job, so each records events.
+        for per_value in &g.cell_events {
+            for per_policy in per_value {
+                for &e in per_policy {
+                    assert!(e >= 40, "simulated cell recorded {e} events");
+                }
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct CellRecord {
     pub objectives: [f64; 4],
     /// Wall-clock seconds the cell originally took.
     pub secs: f64,
+    /// Simulation outcomes the cell produced. Journals written before this
+    /// field existed fail to parse line by line and are simply re-run —
+    /// the same graceful degradation as a torn line.
+    pub events: u64,
 }
 
 /// Append-only JSONL journal of completed cells, shared across grid worker
@@ -181,6 +185,7 @@ mod tests {
             policy: "FCFS-BF".to_string(),
             objectives: [1.0, 2.0, 3.0, 4.0],
             secs: 0.5,
+            events: 123,
         }
     }
 

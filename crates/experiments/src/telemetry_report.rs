@@ -112,7 +112,9 @@ impl TelemetryReport {
     }
 }
 
-/// Renders the end-of-run slowest-cells summary printed to stderr.
+/// Renders the end-of-run slowest-cells summary printed to stderr: each
+/// cell with its wall time and event rate, then one line totalling the
+/// workload-cache traffic across all grids.
 pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     use std::fmt::Write as _;
     let mut cells: Vec<(String, CellTiming)> = grids
@@ -130,10 +132,17 @@ pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     for (tag, c) in cells {
         let _ = writeln!(
             s,
-            "  {:>8.3}s  {tag}  {}[{}]  {}",
-            c.secs, c.scenario, c.value_idx, c.policy
+            "  {:>8.3}s  {:>9.0} ev/s  {tag}  {}[{}]  {}",
+            c.secs,
+            c.events_per_sec(),
+            c.scenario,
+            c.value_idx,
+            c.policy
         );
     }
+    let hits: u64 = grids.iter().map(|g| g.workload_cache_hits).sum();
+    let misses: u64 = grids.iter().map(|g| g.workload_cache_misses).sum();
+    let _ = writeln!(s, "workload cache: {hits} hits, {misses} misses");
     s
 }
 
@@ -170,6 +179,9 @@ mod tests {
         let g = run_grid(EconomicModel::BidBased, EstimateSet::B, &cfg);
         let text = slowest_cells_summary(std::slice::from_ref(&g), 3);
         assert!(text.starts_with("slowest cells:"));
-        assert_eq!(text.lines().count(), 4);
+        // Header + k cells + the workload-cache totals line.
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("ev/s"));
+        assert!(text.contains("workload cache:"));
     }
 }

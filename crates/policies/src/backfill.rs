@@ -19,10 +19,10 @@
 
 use crate::traits::{Interruption, Outcome, Policy, RejectReason};
 use ccs_cluster::SpaceShared;
-use ccs_des::{EventHandle, EventQueue, SimTime};
+use ccs_des::{EventHandle, EventQueue, FastHashMap, SimTime};
 use ccs_economy::{base_cost, EconomicModel, PriceSchedule};
 use ccs_workload::{Job, JobId};
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
 /// Structural options of the backfilling scheduler, for ablation studies.
 ///
@@ -80,9 +80,13 @@ pub struct BackfillPolicy {
     /// window (paper Section 5.1: "prices can be flat or variable").
     schedule: Option<PriceSchedule>,
     cluster: SpaceShared,
+    /// Waiting jobs, kept sorted in the policy's priority order at all
+    /// times (jobs are immutable while queued, so sortedness is an
+    /// invariant maintained by [`BackfillPolicy::enqueue`] instead of a
+    /// full re-sort on every scheduling pass).
     queue: Vec<Job>,
     completions: EventQueue<JobId>,
-    running: HashMap<JobId, RunInfo>,
+    running: FastHashMap<JobId, RunInfo>,
 }
 
 /// Slack for floating-point comparisons of times.
@@ -115,7 +119,7 @@ impl BackfillPolicy {
             cluster: SpaceShared::new(nodes),
             queue: Vec::new(),
             completions: EventQueue::new(),
-            running: HashMap::new(),
+            running: FastHashMap::default(),
         }
     }
 
@@ -139,20 +143,31 @@ impl BackfillPolicy {
         self.queue.len()
     }
 
-    fn sort_queue(&mut self) {
-        match self.order {
-            PriorityOrder::Fcfs => self
-                .queue
-                .sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id))),
-            PriorityOrder::Sjf => self
-                .queue
-                .sort_by(|a, b| a.estimate.total_cmp(&b.estimate).then(a.id.cmp(&b.id))),
-            PriorityOrder::Edf => self.queue.sort_by(|a, b| {
-                a.absolute_deadline()
-                    .total_cmp(&b.absolute_deadline())
-                    .then(a.id.cmp(&b.id))
-            }),
+    /// The queue's priority relation. Ids break every tie, so this is a
+    /// total order in which no two distinct jobs compare equal — a
+    /// binary-search insert therefore lands each job exactly where a
+    /// (stable) full sort would put it.
+    fn queue_cmp(order: PriorityOrder, a: &Job, b: &Job) -> Ordering {
+        match order {
+            PriorityOrder::Fcfs => a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)),
+            PriorityOrder::Sjf => a.estimate.total_cmp(&b.estimate).then(a.id.cmp(&b.id)),
+            PriorityOrder::Edf => a
+                .absolute_deadline()
+                .total_cmp(&b.absolute_deadline())
+                .then(a.id.cmp(&b.id)),
         }
+    }
+
+    /// Inserts a job at its priority position, keeping the queue sorted.
+    fn enqueue(&mut self, job: Job) {
+        let order = self.order;
+        let pos = match self
+            .queue
+            .binary_search_by(|probe| Self::queue_cmp(order, probe, &job))
+        {
+            Ok(p) | Err(p) => p,
+        };
+        self.queue.insert(pos, job);
     }
 
     /// Generous admission control, applied whenever a job is considered for
@@ -204,7 +219,12 @@ impl BackfillPolicy {
 
     /// Core scheduling pass: start/reject from the head, then backfill.
     fn try_schedule(&mut self, now: f64, out: &mut Vec<Outcome>) {
-        self.sort_queue();
+        debug_assert!(
+            self.queue
+                .windows(2)
+                .all(|w| Self::queue_cmp(self.order, &w[0], &w[1]) == Ordering::Less),
+            "queue sortedness invariant broken"
+        );
         // Phase 1 — service the head of the queue while possible.
         loop {
             let Some(head) = self.queue.first() else {
@@ -300,7 +320,7 @@ impl Policy for BackfillPolicy {
             });
             return;
         }
-        self.queue.push(*job);
+        self.enqueue(*job);
         self.try_schedule(now, out);
     }
 

@@ -49,8 +49,16 @@ pub struct ConservativeBf {
     busy: u32,
     /// Waiting jobs with reservations, in reservation order.
     plan: Vec<Reservation>,
+    /// NOTE: deliberately the std (SipHash) map — `earliest_start`
+    /// iterates `running.values()`, and that iteration order feeds the
+    /// free-processor profile before a stable by-time sort, so swapping
+    /// the hasher would reorder equal-time deltas and change outputs.
     running: HashMap<JobId, RunInfo>,
     completions: EventQueue<JobId>,
+    /// Reusable profile buffers for `earliest_start` — placements happen
+    /// on every submit/completion/replan, so they must not allocate.
+    deltas_scratch: Vec<(f64, i64)>,
+    candidates_scratch: Vec<f64>,
 }
 
 const T_EPS: f64 = 1e-9;
@@ -65,6 +73,8 @@ impl ConservativeBf {
             plan: Vec::new(),
             running: HashMap::new(),
             completions: EventQueue::new(),
+            deltas_scratch: Vec::new(),
+            candidates_scratch: Vec::new(),
         }
     }
 
@@ -90,9 +100,16 @@ impl ConservativeBf {
     ///
     /// Works on a step profile of free processors built from running jobs'
     /// estimated completions and the prefix reservations.
-    fn earliest_start(&self, job: &Job, plan_prefix: &[Reservation], now: f64) -> f64 {
+    fn earliest_start(
+        &self,
+        job: &Job,
+        plan_prefix: &[Reservation],
+        now: f64,
+        deltas: &mut Vec<(f64, i64)>,
+        candidates: &mut Vec<f64>,
+    ) -> f64 {
         // Build change points: (time, delta free procs).
-        let mut deltas: Vec<(f64, i64)> = Vec::new();
+        deltas.clear();
         for r in self.running.values() {
             deltas.push((r.est_finish.max(now), r.procs as i64));
         }
@@ -105,11 +122,12 @@ impl ConservativeBf {
         let busy_now: i64 = self.running.values().map(|r| r.procs as i64).sum();
         let mut free = self.nodes as i64 - busy_now;
         // Candidate start times: now and every change point.
-        let mut candidates = vec![now];
+        candidates.clear();
+        candidates.push(now);
         candidates.extend(deltas.iter().map(|d| d.0));
         let need = job.procs as i64;
 
-        for &cand in &candidates {
+        for &cand in candidates.iter() {
             if cand < now {
                 continue;
             }
@@ -117,7 +135,7 @@ impl ConservativeBf {
             let mut f = free;
             let mut ok = true;
             // free procs at time cand:
-            for &(t, d) in &deltas {
+            for &(t, d) in deltas.iter() {
                 if t <= cand + T_EPS {
                     f += d;
                 }
@@ -127,7 +145,7 @@ impl ConservativeBf {
             }
             // Check the window: apply deltas inside (cand, cand+est).
             let mut fw = f - need; // commit the job
-            for &(t, d) in &deltas {
+            for &(t, d) in deltas.iter() {
                 if t > cand + T_EPS && t < cand + job.estimate - T_EPS {
                     fw += d;
                     if fw < 0 {
@@ -159,7 +177,11 @@ impl ConservativeBf {
     /// Computes a reservation for `job` and either starts it (reservation is
     /// now), queues it, or rejects it.
     fn place(&mut self, job: Job, now: f64, out: &mut Vec<Outcome>) {
-        let start = self.earliest_start(&job, &self.plan, now);
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        let start = self.earliest_start(&job, &self.plan, now, &mut deltas, &mut candidates);
+        self.deltas_scratch = deltas;
+        self.candidates_scratch = candidates;
         if let Some(reason) = self.admission_error(&job, start) {
             out.push(Outcome::Rejected {
                 job: job.id,

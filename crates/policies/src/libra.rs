@@ -20,12 +20,12 @@
 //!   shares freed by early-finishing jobs can be re-committed.
 
 use crate::traits::{Interruption, Outcome, Policy, RejectReason};
-use ccs_cluster::{PsCluster, WeightMode};
+use ccs_cluster::{JobCompletion, PsCluster, WeightMode};
+use ccs_des::FastHashMap;
 use ccs_economy::{
     libra_cost, libra_dollar_cost, libra_dollar_rate, EconomicModel, LibraDollarParams, LibraParams,
 };
 use ccs_workload::{Job, JobId};
-use std::collections::HashMap;
 
 /// Which member of the Libra family.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,7 +64,15 @@ pub struct LibraPolicy {
     selection: NodeSelection,
     libra_params: LibraParams,
     dollar_params: LibraDollarParams,
-    meta: HashMap<JobId, Meta>,
+    /// Insert/remove only (never iterated), so the fast integer hasher is
+    /// output-neutral here.
+    meta: FastHashMap<JobId, Meta>,
+    /// Reusable buffers for the per-submit node scan and the per-advance
+    /// completion harvest — admission runs on every job, so neither may
+    /// allocate.
+    eligible_scratch: Vec<(f64, usize)>,
+    picked_scratch: Vec<usize>,
+    completions_scratch: Vec<JobCompletion>,
 }
 
 /// Share-fit slack for floating-point comparisons.
@@ -89,7 +97,10 @@ impl LibraPolicy {
             selection: NodeSelection::BestFit,
             libra_params: LibraParams::default(),
             dollar_params: LibraDollarParams::default(),
-            meta: HashMap::new(),
+            meta: FastHashMap::default(),
+            eligible_scratch: Vec::new(),
+            picked_scratch: Vec::new(),
+            completions_scratch: Vec::new(),
         }
     }
 
@@ -109,7 +120,10 @@ impl LibraPolicy {
             selection: NodeSelection::BestFit,
             libra_params: LibraParams::default(),
             dollar_params: LibraDollarParams::default(),
-            meta: HashMap::new(),
+            meta: FastHashMap::default(),
+            eligible_scratch: Vec::new(),
+            picked_scratch: Vec::new(),
+            completions_scratch: Vec::new(),
         }
     }
 
@@ -125,7 +139,10 @@ impl LibraPolicy {
             selection: NodeSelection::BestFit,
             libra_params: LibraParams::default(),
             dollar_params: LibraDollarParams::default(),
-            meta: HashMap::new(),
+            meta: FastHashMap::default(),
+            eligible_scratch: Vec::new(),
+            picked_scratch: Vec::new(),
+            completions_scratch: Vec::new(),
         }
     }
 
@@ -149,49 +166,73 @@ impl LibraPolicy {
 
     /// Best-fit node selection: every eligible node has at least `required`
     /// spare share (and zero delay risk for LibraRiskD); the `procs` fullest
-    /// eligible nodes are returned, or `None` if too few exist.
+    /// eligible nodes are written into `picked` (true), or too few exist
+    /// (false). Caller-supplied buffers keep the per-submit scan
+    /// allocation-free.
     fn select_nodes(
         &self,
         estimate: f64,
         deadline: f64,
         procs: u32,
         now: f64,
-    ) -> Option<Vec<usize>> {
-        let mut eligible: Vec<(f64, usize)> = (0..self.cluster.nodes())
-            .filter_map(|n| {
-                if !self.cluster.node_up(n) {
-                    return None; // failed nodes host nothing
-                }
-                // Per-node requirement: fast nodes need less share.
-                let required = self.cluster.required_share(n, estimate, deadline);
-                if estimate > deadline * self.cluster.rating(n) {
-                    return None; // this node cannot make the deadline at all
-                }
-                let free = self.cluster.free_share(n, now);
-                if free + SHARE_EPS < required {
-                    return None;
-                }
-                if self.variant == LibraVariant::RiskD && self.cluster.node_at_risk(n, now) {
-                    return None;
-                }
-                Some((free, n))
-            })
-            .collect();
-        if eligible.len() < procs as usize {
-            return None;
+        eligible: &mut Vec<(f64, usize)>,
+        picked: &mut Vec<usize>,
+    ) -> bool {
+        eligible.clear();
+        picked.clear();
+        eligible.extend((0..self.cluster.nodes()).filter_map(|n| {
+            if !self.cluster.node_up(n) {
+                return None; // failed nodes host nothing
+            }
+            // Per-node requirement: fast nodes need less share.
+            let required = self.cluster.required_share(n, estimate, deadline);
+            if estimate > deadline * self.cluster.rating(n) {
+                return None; // this node cannot make the deadline at all
+            }
+            // The cutoff form lets the share engine stop scanning a node's
+            // residents as soon as a partial weight sum proves it too full —
+            // the admission decision and the `free` key are byte-identical
+            // to `free_share` plus the `free + SHARE_EPS < required` test.
+            let free = self
+                .cluster
+                .free_share_if_fits(n, now, required, SHARE_EPS)?;
+            if self.variant == LibraVariant::RiskD && self.cluster.node_at_risk(n, now) {
+                return None;
+            }
+            Some((free, n))
+        }));
+        let need = procs as usize;
+        if eligible.len() < need {
+            return false;
         }
+        // Only the `need` best nodes are handed out, so an O(n) selection
+        // followed by sorting just that prefix replaces the full O(n log n)
+        // sort. The comparator is total and tie-broken by node index (no two
+        // entries compare equal), so the selected set — and therefore the
+        // sorted prefix — is byte-identical to the full sort's prefix.
         match self.selection {
             // Best fit: least free share first (saturate nodes to their
             // maximum — the paper's configuration).
             NodeSelection::BestFit => {
-                eligible.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                if need > 0 && eligible.len() > need {
+                    eligible.select_nth_unstable_by(need - 1, |a, b| {
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+                    });
+                }
+                eligible[..need].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             }
             // Worst fit: most free share first (balance the load).
             NodeSelection::WorstFit => {
-                eligible.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)))
+                if need > 0 && eligible.len() > need {
+                    eligible.select_nth_unstable_by(need - 1, |a, b| {
+                        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+                    });
+                }
+                eligible[..need].sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
             }
         }
-        Some(eligible[..procs as usize].iter().map(|e| e.1).collect())
+        picked.extend(eligible[..need].iter().map(|e| e.1));
+        true
     }
 
     /// Commodity-market price quote for `job` on `nodes`. `None` means the
@@ -227,17 +268,30 @@ impl Policy for LibraPolicy {
     }
 
     fn on_submit(&mut self, job: &Job, now: f64, out: &mut Vec<Outcome>) {
-        let Some(nodes) = self.select_nodes(job.estimate, job.deadline, job.procs, now) else {
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        let mut nodes = std::mem::take(&mut self.picked_scratch);
+        let found = self.select_nodes(
+            job.estimate,
+            job.deadline,
+            job.procs,
+            now,
+            &mut eligible,
+            &mut nodes,
+        );
+        self.eligible_scratch = eligible;
+        if !found {
+            self.picked_scratch = nodes;
             out.push(Outcome::Rejected {
                 job: job.id,
                 at: now,
                 reason: RejectReason::InsufficientShare,
             });
             return;
-        };
+        }
         let charged = self.quote(job, &nodes, now);
         if let Some(cost) = charged {
             if cost > job.budget {
+                self.picked_scratch = nodes;
                 out.push(Outcome::Rejected {
                     job: job.id,
                     at: now,
@@ -247,6 +301,7 @@ impl Policy for LibraPolicy {
             }
         }
         self.cluster.submit(job, &nodes, now);
+        self.picked_scratch = nodes;
         self.meta.insert(
             job.id,
             Meta {
@@ -269,7 +324,10 @@ impl Policy for LibraPolicy {
     }
 
     fn advance_to(&mut self, t: f64, out: &mut Vec<Outcome>) {
-        for done in self.cluster.advance_to(t) {
+        let mut done_buf = std::mem::take(&mut self.completions_scratch);
+        done_buf.clear();
+        self.cluster.advance_into(t, &mut done_buf);
+        for done in &done_buf {
             let meta = self
                 .meta
                 .remove(&done.job_id)
@@ -281,6 +339,7 @@ impl Policy for LibraPolicy {
                 charged: meta.charged,
             });
         }
+        self.completions_scratch = done_buf;
     }
 
     fn drain(&mut self, out: &mut Vec<Outcome>) {

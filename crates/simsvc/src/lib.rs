@@ -37,7 +37,8 @@ pub use fault::{Degradation, FaultConfig};
 pub use metrics::RunMetrics;
 pub use record::JobRecord;
 pub use runner::{
-    simulate, simulate_faulty, simulate_faulty_with, simulate_with, RunConfig, RunResult,
+    simulate, simulate_counted, simulate_faulty, simulate_faulty_counted, simulate_faulty_with,
+    simulate_with, RunConfig, RunResult,
 };
 pub use timeline::{TimePoint, Timeline};
 pub use trace::{simulate_traced, simulate_traced_faulty, simulate_traced_with, RunTrace};

@@ -3,12 +3,11 @@
 use crate::fault::{Degradation, FaultConfig};
 use crate::metrics::RunMetrics;
 use crate::record::JobRecord;
-use ccs_des::{FailureEventKind, FailureProcess, NodeFailureEvent};
+use ccs_des::{FailureEventKind, FailureProcess, FastHashMap, FastHashSet, NodeFailureEvent};
 use ccs_economy::{bid_utility, EconomicModel, Ledger};
 use ccs_policies::{build_policy, Interruption, Outcome, Policy, PolicyKind};
 use ccs_workload::{Job, JobId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Configuration of one simulation run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -50,6 +49,29 @@ pub fn simulate(jobs: &[Job], kind: PolicyKind, cfg: &RunConfig) -> RunResult {
 /// downstream users evaluating their own [`Policy`] implementations.
 pub fn simulate_with(jobs: &[Job], policy: Box<dyn Policy>, cfg: &RunConfig) -> RunResult {
     simulate_named(jobs, policy, cfg, "custom")
+}
+
+/// Like [`simulate`], but also reports how many simulation outcomes the run
+/// produced — the per-cell event count behind the experiment grid's
+/// events/sec telemetry. The [`RunResult`] is byte-identical to
+/// [`simulate`]'s.
+pub fn simulate_counted(jobs: &[Job], kind: PolicyKind, cfg: &RunConfig) -> (RunResult, u64) {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    let (result, out) = run_with_outcomes(jobs, policy, cfg, kind.name());
+    (result, out.len() as u64)
+}
+
+/// Like [`simulate_faulty`], but also reports the outcome-event count (see
+/// [`simulate_counted`]).
+pub fn simulate_faulty_counted(
+    jobs: &[Job],
+    kind: PolicyKind,
+    cfg: &RunConfig,
+    fault: &FaultConfig,
+) -> (RunResult, u64) {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    let (result, out) = run_with_outcomes_faulty(jobs, policy, cfg, kind.name(), Some(fault));
+    (result, out.len() as u64)
 }
 
 /// Like [`simulate`], but with node failures injected per `fault` (see
@@ -192,10 +214,12 @@ pub(crate) fn run_with_outcomes_faulty(
 struct FaultDriver<'a> {
     cfg: &'a FaultConfig,
     process: FailureProcess,
-    /// Restart attempts consumed per job.
-    attempts: HashMap<JobId, u32>,
+    /// Restart attempts consumed per job. Lookup-only maps throughout the
+    /// driver take the deterministic integer hasher; none is ever iterated,
+    /// so outputs are unaffected.
+    attempts: FastHashMap<JobId, u32>,
     /// Original (as-submitted) jobs, for rebuilding resubmissions.
-    by_id: HashMap<JobId, &'a Job>,
+    by_id: FastHashMap<JobId, &'a Job>,
 }
 
 impl<'a> FaultDriver<'a> {
@@ -203,7 +227,7 @@ impl<'a> FaultDriver<'a> {
         FaultDriver {
             cfg,
             process: FailureProcess::new(cfg.seed, cfg.mtbf, cfg.mttr, nodes),
-            attempts: HashMap::new(),
+            attempts: FastHashMap::default(),
             by_id: jobs.iter().map(|j| (j.id, j)).collect(),
         }
     }
@@ -302,7 +326,7 @@ fn resubmission(original: &Job, i: &Interruption, now: f64, degradation: Degrada
 /// the resubmission's outcome is not necessarily pushed inside
 /// [`FaultDriver::deliver`].)
 fn reconcile_fault_outcomes(out: &mut [Outcome]) {
-    let mut interrupted: HashSet<JobId> = HashSet::new();
+    let mut interrupted: FastHashSet<JobId> = FastHashSet::default();
     for o in out.iter_mut() {
         match *o {
             Outcome::Interrupted { job, .. } => {
@@ -321,8 +345,11 @@ fn reconcile_fault_outcomes(out: &mut [Outcome]) {
 
 /// Folds the outcome stream into metrics and per-job records.
 fn collect(jobs: &[Job], cfg: &RunConfig, out: &[Outcome]) -> RunResult {
-    let by_id: HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
-    let mut records: HashMap<JobId, JobRecord> = HashMap::with_capacity(jobs.len());
+    // Both maps are looked up by id and finally drained in job order —
+    // never iterated — so the fast hasher cannot reorder anything.
+    let by_id: FastHashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+    let mut records: FastHashMap<JobId, JobRecord> =
+        FastHashMap::with_capacity_and_hasher(jobs.len(), Default::default());
     let mut ledger = Ledger::new();
 
     let mut metrics = RunMetrics {
