@@ -18,13 +18,14 @@ use crate::dist::{Distribution, Exponential, Weibull};
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// A positive-support lifetime distribution for MTBF/MTTR draws.
 ///
 /// A closed enum (rather than `Box<dyn Distribution>`) so failure
-/// configurations stay `Copy`, comparable, and trivially hashable into
-/// provenance keys.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// configurations stay `Copy`, comparable, trivially hashable into
+/// provenance keys, and serialisable into replayable chaos reproducers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FailureDist {
     /// Exponential with the given mean (memoryless — the classic
     /// Poisson-failure assumption).

@@ -1,0 +1,86 @@
+//! Atomic report writes: temp file in the target directory, fsync, rename.
+//!
+//! A grid run that is killed (or a machine that loses power) mid-write must
+//! never leave a half-written `report.json` behind — a torn artifact is
+//! worse than a missing one, because downstream tooling trusts whatever
+//! parses. Every report writer in this crate therefore goes through
+//! [`write_atomic`]: the bytes land in a uniquely named temporary file in
+//! the *same* directory as the target (rename across filesystems is not
+//! atomic), the file is fsynced so the data precedes the rename in the
+//! journal, and only then is it renamed over the target. Readers see either
+//! the old content or the new — never a mix.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers within one process; the pid in the
+/// temp-file name distinguishes processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically (temp file + fsync + rename),
+/// creating parent directories as needed.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Data must be durable before the rename makes it visible.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
+    // Make the rename itself durable. Failure here is not fatal — the
+    // content is already consistent, only its durability is weaker.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_overwrites_without_leftover_temp_files() {
+        let dir = std::env::temp_dir().join("ccs_atomic_write_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/report.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let residue: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(residue.len(), 1, "temp files must not linger: {residue:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn relative_path_without_parent_writes_in_cwd() {
+        let name = format!("ccs_atomic_plain_{}.tmpjson", std::process::id());
+        let path = std::path::PathBuf::from(&name);
+        write_atomic(&path, b"ok").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "ok");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,37 +10,48 @@
 //! utility_risk dominance                   pairwise stochastic dominance
 //! utility_risk workload                    synthetic-workload statistics
 //! utility_risk trace                       one traced run + SLA report
+//! utility_risk chaos                       seeded chaos soak (generate→run→check→shrink)
 //! ```
 //!
 //! Every subcommand accepts the shared flags `--quick`, `--quiet`,
 //! `--jobs N`, `--seed S`, `--threads T`, `--out DIR`. `trace` additionally
 //! takes `--econ commodity|bid`, `--set A|B`, `--scenario IDX`,
-//! `--value IDX`, `--policy NAME`.
+//! `--value IDX`, `--policy NAME`. Grid subcommands take the crash-safety
+//! flags `--resume JOURNAL`, `--cell-budget N`, `--cell-wall-budget SECS`,
+//! `--cell-event-budget N`, `--compact-journal`. `chaos` takes `--rounds N`,
+//! `--budget SECS`, `--max-events N` (per-replay watchdog budget).
 
+use ccs_chaos::{run_soak, SoakConfig};
 use ccs_economy::EconomicModel;
 use ccs_experiments::figures::{print_figure, write_figure};
 use ccs_experiments::{
     build_figure, parse_cli_checked, progress, replicate, run_all_ablations, run_evaluation_ctl,
-    tables, telemetry_report, trace_report, CellError, EstimateSet, GridControl, RawGrid,
-    TelemetryReport, TraceCellSpec,
+    tables, telemetry_report, trace_report, write_atomic, CellError, EstimateSet, GridControl,
+    Journal, RawGrid, TelemetryReport, TraceCellSpec,
 };
 use ccs_risk::Objective;
+use ccs_simsvc::RunBudget;
 use ccs_workload::{apply_scenario, WorkloadSummary};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace> \
+        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos> \
          [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
-         grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N]\n\
-         trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]"
+         grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N] \
+         [--cell-wall-budget SECS] [--cell-event-budget N] [--compact-journal]\n\
+         trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]\n\
+         chaos also takes: [--rounds N] [--budget SECS] [--max-events N]"
     );
     std::process::exit(2);
 }
 
-/// Strips `--resume FILE` and `--cell-budget N` (crash-safe grid control)
-/// from the argument list before the shared parser sees them.
-fn parse_grid_control(args: &mut Vec<String>) -> Result<GridControl, String> {
+/// Strips the crash-safety flags (`--resume FILE`, `--cell-budget N`,
+/// `--cell-wall-budget SECS`, `--cell-event-budget N`, `--compact-journal`)
+/// from the argument list before the shared parser sees them. Returns the
+/// grid control plus whether the journal should be compacted afterwards.
+fn parse_grid_control(args: &mut Vec<String>) -> Result<(GridControl, bool), String> {
     let mut ctl = GridControl::default();
+    let mut compact = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,28 +74,166 @@ fn parse_grid_control(args: &mut Vec<String>) -> Result<GridControl, String> {
                 );
                 args.drain(i..i + 2);
             }
+            "--cell-wall-budget" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--cell-wall-budget requires seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--cell-wall-budget: expected seconds, got {v:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--cell-wall-budget: must be finite and positive, got {v}"
+                    ));
+                }
+                ctl.cell_wall_budget = Some(secs);
+                args.drain(i..i + 2);
+            }
+            "--cell-event-budget" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--cell-event-budget requires a count")?;
+                ctl.cell_event_budget =
+                    Some(v.parse().map_err(|_| {
+                        format!("--cell-event-budget: expected a count, got {v:?}")
+                    })?);
+                args.drain(i..i + 2);
+            }
+            "--compact-journal" => {
+                compact = true;
+                args.remove(i);
+            }
             _ => i += 1,
         }
     }
-    Ok(ctl)
+    if compact && ctl.journal.is_none() {
+        return Err("--compact-journal requires --resume JOURNAL".to_string());
+    }
+    Ok((ctl, compact))
 }
 
-/// Reports panicked cells: writes `cell_errors.json` under `out` and prints
-/// each error. Returns true when there was anything to report (the process
-/// should then exit nonzero once the telemetry artifacts are flushed).
+/// The `chaos` subcommand's own flags, stripped before the shared parser.
+struct ChaosArgs {
+    rounds: u32,
+    wall_secs: f64,
+    max_events: u64,
+}
+
+fn parse_chaos_args(args: &mut Vec<String>) -> Result<ChaosArgs, String> {
+    let defaults = SoakConfig::default();
+    let mut chaos = ChaosArgs {
+        rounds: defaults.rounds,
+        wall_secs: defaults.budget.max_wall_secs.unwrap_or(30.0),
+        max_events: defaults.budget.max_events.unwrap_or(5_000_000),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--rounds requires a count")?;
+                chaos.rounds = v
+                    .parse()
+                    .map_err(|_| format!("--rounds: expected a count, got {v:?}"))?;
+                args.drain(i..i + 2);
+            }
+            "--budget" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--budget requires seconds")?;
+                chaos.wall_secs = v
+                    .parse()
+                    .map_err(|_| format!("--budget: expected seconds, got {v:?}"))?;
+                if !chaos.wall_secs.is_finite() || chaos.wall_secs <= 0.0 {
+                    return Err(format!("--budget: must be finite and positive, got {v}"));
+                }
+                args.drain(i..i + 2);
+            }
+            "--max-events" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--max-events requires a count")?;
+                chaos.max_events = v
+                    .parse()
+                    .map_err(|_| format!("--max-events: expected a count, got {v:?}"))?;
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(chaos)
+}
+
+/// Runs the chaos soak: seeded generate→run→check→shrink rounds, a
+/// `chaos_report.json` artifact, and one replayable reproducer JSON per
+/// finding. Exits 1 when any round found a violation, budget trip, or
+/// panic.
+fn run_chaos(chaos: &ChaosArgs, seed: u64, out: &std::path::Path) -> ! {
+    let cfg = SoakConfig {
+        seed,
+        rounds: chaos.rounds,
+        budget: RunBudget {
+            max_wall_secs: Some(chaos.wall_secs),
+            max_events: Some(chaos.max_events),
+        },
+    };
+    progress::note(&format!(
+        "chaos soak: seed {} / {} rounds / budget {}s, {} events per replay",
+        cfg.seed, cfg.rounds, chaos.wall_secs, chaos.max_events
+    ));
+    let report = run_soak(&cfg, |round, case, outcome| {
+        if let Some(sig) = outcome.signature() {
+            eprintln!(
+                "chaos: round {round} FAILED ({sig}) — case seed {}, shrinking…",
+                case.seed
+            );
+        }
+    });
+    let json = serde_json::to_string_pretty(&report).expect("soak report serialises");
+    write_atomic(&out.join("chaos_report.json"), json.as_bytes()).expect("write chaos_report.json");
+    for finding in &report.findings {
+        let path = out.join(format!("chaos_reproducer_round{}.json", finding.round));
+        write_atomic(&path, finding.minimized.to_json().as_bytes()).expect("write reproducer");
+        eprintln!(
+            "chaos: round {} minimal reproducer ({}) written to {}",
+            finding.round,
+            finding.signature,
+            path.display()
+        );
+    }
+    println!(
+        "chaos soak: {}/{} rounds clean, {} events simulated, {} finding(s); report: {}",
+        report.clean,
+        report.rounds,
+        report.events,
+        report.findings.len(),
+        out.join("chaos_report.json").display()
+    );
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+/// Reports failed cells (panics, budget trips, invariant violations):
+/// atomically writes `cell_errors.json` under `out` and prints each error.
+/// Returns true when there was anything to report (the process should then
+/// exit nonzero once the telemetry artifacts are flushed).
 fn report_cell_errors(errors: &[CellError], out: &std::path::Path) -> bool {
     if errors.is_empty() {
         return false;
     }
-    std::fs::create_dir_all(out).ok();
     let path = out.join("cell_errors.json");
     let json = serde_json::to_string_pretty(&errors.to_vec()).expect("cell errors serialise");
-    std::fs::write(&path, json).expect("write cell_errors.json");
+    write_atomic(&path, json.as_bytes()).expect("write cell_errors.json");
     for e in errors {
         eprintln!("utility_risk: {e}");
     }
     eprintln!(
-        "utility_risk: {} grid cell(s) panicked — details in {} (rerun with --resume to retry \
+        "utility_risk: {} grid cell(s) failed — details in {} (rerun with --resume to retry \
          only the missing cells)",
         errors.len(),
         path.display()
@@ -120,8 +269,20 @@ fn main() {
     } else {
         None
     };
-    let ctl = match parse_grid_control(&mut args) {
-        Ok(ctl) => ctl,
+    // `chaos` strips its soak flags before the shared parser.
+    let chaos_args = if cmd == "chaos" {
+        match parse_chaos_args(&mut args) {
+            Ok(chaos) => Some(chaos),
+            Err(e) => {
+                eprintln!("utility_risk chaos: {e}");
+                usage();
+            }
+        }
+    } else {
+        None
+    };
+    let (ctl, compact_journal) = match parse_grid_control(&mut args) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("utility_risk: {e}");
             usage();
@@ -161,10 +322,9 @@ fn main() {
                 print!("{}", print_figure(&fig));
                 write_figure(&out, &fig).expect("write artifacts");
             }
-            std::fs::create_dir_all(&out).expect("mkdir");
-            std::fs::write(
-                out.join("report.md"),
-                ccs_experiments::report_md::evaluation_report(&ev),
+            write_atomic(
+                &out.join("report.md"),
+                ccs_experiments::report_md::evaluation_report(&ev).as_bytes(),
             )
             .expect("write report.md");
             ccs_experiments::EvaluationExport::from_evaluation(&ev)
@@ -248,6 +408,10 @@ fn main() {
             println!("{}\n", WorkloadSummary::compute(&jobs, cfg.nodes));
             println!("{}", ccs_workload::TraceHistograms::of(&base).render(48));
         }
+        "chaos" => {
+            let chaos = chaos_args.expect("parsed above");
+            run_chaos(&chaos, cfg.seed, &out);
+        }
         "trace" => {
             let spec = spec.expect("parsed above");
             let bundle = ccs_experiments::capture_cell(&spec, &cfg);
@@ -276,6 +440,24 @@ fn main() {
         _ => usage(),
     }
 
+    if compact_journal {
+        let path = ctl.journal.as_deref().expect("checked at parse time");
+        match Journal::compact(path) {
+            // Reported even under --quiet: these stats are the whole point
+            // of asking for --compact-journal.
+            Ok((read, kept)) => eprintln!(
+                "journal compacted: {read} line(s) -> {kept} record(s) in {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!(
+                    "utility_risk: cannot compact journal {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     if !raw_grids.is_empty() {
         progress::note_raw(&telemetry_report::slowest_cells_summary(&raw_grids, 5));
     }

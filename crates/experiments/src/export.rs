@@ -59,12 +59,10 @@ impl EvaluationExport {
         serde_json::from_str(text)
     }
 
-    /// Writes the export to `path`.
+    /// Writes the export to `path` atomically (temp file + fsync +
+    /// rename): a crash mid-write can never leave a torn export behind.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_json())
+        crate::atomic::write_atomic(path, self.to_json().as_bytes())
     }
 
     /// Reads an export from `path`.

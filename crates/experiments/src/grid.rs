@@ -7,12 +7,16 @@
 //! slow cells can be reported even in uninstrumented builds. With the
 //! `telemetry` feature the same timings also feed the global registry.
 
-use crate::journal::{cell_key, CellError, CellRecord, Journal};
+use crate::journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
 use crate::progress;
 use crate::scenario::{EstimateSet, Scenario};
+use ccs_chaos::StuckPolicy;
 use ccs_economy::EconomicModel;
-use ccs_policies::PolicyKind;
-use ccs_simsvc::{simulate_counted, simulate_faulty_counted, RunConfig};
+use ccs_policies::{build_policy, PolicyKind};
+use ccs_simsvc::{
+    simulate_checked_guarded, simulate_counted, simulate_faulty_counted, simulate_guarded,
+    simulate_guarded_with, BudgetExceeded, RunBudget, RunConfig, Violation,
+};
 use ccs_workload::{apply_scenario, BaseJob, Job, SdscSp2Model};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -79,6 +83,21 @@ pub struct GridControl {
     /// down a grid run. Falls back to the [`FAIL_CELL_ENV`] environment
     /// variable (read once per grid) when `None`.
     pub fail_cell: Option<String>,
+    /// Per-cell wall-clock budget in seconds: a cell whose simulation runs
+    /// longer is cancelled cooperatively (inside the DES loop) into a
+    /// [`CellErrorKind::Budget`] error instead of wedging the grid. `None`
+    /// = unlimited.
+    pub cell_wall_budget: Option<f64>,
+    /// Per-cell event-count budget: cancels cells that spin past this many
+    /// watchdog steps. `None` = unlimited.
+    pub cell_event_budget: Option<u64>,
+    /// Deliberately wedge the cell `"scenarioIdx:valueIdx:PolicyName"` by
+    /// running it with a never-quiescing policy — the watchdog drill
+    /// proving a stuck cell is cancelled (with a Budget-kind error) while
+    /// the rest of the grid completes. Falls back to [`STALL_CELL_ENV`]
+    /// when `None`. The drill applies a small default budget when no
+    /// per-cell budget is configured, so it terminates either way.
+    pub stall_cell: Option<String>,
 }
 
 /// Wall-clock timing of one grid cell (one policy at one scenario value).
@@ -289,6 +308,14 @@ pub fn run_grid_with_base_ctl(
         .fail_cell
         .clone()
         .or_else(|| std::env::var(FAIL_CELL_ENV).ok());
+    let stall_cell = ctl
+        .stall_cell
+        .clone()
+        .or_else(|| std::env::var(STALL_CELL_ENV).ok());
+    let run_budget = RunBudget {
+        max_wall_secs: ctl.cell_wall_budget,
+        max_events: ctl.cell_event_budget,
+    };
     let policies = policies_for(econ);
     let base = base.to_vec();
     let points: Vec<(usize, usize)> = (0..Scenario::ALL.len())
@@ -339,6 +366,7 @@ pub fn run_grid_with_base_ctl(
             let journal = journal.as_ref();
             let budget = budget.as_ref();
             let fail_cell = fail_cell.as_deref();
+            let stall_cell = stall_cell.as_deref();
             let errors = &errors;
             scope.spawn(move || {
                 let mut my_busy = 0.0f64;
@@ -360,6 +388,8 @@ pub fn run_grid_with_base_ctl(
                         journal,
                         budget,
                         fail_cell,
+                        stall_cell,
+                        run_budget,
                         errors,
                         workload_cache,
                     );
@@ -431,6 +461,33 @@ fn record_grid_telemetry(grid: &RawGrid) {
 /// a whole grid run. Format: `"scenarioIdx:valueIdx:PolicyName"`.
 pub const FAIL_CELL_ENV: &str = "CCS_FAIL_CELL";
 
+/// Deliberately wedges a chosen cell with a never-quiescing policy — the
+/// watchdog drill proving a stuck cell is cancelled into a Budget-kind
+/// [`CellError`] while the rest of the grid completes. Same
+/// `"scenarioIdx:valueIdx:PolicyName"` format as [`FAIL_CELL_ENV`].
+pub const STALL_CELL_ENV: &str = "CCS_STALL_CELL";
+
+/// How one simulated cell ended, before it is folded into the grid.
+enum CellSim {
+    /// The run completed (objectives, outcome events).
+    Done([f64; 4], u64),
+    /// The watchdog cancelled the run.
+    Budget(BudgetExceeded),
+    /// The run completed but the invariant engine found violations.
+    Invariant(Vec<Violation>),
+}
+
+/// Renders a violation list as a one-line cell-error message (first three
+/// violations verbatim, the rest counted).
+fn violation_summary(violations: &[Violation]) -> String {
+    let shown: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
+    let mut s = format!("{} violation(s): {}", violations.len(), shown.join("; "));
+    if violations.len() > 3 {
+        s.push_str(&format!(" (+{} more)", violations.len() - 3));
+    }
+    s
+}
+
 /// Runs one experiment point (one scenario value) for every policy,
 /// returning the objective row and per-policy wall-clock seconds. Panics
 /// are confined to the failing cell; journal hits skip simulation entirely.
@@ -446,6 +503,8 @@ fn run_point(
     journal: Option<&Journal>,
     budget: Option<&AtomicI64>,
     fail_cell: Option<&str>,
+    stall_cell: Option<&str>,
+    run_budget: RunBudget,
     errors: &Mutex<Vec<CellError>>,
     cache: &WorkloadCache,
 ) -> (Vec<[f64; 4]>, Vec<f64>, Vec<u64>) {
@@ -488,21 +547,82 @@ fn run_point(
             })
         });
         let this_cell = format!("{scenario_idx}:{value_idx}:{}", kind.name());
+        let stalled = stall_cell == Some(this_cell.as_str());
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             assert!(
                 fail_cell != Some(this_cell.as_str()),
                 "{FAIL_CELL_ENV} injected panic in cell {this_cell}"
             );
-            let (result, n_events) = match &fault {
-                Some(f) => simulate_faulty_counted(jobs, kind, &run_cfg, f),
-                None => simulate_counted(jobs, kind, &run_cfg),
-            };
-            (result.metrics.objectives(), n_events)
+            if stalled {
+                // Watchdog drill: swap in a policy whose event horizon
+                // never empties. An unguarded drain against it would spin
+                // forever, so the drill always runs with *some* budget.
+                let budget = if run_budget.is_unlimited() {
+                    RunBudget {
+                        max_wall_secs: Some(5.0),
+                        max_events: Some(1_000_000),
+                    }
+                } else {
+                    run_budget
+                };
+                return match simulate_guarded_with(
+                    jobs,
+                    Box::new(StuckPolicy::new()),
+                    &run_cfg,
+                    kind.name(),
+                    fault.as_ref(),
+                    budget,
+                ) {
+                    Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
+                    Err(e) => CellSim::Budget(e),
+                };
+            }
+            if cfg!(feature = "invariants") {
+                let policy = build_policy(kind, run_cfg.econ, run_cfg.nodes);
+                return match simulate_checked_guarded(
+                    jobs,
+                    policy,
+                    &run_cfg,
+                    kind.name(),
+                    fault.as_ref(),
+                    run_budget,
+                ) {
+                    Ok(checked) if checked.violations.is_empty() => {
+                        CellSim::Done(checked.result.metrics.objectives(), checked.events)
+                    }
+                    Ok(checked) => CellSim::Invariant(checked.violations),
+                    Err(e) => CellSim::Budget(e),
+                };
+            }
+            if run_budget.is_unlimited() {
+                let (result, n_events) = match &fault {
+                    Some(f) => simulate_faulty_counted(jobs, kind, &run_cfg, f),
+                    None => simulate_counted(jobs, kind, &run_cfg),
+                };
+                CellSim::Done(result.metrics.objectives(), n_events)
+            } else {
+                match simulate_guarded(jobs, kind, &run_cfg, fault.as_ref(), run_budget) {
+                    Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
+                    Err(e) => CellSim::Budget(e),
+                }
+            }
         }));
         let cell_secs = t0.elapsed().as_secs_f64();
+        let fail_with = |err_kind: CellErrorKind, message: String| {
+            errors.lock().unwrap().push(CellError {
+                scenario: scenario.label(),
+                scenario_idx,
+                value_idx,
+                policy: kind.name().to_string(),
+                kind: err_kind,
+                message,
+            });
+        };
         match outcome {
-            Ok((objectives, n_events)) => {
-                if let Some(j) = journal {
+            Ok(CellSim::Done(objectives, n_events)) => {
+                // A stall drill that somehow completed must not poison the
+                // journal with the stuck fixture's numbers.
+                if let Some(j) = journal.filter(|_| !stalled) {
                     j.append(&CellRecord {
                         key,
                         scenario_idx,
@@ -516,20 +636,17 @@ fn run_point(
                 row.push(objectives);
                 secs.push(cell_secs);
                 events.push(n_events);
+                continue;
             }
-            Err(payload) => {
-                errors.lock().unwrap().push(CellError {
-                    scenario: scenario.label(),
-                    scenario_idx,
-                    value_idx,
-                    policy: kind.name().to_string(),
-                    message: panic_message(payload),
-                });
-                row.push([0.0; 4]);
-                secs.push(cell_secs);
-                events.push(0);
+            Ok(CellSim::Budget(e)) => fail_with(CellErrorKind::Budget, e.to_string()),
+            Ok(CellSim::Invariant(violations)) => {
+                fail_with(CellErrorKind::Invariant, violation_summary(&violations))
             }
+            Err(payload) => fail_with(CellErrorKind::Panic, panic_message(payload)),
         }
+        row.push([0.0; 4]);
+        secs.push(cell_secs);
+        events.push(0);
     }
     (row, secs, events)
 }
@@ -635,6 +752,7 @@ mod tests {
                 journal: Some(journal.clone()),
                 cell_budget: None,
                 fail_cell: Some("0:1:SJF-BF".to_string()),
+                ..Default::default()
             },
         );
 

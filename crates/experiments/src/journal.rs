@@ -21,7 +21,20 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// One grid cell that panicked instead of completing. The grid reports
+/// Why a grid cell failed instead of completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellErrorKind {
+    /// The cell's policy panicked; the panic was confined to the cell.
+    Panic,
+    /// The cell exceeded its per-cell watchdog budget (wall clock or event
+    /// count) and was cancelled cooperatively inside the simulation loop.
+    Budget,
+    /// The cell simulated to completion but the online invariant engine
+    /// found violations, so its numbers cannot be trusted.
+    Invariant,
+}
+
+/// One grid cell that failed instead of completing. The grid reports
 /// these (and the run exits nonzero) rather than aborting the whole sweep.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CellError {
@@ -33,15 +46,22 @@ pub struct CellError {
     pub value_idx: usize,
     /// Policy display name.
     pub policy: String,
-    /// The panic payload, as text.
+    /// How the cell failed.
+    pub kind: CellErrorKind,
+    /// The panic payload, budget diagnostic, or violation summary, as text.
     pub message: String,
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verb = match self.kind {
+            CellErrorKind::Panic => "panicked",
+            CellErrorKind::Budget => "exceeded its budget",
+            CellErrorKind::Invariant => "violated invariants",
+        };
         write!(
             f,
-            "cell [{} @ value {} / {}] panicked: {}",
+            "cell [{} @ value {} / {}] {verb}: {}",
             self.scenario, self.value_idx, self.policy, self.message
         )
     }
@@ -134,6 +154,37 @@ impl Journal {
         let _ = w.write_all(format!("{line}\n").as_bytes());
         let _ = w.flush();
     }
+
+    /// Compacts the journal at `path` in place: keeps exactly one line per
+    /// cell key (the last record wins, preserving first-appearance order)
+    /// and drops torn or unparseable lines. The rewrite is atomic — a crash
+    /// mid-compaction leaves the original file untouched. Returns `(lines
+    /// read, records kept)`.
+    pub fn compact(path: &Path) -> std::io::Result<(usize, usize)> {
+        let text = std::fs::read_to_string(path)?;
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: HashMap<String, String> = HashMap::new();
+        let mut read = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            read += 1;
+            if let Ok(rec) = serde_json::from_str::<CellRecord>(line) {
+                if latest.insert(rec.key.clone(), line.to_string()).is_none() {
+                    order.push(rec.key);
+                }
+            }
+        }
+        let mut out = String::new();
+        for key in &order {
+            out.push_str(&latest[key]);
+            out.push('\n');
+        }
+        crate::atomic::write_atomic(path, out.as_bytes())?;
+        Ok((read, order.len()))
+    }
 }
 
 /// Provenance hash of one grid cell: FNV-1a over a canonical description of
@@ -215,6 +266,57 @@ mod tests {
         assert_eq!(j.get("bbbb"), Some(&rec("bbbb", 1)));
         assert_eq!(j.get("cccc"), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_last_record_per_key_and_drops_torn_lines() {
+        let dir = std::env::temp_dir().join("ccs_journal_test_compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        {
+            let j = Journal::open(&path).unwrap();
+            j.append(&rec("aaaa", 0));
+            j.append(&rec("bbbb", 1));
+            j.append(&rec("aaaa", 7)); // rewrite of aaaa: last wins
+        }
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"torn").unwrap();
+        }
+        let (read, kept) = Journal::compact(&path).unwrap();
+        assert_eq!((read, kept), (4, 2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        // Order of first appearance is preserved; the duplicate key holds
+        // its latest record.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.loaded(), 2);
+        assert_eq!(j.get("aaaa"), Some(&rec("aaaa", 7)));
+        assert_eq!(j.get("bbbb"), Some(&rec("bbbb", 1)));
+        // Compaction is idempotent.
+        assert_eq!(Journal::compact(&path).unwrap(), (2, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_error_display_words_the_failure_by_kind() {
+        let mut e = CellError {
+            scenario: "deadline mean (Set A)".to_string(),
+            scenario_idx: 0,
+            value_idx: 1,
+            policy: "FCFS-BF".to_string(),
+            kind: CellErrorKind::Panic,
+            message: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("panicked: boom"));
+        e.kind = CellErrorKind::Budget;
+        assert!(e.to_string().contains("exceeded its budget: boom"));
+        e.kind = CellErrorKind::Invariant;
+        assert!(e.to_string().contains("violated invariants: boom"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod ablation;
 pub mod analysis;
+pub mod atomic;
 pub mod export;
 pub mod figures;
 pub mod grid;
@@ -39,12 +40,13 @@ pub mod trace_run;
 
 pub use ablation::{run_all as run_all_ablations, Ablation};
 pub use analysis::{analyze, analyze_with, GridAnalysis};
+pub use atomic::write_atomic;
 pub use export::EvaluationExport;
 pub use grid::{
     policies_for, run_grid, run_grid_ctl, run_grid_with_base, run_grid_with_base_ctl, CellTiming,
-    ExperimentConfig, GridControl, RawGrid, FAIL_CELL_ENV,
+    ExperimentConfig, GridControl, RawGrid, FAIL_CELL_ENV, STALL_CELL_ENV,
 };
-pub use journal::{cell_key, CellError, CellRecord, Journal};
+pub use journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
 pub use replications::{
     across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy,
 };

@@ -101,14 +101,9 @@ impl TelemetryReport {
         serde_json::from_str(json)
     }
 
-    /// Writes the report to `path`, creating parent directories.
+    /// Writes the report to `path` atomically, creating parent directories.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        std::fs::write(path, self.to_json() + "\n")
+        crate::atomic::write_atomic(path, (self.to_json() + "\n").as_bytes())
     }
 }
 

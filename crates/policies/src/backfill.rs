@@ -340,7 +340,10 @@ impl Policy for BackfillPolicy {
 
     fn drain(&mut self, out: &mut Vec<Outcome>) {
         self.advance_to(f64::INFINITY, out);
-        debug_assert!(self.queue.is_empty(), "queue must drain");
+        // The queue may legitimately be non-empty here: under failure
+        // injection the runner abandons futile weather (nodes that will
+        // never again be up together), leaving wide jobs queued forever —
+        // they are scored as accepted-but-unfulfilled.
         debug_assert!(self.running.is_empty(), "no job may be left running");
     }
 

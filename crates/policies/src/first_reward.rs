@@ -236,7 +236,8 @@ impl Policy for FirstRewardPolicy {
 
     fn drain(&mut self, out: &mut Vec<Outcome>) {
         self.advance_to(f64::INFINITY, out);
-        debug_assert!(self.queue.is_empty(), "accepted jobs must all run");
+        // Queued jobs may survive drain when the runner abandons futile
+        // weather (failure injection); they stay accepted-but-unfulfilled.
         debug_assert!(self.running.is_empty());
     }
 

@@ -173,7 +173,11 @@ pub trait Policy {
     /// Processes internal events up to and including `t`.
     fn advance_to(&mut self, t: f64, out: &mut Vec<Outcome>);
 
-    /// Runs the policy to quiescence after the last arrival.
+    /// Runs the policy to quiescence after the last arrival. In a
+    /// fault-free run this empties the queue; under failure injection the
+    /// runner may give up on futile weather (see the drain stagnation cap
+    /// in `ccs-simsvc`) and call this with jobs still queued — those stay
+    /// accepted-but-unfulfilled and must not panic the policy.
     fn drain(&mut self, out: &mut Vec<Outcome>);
 
     /// Reacts to node `node` going down at `now` (failure injection): the

@@ -14,9 +14,10 @@
 //! failure-aware entry point.
 
 use ccs_des::FailureDist;
+use serde::{Deserialize, Serialize};
 
 /// What a job interrupted by a node failure costs on its next attempt.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Degradation {
     /// The job lost all progress and must rerun its full runtime
     /// (stateless restart — no checkpointing).
@@ -36,7 +37,7 @@ pub enum Degradation {
 /// alone, so the same `FaultConfig` yields the same failure timeline
 /// regardless of the workload or policy under test — policies within one
 /// experiment cell face identical weather.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Seed of the failure/repair renewal processes (independent of the
     /// workload seed).

@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod fault;
+pub mod invariant;
 pub mod metrics;
 pub mod record;
 pub mod runner;
@@ -33,12 +35,17 @@ pub mod samples;
 pub mod timeline;
 pub mod trace;
 
+pub use budget::{BudgetExceeded, BudgetKind, RunBudget};
 pub use fault::{Degradation, FaultConfig};
+pub use invariant::{
+    check_run, simulate_checked, simulate_checked_guarded, simulate_checked_with, CheckedRun,
+    Violation,
+};
 pub use metrics::RunMetrics;
 pub use record::JobRecord;
 pub use runner::{
     simulate, simulate_counted, simulate_faulty, simulate_faulty_counted, simulate_faulty_with,
-    simulate_with, RunConfig, RunResult,
+    simulate_guarded, simulate_guarded_with, simulate_with, RunConfig, RunResult,
 };
 pub use timeline::{TimePoint, Timeline};
 pub use trace::{simulate_traced, simulate_traced_faulty, simulate_traced_with, RunTrace};
