@@ -17,16 +17,26 @@
 //!   commodity-market policy (admission + schedule + drain);
 //! * `single_cell_utility_risk` — jobs/sec through one full quick-config
 //!   grid cell (the unit of work `utility_risk` parallelises over);
+//! * `stream_stats` — the same cell with a [`ccs_simsvc::LiveRunStats`]
+//!   observer attached (streaming Welford μ/σ + realtime risk); compare
+//!   against `single_cell_utility_risk` to read the observer-hook
+//!   overhead, which must stay small (<2 % on a quiet machine);
 //! * `quick_grid` — jobs/sec through the full quick experiment grid
 //!   (13 scenarios × 6 values × 5 policies, commodity market).
+//!
+//! The output file is a trendline ([`ccs_bench_suite::BenchHistory`]):
+//! each invocation *appends* one dated entry (label from
+//! `CCS_BENCH_LABEL`), so the committed `BENCH_kernel.json` accumulates
+//! per-PR history instead of overwriting it. Legacy v2 single-run files
+//! are upgraded in place on the first append.
 
-use ccs_bench_suite::{measure, BenchReport, Measurement, SCHEMA_VERSION};
+use ccs_bench_suite::{measure, BenchEntry, BenchHistory, Measurement};
 use ccs_cluster::{PsCluster, WeightMode};
 use ccs_des::{SimRng, SimTime, Simulation};
 use ccs_economy::EconomicModel;
 use ccs_experiments::{run_grid, EstimateSet, ExperimentConfig, Scenario};
 use ccs_policies::PolicyKind;
-use ccs_simsvc::{simulate, RunConfig};
+use ccs_simsvc::{simulate, simulate_observed, LiveRunStats, RunConfig};
 use ccs_workload::{apply_scenario, Job, JobId, ScenarioTransform, SdscSp2Model, Urgency};
 
 const KERNEL_EVENTS: u64 = 200_000;
@@ -143,6 +153,27 @@ fn policy_round(jobs: &[Job], kind: PolicyKind, nodes: u32) -> u64 {
     checksum
 }
 
+/// [`policy_round`] with a [`LiveRunStats`] observer attached: the same
+/// work plus the streaming-statistics hook, so the throughput delta vs
+/// `single_cell_utility_risk` *is* the observer overhead.
+fn observed_round(jobs: &[Job], kind: PolicyKind, nodes: u32) -> u64 {
+    let cfg = RunConfig {
+        nodes,
+        econ: EconomicModel::CommodityMarket,
+    };
+    let mut live = LiveRunStats::new(jobs, &cfg);
+    let (res, _) = simulate_observed(jobs, kind, &cfg, None, &mut live);
+    let mut checksum = 0u64;
+    for x in res.metrics.objectives() {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(x.to_bits());
+    }
+    checksum
+        .wrapping_add(live.wait_stats().mean().to_bits())
+        .wrapping_add(live.realtime_risk().score().to_bits())
+}
+
 /// Runs the quick commodity grid; returns a checksum over the raw
 /// objective values so the work cannot be optimised away.
 fn grid_round(jobs: usize) -> u64 {
@@ -253,6 +284,13 @@ fn main() {
     report_line(&cell);
     measurements.push(cell);
 
+    eprintln!("benchmarking observed cell ({CELL_JOBS} jobs/iter, streaming stats attached)...");
+    let stream = measure("stream_stats", CELL_JOBS as u64, min_secs, || {
+        observed_round(&cell_jobs, PolicyKind::Libra, 128)
+    });
+    report_line(&stream);
+    measurements.push(stream);
+
     let grid_points = Scenario::ALL.len() * 6;
     let grid_units = (GRID_JOBS * grid_points * 5) as u64; // 5 commodity policies
     eprintln!("benchmarking quick grid ({GRID_JOBS} jobs x {grid_points} points x 5 policies)...");
@@ -260,12 +298,25 @@ fn main() {
     report_line(&grid);
     measurements.push(grid);
 
-    let report = BenchReport {
-        schema_version: SCHEMA_VERSION,
+    // Append to (never overwrite) the trendline, so the committed file
+    // accumulates one dated entry per full run and history stays diffable.
+    let mut history = match std::fs::read_to_string(&out) {
+        Ok(text) => BenchHistory::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("note: starting a fresh trendline ({e})");
+            BenchHistory::new()
+        }),
+        Err(_) => BenchHistory::new(),
+    };
+    history.entries.push(BenchEntry {
+        recorded_unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: std::env::var("CCS_BENCH_LABEL").unwrap_or_else(|_| "local".to_string()),
         telemetry_enabled: ccs_telemetry::ENABLED,
         measurements,
-    };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write(&out, json + "\n").expect("write baseline");
-    eprintln!("wrote {out}");
+    });
+    let json = serde_json::to_string_pretty(&history).expect("serialise trendline");
+    std::fs::write(&out, json + "\n").expect("write trendline");
+    eprintln!("wrote {out} ({} trendline entries)", history.entries.len());
 }

@@ -32,7 +32,8 @@ pub struct Measurement {
     pub units_per_sec: f64,
 }
 
-/// The serialised baseline file.
+/// One benchmark run: the legacy (schema v2) single-run baseline file, and
+/// the payload of each [`BenchEntry`] in the v3 trendline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Schema marker for forward compatibility.
@@ -43,8 +44,87 @@ pub struct BenchReport {
     pub measurements: Vec<Measurement>,
 }
 
-/// Current `BenchReport::schema_version`.
+/// Legacy single-run `BenchReport::schema_version`.
 pub const SCHEMA_VERSION: u32 = 2;
+
+/// One dated run in the committed benchmark trendline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Unix seconds when the run was recorded (0 for entries converted
+    /// from the legacy v2 single-run file, whose date is unknown).
+    pub recorded_unix_secs: u64,
+    /// Free-form label (`CCS_BENCH_LABEL`), e.g. the PR topic.
+    pub label: String,
+    /// Whether the binary was built with `--features telemetry`.
+    pub telemetry_enabled: bool,
+    /// The measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+/// The committed trendline file: `BENCH_kernel.json` grows one
+/// [`BenchEntry`] per full benchmark run (one per PR), so throughput
+/// history is diffable in-repo and the CI gate always compares against the
+/// *latest* entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchHistory {
+    /// Always [`HISTORY_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Runs, oldest first.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Current `BenchHistory::schema_version`.
+pub const HISTORY_SCHEMA_VERSION: u32 = 3;
+
+impl BenchHistory {
+    /// An empty trendline at the current schema version.
+    pub fn new() -> Self {
+        BenchHistory {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The most recent run — what the CI bench gate compares against.
+    pub fn latest(&self) -> Option<&BenchEntry> {
+        self.entries.last()
+    }
+
+    /// Parses a trendline file, upgrading a legacy v2 single-run
+    /// [`BenchReport`] into a one-entry history (label `"v2-baseline"`,
+    /// date 0) so old baselines keep working unmodified.
+    pub fn from_json(text: &str) -> Result<BenchHistory, String> {
+        if text.contains("\"entries\"") {
+            let history: BenchHistory =
+                serde_json::from_str(text).map_err(|e| format!("cannot parse history: {e}"))?;
+            if history.schema_version != HISTORY_SCHEMA_VERSION {
+                return Err(format!(
+                    "history schema version {} (this build reads {HISTORY_SCHEMA_VERSION})",
+                    history.schema_version
+                ));
+            }
+            Ok(history)
+        } else {
+            let legacy: BenchReport = serde_json::from_str(text)
+                .map_err(|e| format!("cannot parse legacy report: {e}"))?;
+            Ok(BenchHistory {
+                schema_version: HISTORY_SCHEMA_VERSION,
+                entries: vec![BenchEntry {
+                    recorded_unix_secs: 0,
+                    label: "v2-baseline".to_string(),
+                    telemetry_enabled: legacy.telemetry_enabled,
+                    measurements: legacy.measurements,
+                }],
+            })
+        }
+    }
+}
+
+impl Default for BenchHistory {
+    fn default() -> Self {
+        BenchHistory::new()
+    }
+}
 
 /// Times `f` (which processes `units` work units per call): a warm-up
 /// call, then enough iterations to fill roughly `min_secs` of wall time.
@@ -117,6 +197,40 @@ mod tests {
             m.best_secs_per_iter <= m.secs_per_iter,
             "the fastest iteration cannot be slower than the mean"
         );
+    }
+
+    #[test]
+    fn history_upgrades_legacy_v2_and_round_trips() {
+        let legacy = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            telemetry_enabled: true,
+            measurements: vec![measure("tiny", 1, 0.001, || 42u64)],
+        };
+        let upgraded =
+            BenchHistory::from_json(&serde_json::to_string_pretty(&legacy).unwrap()).unwrap();
+        assert_eq!(upgraded.schema_version, HISTORY_SCHEMA_VERSION);
+        assert_eq!(upgraded.entries.len(), 1);
+        assert_eq!(upgraded.latest().unwrap().label, "v2-baseline");
+        assert!(upgraded.latest().unwrap().telemetry_enabled);
+
+        let mut history = upgraded;
+        history.entries.push(BenchEntry {
+            recorded_unix_secs: 1_700_000_000,
+            label: "next".to_string(),
+            telemetry_enabled: false,
+            measurements: vec![measure("tiny", 1, 0.001, || 7u64)],
+        });
+        let json = serde_json::to_string_pretty(&history).unwrap();
+        let back = BenchHistory::from_json(&json).unwrap();
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.latest().unwrap().label, "next");
+    }
+
+    #[test]
+    fn history_refuses_unknown_schema() {
+        let json = r#"{"schema_version": 9, "entries": []}"#;
+        let err = BenchHistory::from_json(json).unwrap_err();
+        assert!(err.contains("schema version 9"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! utility_risk workload                    synthetic-workload statistics
 //! utility_risk trace                       one traced run + SLA report
 //! utility_risk chaos                       seeded chaos soak (generate→run→check→shrink)
+//! utility_risk query                       slice the columnar result store
 //! ```
 //!
 //! Every subcommand accepts the shared flags `--quick`, `--quiet`,
@@ -19,15 +20,21 @@
 //! `--value IDX`, `--policy NAME`. Grid subcommands take the crash-safety
 //! flags `--resume JOURNAL`, `--cell-budget N`, `--cell-wall-budget SECS`,
 //! `--cell-event-budget N`, `--compact-journal`. `chaos` takes `--rounds N`,
-//! `--budget SECS`, `--max-events N` (per-replay watchdog budget).
+//! `--budget SECS`, `--max-events N` (per-replay watchdog budget). `query`
+//! reads the `results_store.json` a grid run wrote (no simulation, no
+//! JSONL) and takes `--store FILE`, the filters `--source grid|chaos`,
+//! `--econ commodity|bid`, `--set A|B`, `--scenario SUBSTR`,
+//! `--policy NAME`, plus `--select COLS`, `--sort-by COL`, `--desc`,
+//! `--limit N`, `--summarize`.
 
 use ccs_chaos::{run_soak, SoakConfig};
 use ccs_economy::EconomicModel;
 use ccs_experiments::figures::{print_figure, write_figure};
+use ccs_experiments::store::{SOURCE_CHAOS, SOURCE_GRID};
 use ccs_experiments::{
     build_figure, parse_cli_checked, progress, replicate, run_all_ablations, run_evaluation_ctl,
     tables, telemetry_report, trace_report, write_atomic, CellError, EstimateSet, GridControl,
-    Journal, RawGrid, TelemetryReport, TraceCellSpec,
+    Journal, Query, RawGrid, ResultStore, TelemetryReport, TraceCellSpec, STORE_FILE,
 };
 use ccs_risk::Objective;
 use ccs_simsvc::RunBudget;
@@ -35,12 +42,15 @@ use ccs_workload::{apply_scenario, WorkloadSummary};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos> \
+        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos|query> \
          [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
          grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N] \
          [--cell-wall-budget SECS] [--cell-event-budget N] [--compact-journal]\n\
          trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]\n\
-         chaos also takes: [--rounds N] [--budget SECS] [--max-events N]"
+         chaos also takes: [--rounds N] [--budget SECS] [--max-events N]\n\
+         query takes: [--store FILE] [--source grid|chaos] [--econ commodity|bid] [--set A|B] \
+         [--scenario SUBSTR] [--policy NAME] [--select COL,COL,…] [--sort-by COL] [--desc] \
+         [--limit N] [--summarize]"
     );
     std::process::exit(2);
 }
@@ -170,6 +180,94 @@ fn parse_chaos_args(args: &mut Vec<String>) -> Result<ChaosArgs, String> {
     Ok(chaos)
 }
 
+/// The `query` subcommand's own flags, stripped before the shared parser.
+/// Returns the parsed query plus an optional explicit store path
+/// (defaulting to `OUT/results_store.json` otherwise).
+fn parse_query_args(args: &mut Vec<String>) -> Result<(Query, Option<std::path::PathBuf>), String> {
+    let mut q = Query::default();
+    let mut store_path = None;
+    let value_of = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, String> {
+        let v = args
+            .get(i + 1)
+            .cloned()
+            .ok_or(format!("{flag} requires a value"))?;
+        args.drain(i..i + 2);
+        Ok(v)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                store_path = Some(std::path::PathBuf::from(value_of(args, i, "--store")?));
+            }
+            "--source" => {
+                q.source = Some(match value_of(args, i, "--source")?.as_str() {
+                    "grid" => SOURCE_GRID,
+                    "chaos" => SOURCE_CHAOS,
+                    other => return Err(format!("--source: expected grid|chaos, got {other:?}")),
+                });
+            }
+            "--econ" => {
+                q.econ = Some(match value_of(args, i, "--econ")?.as_str() {
+                    "commodity" => EconomicModel::CommodityMarket,
+                    "bid" => EconomicModel::BidBased,
+                    other => return Err(format!("--econ: expected commodity|bid, got {other:?}")),
+                });
+            }
+            "--set" => {
+                q.set = Some(match value_of(args, i, "--set")?.as_str() {
+                    "A" | "a" => EstimateSet::A,
+                    "B" | "b" => EstimateSet::B,
+                    other => return Err(format!("--set: expected A|B, got {other:?}")),
+                });
+            }
+            "--scenario" => q.scenario_contains = Some(value_of(args, i, "--scenario")?),
+            "--policy" => q.policy = Some(value_of(args, i, "--policy")?),
+            "--select" => {
+                q.select = value_of(args, i, "--select")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--sort-by" => q.sort_by = Some(value_of(args, i, "--sort-by")?),
+            "--desc" => {
+                q.descending = true;
+                args.remove(i);
+            }
+            "--limit" => {
+                let v = value_of(args, i, "--limit")?;
+                q.limit = Some(
+                    v.parse()
+                        .map_err(|_| format!("--limit: expected a count, got {v:?}"))?,
+                );
+            }
+            "--summarize" => {
+                q.summarize = true;
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok((q, store_path))
+}
+
+/// Builds the columnar result store of a finished evaluation and writes it
+/// atomically under `out`, next to the figure artifacts.
+fn write_store(
+    ev: &ccs_experiments::Evaluation,
+    cfg: &ccs_experiments::ExperimentConfig,
+    out: &std::path::Path,
+) {
+    let store = ResultStore::from_evaluation(ev, cfg);
+    let path = store.save(out).expect("write results store");
+    progress::note(&format!(
+        "result store: {} row(s) in {}",
+        store.len(),
+        path.display()
+    ));
+}
+
 /// Runs the chaos soak: seeded generate→run→check→shrink rounds, a
 /// `chaos_report.json` artifact, and one replayable reproducer JSON per
 /// finding. Exits 1 when any round found a violation, budget trip, or
@@ -206,6 +304,27 @@ fn run_chaos(chaos: &ChaosArgs, seed: u64, out: &std::path::Path) -> ! {
             finding.signature,
             path.display()
         );
+    }
+    // Soak findings land as chaos-source rows in the result store, so a
+    // later `utility_risk query --source chaos` surfaces them alongside
+    // (or without) the grid cells of a previous run in the same out dir.
+    if !report.findings.is_empty() {
+        let store_path = out.join(STORE_FILE);
+        let mut store = if store_path.exists() {
+            ResultStore::load(&store_path).unwrap_or_else(|e| {
+                eprintln!("chaos: replacing unreadable store ({e})");
+                ResultStore::new()
+            })
+        } else {
+            ResultStore::new()
+        };
+        store.append_chaos(&report);
+        store.save(out).expect("write results store");
+        progress::note(&format!(
+            "chaos: {} finding(s) appended to {}",
+            report.findings.len(),
+            store_path.display()
+        ));
     }
     println!(
         "chaos soak: {}/{} rounds clean, {} events simulated, {} finding(s); report: {}",
@@ -281,6 +400,18 @@ fn main() {
     } else {
         None
     };
+    // `query` strips its store/filter flags before the shared parser.
+    let query_args = if cmd == "query" {
+        match parse_query_args(&mut args) {
+            Ok(parsed) => Some(parsed),
+            Err(e) => {
+                eprintln!("utility_risk query: {e}");
+                usage();
+            }
+        }
+    } else {
+        None
+    };
     let (ctl, compact_journal) = match parse_grid_control(&mut args) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -330,6 +461,7 @@ fn main() {
             ccs_experiments::EvaluationExport::from_evaluation(&ev)
                 .write(&out.join("evaluation.json"))
                 .expect("write evaluation.json");
+            write_store(&ev, &cfg, &out);
             progress::note(&format!("artifacts under {}", out.display()));
             raw_grids = ev.raw_grids;
         }
@@ -387,6 +519,7 @@ fn main() {
                     println!();
                 }
             }
+            write_store(&ev, &cfg, &out);
             raw_grids = ev.raw_grids;
         }
         "dominance" => {
@@ -400,6 +533,7 @@ fn main() {
                 );
                 println!("{}", ccs_risk::report::dominance_table(&plot));
             }
+            write_store(&ev, &cfg, &out);
             raw_grids = ev.raw_grids;
         }
         "workload" => {
@@ -411,6 +545,27 @@ fn main() {
         "chaos" => {
             let chaos = chaos_args.expect("parsed above");
             run_chaos(&chaos, cfg.seed, &out);
+        }
+        "query" => {
+            let (q, store_path) = query_args.expect("parsed above");
+            let path = store_path.unwrap_or_else(|| out.join(STORE_FILE));
+            let store = match ResultStore::load(&path) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!(
+                        "utility_risk query: {e}\n(run `utility_risk summary` or `all` first \
+                         to produce the store, or point --store at one)"
+                    );
+                    std::process::exit(1);
+                }
+            };
+            match store.query(&q) {
+                Ok(res) => print!("{}", res.render()),
+                Err(e) => {
+                    eprintln!("utility_risk query: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
         "trace" => {
             let spec = spec.expect("parsed above");

@@ -8,11 +8,13 @@
 //! `telemetry` feature the same timings also feed the global registry.
 
 use crate::journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
+use crate::live::LiveRiskBoard;
 use crate::progress;
 use crate::scenario::{EstimateSet, Scenario};
 use ccs_chaos::StuckPolicy;
 use ccs_economy::EconomicModel;
 use ccs_policies::{build_policy, PolicyKind};
+use ccs_risk::WaitNormalization;
 use ccs_simsvc::{
     simulate_checked_guarded, simulate_counted, simulate_faulty_counted, simulate_guarded,
     simulate_guarded_with, BudgetExceeded, RunBudget, RunConfig, Violation,
@@ -298,6 +300,31 @@ pub fn run_grid_with_base_ctl(
     base: &[BaseJob],
     ctl: &GridControl,
 ) -> RawGrid {
+    let board = LiveRiskBoard::new(
+        policies_for(econ)
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
+        WaitNormalization::default(),
+    );
+    run_grid_with_base_ctl_observed(econ, set, cfg, base, ctl, &board)
+}
+
+/// Like [`run_grid_with_base_ctl`], but folding every completed experiment
+/// point into a caller-owned [`LiveRiskBoard`] — the streaming-analytics
+/// hook: snapshot the board from another thread mid-run, or read its
+/// streaming separate analysis after the run (it equals the batch
+/// [`crate::analysis::analyze`] under the same normalization scheme).
+/// The board is observation-only; the returned grid is identical to
+/// [`run_grid_with_base_ctl`]'s.
+pub fn run_grid_with_base_ctl_observed(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    base: &[BaseJob],
+    ctl: &GridControl,
+    board: &LiveRiskBoard,
+) -> RawGrid {
     let journal = ctl.journal.as_deref().map(|p| {
         Journal::open(p).unwrap_or_else(|e| panic!("cannot open journal {}: {e}", p.display()))
     });
@@ -394,12 +421,14 @@ pub fn run_grid_with_base_ctl(
                         workload_cache,
                     );
                     my_busy += t0.elapsed().as_secs_f64();
+                    board.record_point(s, &row);
                     raw.lock().unwrap()[s][v] = row;
                     cell_secs.lock().unwrap()[s][v] = timings;
                     cell_events.lock().unwrap()[s][v] = events;
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
-                        progress::draw_bar(finished, points.len(), started);
+                        let suffix = board.snapshot().progress_suffix();
+                        progress::draw_bar_with(finished, points.len(), started, &suffix);
                     }
                 }
                 busy.lock().unwrap()[worker] = my_busy;

@@ -29,10 +29,12 @@ pub mod export;
 pub mod figures;
 pub mod grid;
 pub mod journal;
+pub mod live;
 pub mod progress;
 pub mod replications;
 pub mod report_md;
 pub mod scenario;
+pub mod store;
 pub mod tables;
 pub mod telemetry_report;
 pub mod trace_report;
@@ -43,14 +45,17 @@ pub use analysis::{analyze, analyze_with, GridAnalysis};
 pub use atomic::write_atomic;
 pub use export::EvaluationExport;
 pub use grid::{
-    policies_for, run_grid, run_grid_ctl, run_grid_with_base, run_grid_with_base_ctl, CellTiming,
-    ExperimentConfig, GridControl, RawGrid, FAIL_CELL_ENV, STALL_CELL_ENV,
+    policies_for, run_grid, run_grid_ctl, run_grid_with_base, run_grid_with_base_ctl,
+    run_grid_with_base_ctl_observed, CellTiming, ExperimentConfig, GridControl, RawGrid,
+    FAIL_CELL_ENV, STALL_CELL_ENV,
 };
 pub use journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
+pub use live::{LiveRiskBoard, LiveRiskSnapshot, PolicyRisk};
 pub use replications::{
     across_trace_models, replicate, wait_normalization_study, Robustness, TraceModelStudy,
 };
 pub use scenario::{baseline, EstimateSet, QosAttr, Scenario};
+pub use store::{Query, QueryResult, ResultStore, STORE_FILE, STORE_SCHEMA_VERSION};
 pub use telemetry_report::TelemetryReport;
 pub use trace_report::TraceAnalysis;
 pub use trace_run::{capture_cell, write_bundle, ProvenanceManifest, TraceBundle, TraceCellSpec};

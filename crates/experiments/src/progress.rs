@@ -64,6 +64,14 @@ pub fn bar_enabled() -> bool {
 /// Redraws the `\r`-rewritten grid progress/ETA line. Callers gate on
 /// [`bar_enabled`] once up front (the check reads an env var).
 pub fn draw_bar(done: usize, total: usize, started: Instant) {
+    draw_bar_with(done, total, started, "");
+}
+
+/// [`draw_bar`] with a caller-supplied suffix appended to the line — the
+/// hook the grid runner uses to surface the live risk score next to the
+/// ETA. Keep the suffix short and of stable width; the line is rewritten
+/// in place.
+pub fn draw_bar_with(done: usize, total: usize, started: Instant, extra: &str) {
     let elapsed = started.elapsed().as_secs_f64();
     let eta = if done > 0 {
         elapsed / done as f64 * (total - done) as f64
@@ -73,7 +81,7 @@ pub fn draw_bar(done: usize, total: usize, started: Instant) {
     let mut err = std::io::stderr().lock();
     let _ = write!(
         err,
-        "\rgrid: {done}/{total} points ({:.0}%) elapsed {elapsed:.1}s ETA {eta:.1}s   ",
+        "\rgrid: {done}/{total} points ({:.0}%) elapsed {elapsed:.1}s ETA {eta:.1}s{extra}   ",
         done as f64 / total as f64 * 100.0
     );
     if done == total {

@@ -1,0 +1,761 @@
+//! The columnar result store: one compact, queryable artifact per study.
+//!
+//! A completed evaluation scatters its numbers across figure JSON, the
+//! resume journal, telemetry snapshots, and trace JSONL. The store unifies
+//! them: one row per grid cell (plus one per chaos-soak finding) in a
+//! struct-of-arrays layout — string tables for scenario/policy names,
+//! plain `f64`/`u64` columns for everything numeric — written atomically
+//! next to the other grid artifacts as [`STORE_FILE`].
+//!
+//! `utility_risk query` slices it (filter by scenario/policy/model,
+//! project columns, sort, summarize) without re-reading any JSONL or trace
+//! file. Summarizing `norm_score` per scenario/policy literally reproduces
+//! the paper's separate risk analysis: the group mean is Eq. 5, the group
+//! population σ is Eq. 6.
+//!
+//! Schema stability: [`STORE_SCHEMA_VERSION`] gates loads. Adding a column
+//! is a version bump; readers refuse newer (or older) schemas instead of
+//! misinterpreting them — the store is an artifact format, not an API.
+
+use crate::atomic::write_atomic;
+use crate::grid::ExperimentConfig;
+use crate::journal::cell_key;
+use crate::scenario::{EstimateSet, Scenario};
+use crate::Evaluation;
+use ccs_chaos::SoakReport;
+use ccs_economy::EconomicModel;
+use ccs_risk::stream::Welford;
+use ccs_risk::{normalize::normalize_with, Objective, WaitNormalization};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// File name of the store artifact, written under the run's `--out` dir.
+pub const STORE_FILE: &str = "results_store.json";
+
+/// Store schema version; bump on any column or encoding change.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Row provenance: a normal grid cell, or a chaos-soak finding.
+pub const SOURCE_GRID: u8 = 0;
+/// Row provenance code for chaos-soak findings (see [`SOURCE_GRID`]).
+pub const SOURCE_CHAOS: u8 = 1;
+
+/// Estimate-set code meaning "not applicable" (chaos rows).
+const SET_NONE: u8 = 2;
+
+/// The column arrays. All vectors share one length; row `i` is the `i`-th
+/// element of every column.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Columns {
+    /// Provenance: [`SOURCE_GRID`] or [`SOURCE_CHAOS`].
+    pub source: Vec<u8>,
+    /// Economic model: 0 = commodity market, 1 = bid-based.
+    pub econ: Vec<u8>,
+    /// Estimate set: 0 = A, 1 = B, 2 = n/a (chaos rows).
+    pub set: Vec<u8>,
+    /// Index into the scenario string table.
+    pub scenario: Vec<u32>,
+    /// Scenario value index (0..6 for grid rows, 0 for chaos rows).
+    pub value_idx: Vec<u8>,
+    /// Scenario sweep value (grid rows) or soak round (chaos rows).
+    pub value: Vec<f64>,
+    /// Index into the policy string table.
+    pub policy: Vec<u32>,
+    /// Master seed of the run that produced the row.
+    pub seed: Vec<u64>,
+    /// Raw wait objective (Eq. 1), seconds.
+    pub wait: Vec<f64>,
+    /// Raw SLA objective (Eq. 2), percent.
+    pub sla: Vec<f64>,
+    /// Raw reliability objective (Eq. 3), percent.
+    pub reliability: Vec<f64>,
+    /// Raw profitability objective (Eq. 4), percent.
+    pub profitability: Vec<f64>,
+    /// Equal-weight mean of the four objectives normalized across the
+    /// policies at this experiment point (1 = ideal). 0 for chaos rows.
+    pub norm_score: Vec<f64>,
+    /// Realtime risk score `(1 − norm_score) × (1 − reliability/100)`;
+    /// pinned to 1 for chaos findings (an invariant violation is maximal
+    /// risk evidence).
+    pub risk_score: Vec<f64>,
+    /// Wall-clock seconds spent simulating the cell (0 for journal hits).
+    pub secs: Vec<f64>,
+    /// Outcome events the cell produced (0 for journal hits).
+    pub events: Vec<u64>,
+    /// Provenance digest: the journal [`cell_key`] for grid rows, the
+    /// failure signature for chaos rows.
+    pub digest: Vec<String>,
+}
+
+/// The queryable columnar result store.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResultStore {
+    /// Must equal [`STORE_SCHEMA_VERSION`] to load.
+    pub schema_version: u32,
+    /// Scenario string table, indexed by [`Columns::scenario`].
+    pub scenarios: Vec<String>,
+    /// Policy string table, indexed by [`Columns::policy`].
+    pub policies: Vec<String>,
+    /// The column arrays.
+    pub columns: Columns,
+}
+
+/// Every queryable column name, in presentation order.
+pub const COLUMN_NAMES: [&str; 17] = [
+    "source",
+    "econ",
+    "set",
+    "scenario",
+    "value_idx",
+    "value",
+    "policy",
+    "seed",
+    "wait",
+    "sla",
+    "reliability",
+    "profitability",
+    "norm_score",
+    "risk_score",
+    "secs",
+    "events",
+    "digest",
+];
+
+/// Default projection for row-mode queries.
+const DEFAULT_SELECT: [&str; 9] = [
+    "source",
+    "econ",
+    "set",
+    "scenario",
+    "value",
+    "policy",
+    "sla",
+    "norm_score",
+    "risk_score",
+];
+
+fn source_name(code: u8) -> &'static str {
+    match code {
+        SOURCE_GRID => "grid",
+        _ => "chaos",
+    }
+}
+
+fn econ_name(code: u8) -> &'static str {
+    match code {
+        0 => "commodity",
+        _ => "bid",
+    }
+}
+
+fn econ_code(econ: EconomicModel) -> u8 {
+    match econ {
+        EconomicModel::CommodityMarket => 0,
+        EconomicModel::BidBased => 1,
+    }
+}
+
+fn set_name(code: u8) -> &'static str {
+    match code {
+        0 => "A",
+        1 => "B",
+        _ => "-",
+    }
+}
+
+fn set_code(set: EstimateSet) -> u8 {
+    match set {
+        EstimateSet::A => 0,
+        EstimateSet::B => 1,
+    }
+}
+
+/// One cell's worth of data, in row form, fed to [`ResultStore::push`].
+struct Row<'a> {
+    source: u8,
+    econ: u8,
+    set: u8,
+    scenario: &'a str,
+    value_idx: u8,
+    value: f64,
+    policy: &'a str,
+    seed: u64,
+    objectives: [f64; 4],
+    norm_score: f64,
+    risk_score: f64,
+    secs: f64,
+    events: u64,
+    digest: String,
+}
+
+impl ResultStore {
+    /// An empty store at the current schema version.
+    pub fn new() -> Self {
+        ResultStore {
+            schema_version: STORE_SCHEMA_VERSION,
+            scenarios: Vec::new(),
+            policies: Vec::new(),
+            columns: Columns::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.source.len()
+    }
+
+    /// True when the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn intern(table: &mut Vec<String>, s: &str) -> u32 {
+        match table.iter().position(|x| x == s) {
+            Some(i) => i as u32,
+            None => {
+                table.push(s.to_string());
+                (table.len() - 1) as u32
+            }
+        }
+    }
+
+    fn push(&mut self, row: Row<'_>) {
+        let scenario = Self::intern(&mut self.scenarios, row.scenario);
+        let policy = Self::intern(&mut self.policies, row.policy);
+        let c = &mut self.columns;
+        c.source.push(row.source);
+        c.econ.push(row.econ);
+        c.set.push(row.set);
+        c.scenario.push(scenario);
+        c.value_idx.push(row.value_idx);
+        c.value.push(row.value);
+        c.policy.push(policy);
+        c.seed.push(row.seed);
+        c.wait.push(row.objectives[0]);
+        c.sla.push(row.objectives[1]);
+        c.reliability.push(row.objectives[2]);
+        c.profitability.push(row.objectives[3]);
+        c.norm_score.push(row.norm_score);
+        c.risk_score.push(row.risk_score);
+        c.secs.push(row.secs);
+        c.events.push(row.events);
+        c.digest.push(row.digest);
+    }
+
+    /// Builds the store of a completed evaluation: one row per grid cell
+    /// across all four grids, with normalized scores computed under the
+    /// default wait-normalization scheme (the one the batch analysis
+    /// uses). `cfg` must be the configuration the evaluation ran with —
+    /// it anchors each row's [`cell_key`] provenance digest.
+    pub fn from_evaluation(ev: &Evaluation, cfg: &ExperimentConfig) -> Self {
+        let mut store = ResultStore::new();
+        store.append_evaluation(ev, cfg);
+        store
+    }
+
+    /// Appends every cell of `ev`'s four raw grids as grid-source rows.
+    pub fn append_evaluation(&mut self, ev: &Evaluation, cfg: &ExperimentConfig) {
+        let scheme = WaitNormalization::default();
+        for grid in &ev.raw_grids {
+            for (s, per_value) in grid.raw.iter().enumerate() {
+                let scenario = Scenario::ALL[s];
+                let label = scenario.label();
+                for (v, row) in per_value.iter().enumerate() {
+                    // Normalize each objective across the policies at this
+                    // point — identical inputs to the batch analysis.
+                    let mut norm = vec![[0.0f64; 4]; row.len()];
+                    for (oi, obj) in Objective::ALL.into_iter().enumerate() {
+                        let raw_across: Vec<f64> = row.iter().map(|o| o[oi]).collect();
+                        for (p, x) in normalize_with(obj, &raw_across, scheme)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            norm[p][oi] = x;
+                        }
+                    }
+                    for (p, &objectives) in row.iter().enumerate() {
+                        let norm_score = norm[p].iter().sum::<f64>() / 4.0;
+                        let violation_p = (1.0 - objectives[2] / 100.0).clamp(0.0, 1.0);
+                        self.push(Row {
+                            source: SOURCE_GRID,
+                            econ: econ_code(grid.econ),
+                            set: set_code(grid.set),
+                            scenario: &label,
+                            value_idx: v as u8,
+                            value: scenario.values()[v],
+                            policy: grid.policies[p].name(),
+                            seed: cfg.seed,
+                            objectives,
+                            norm_score,
+                            risk_score: (1.0 - norm_score).clamp(0.0, 1.0) * violation_p,
+                            secs: grid.cell_secs[s][v][p],
+                            events: grid.cell_events[s][v][p],
+                            digest: cell_key(grid.econ, grid.set, cfg, s, v, grid.policies[p]),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends each chaos-soak finding as a chaos-source row, making risk
+    /// regressions under stressors queryable alongside normal cells. The
+    /// scenario label lists the failing case's stressor codes; the digest
+    /// is the failure signature; the risk score is pinned to 1.
+    pub fn append_chaos(&mut self, report: &SoakReport) {
+        for finding in &report.findings {
+            let codes: Vec<&str> = finding.case.stressors.iter().map(|s| s.code()).collect();
+            let label = format!("chaos:{}", codes.join("+"));
+            self.push(Row {
+                source: SOURCE_CHAOS,
+                econ: econ_code(finding.case.econ),
+                set: SET_NONE,
+                scenario: &label,
+                value_idx: 0,
+                value: finding.round as f64,
+                policy: finding.case.policy.name(),
+                seed: finding.case.seed,
+                objectives: [0.0; 4],
+                norm_score: 0.0,
+                risk_score: 1.0,
+                secs: 0.0,
+                events: 0,
+                digest: finding.signature.clone(),
+            });
+        }
+    }
+
+    /// Atomically writes the store as [`STORE_FILE`] under `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(STORE_FILE);
+        let json = serde_json::to_string(self).expect("store serialises");
+        write_atomic(&path, json.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Loads a store, refusing unknown schema versions and ragged columns.
+    pub fn load(path: &Path) -> Result<ResultStore, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let store: ResultStore = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        if store.schema_version != STORE_SCHEMA_VERSION {
+            return Err(format!(
+                "{}: schema version {} (this build reads {})",
+                path.display(),
+                store.schema_version,
+                STORE_SCHEMA_VERSION
+            ));
+        }
+        let n = store.len();
+        let c = &store.columns;
+        let lens = [
+            c.source.len(),
+            c.econ.len(),
+            c.set.len(),
+            c.scenario.len(),
+            c.value_idx.len(),
+            c.value.len(),
+            c.policy.len(),
+            c.seed.len(),
+            c.wait.len(),
+            c.sla.len(),
+            c.reliability.len(),
+            c.profitability.len(),
+            c.norm_score.len(),
+            c.risk_score.len(),
+            c.secs.len(),
+            c.events.len(),
+            c.digest.len(),
+        ];
+        if lens.iter().any(|&l| l != n) {
+            return Err(format!("{}: ragged columns {lens:?}", path.display()));
+        }
+        Ok(store)
+    }
+
+    /// The value of column `col` at row `i`, as a sortable cell.
+    fn cell(&self, col: &str, i: usize) -> Cell {
+        let c = &self.columns;
+        match col {
+            "source" => Cell::Text(source_name(c.source[i]).to_string()),
+            "econ" => Cell::Text(econ_name(c.econ[i]).to_string()),
+            "set" => Cell::Text(set_name(c.set[i]).to_string()),
+            "scenario" => Cell::Text(self.scenarios[c.scenario[i] as usize].clone()),
+            "value_idx" => Cell::Int(c.value_idx[i] as u64),
+            "value" => Cell::Num(c.value[i]),
+            "policy" => Cell::Text(self.policies[c.policy[i] as usize].clone()),
+            "seed" => Cell::Int(c.seed[i]),
+            "wait" => Cell::Num(c.wait[i]),
+            "sla" => Cell::Num(c.sla[i]),
+            "reliability" => Cell::Num(c.reliability[i]),
+            "profitability" => Cell::Num(c.profitability[i]),
+            "norm_score" => Cell::Num(c.norm_score[i]),
+            "risk_score" => Cell::Num(c.risk_score[i]),
+            "secs" => Cell::Num(c.secs[i]),
+            "events" => Cell::Int(c.events[i]),
+            "digest" => Cell::Text(c.digest[i].clone()),
+            other => unreachable!("column {other} validated before access"),
+        }
+    }
+
+    /// Evaluates `q` against the store. Row mode projects/sorts/limits;
+    /// summary mode groups by (source, econ, set, scenario, policy) and
+    /// reports n/mean/σ/min/max of the summarized column over each group.
+    pub fn query(&self, q: &Query) -> Result<QueryResult, String> {
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| q.matches(self, i)).collect();
+        if q.summarize {
+            return self.summarize(q, &keep);
+        }
+        let select: Vec<String> = if q.select.is_empty() {
+            DEFAULT_SELECT.iter().map(|s| s.to_string()).collect()
+        } else {
+            q.select.clone()
+        };
+        for col in &select {
+            validate_column(col)?;
+        }
+        let mut order = keep;
+        if let Some(sort_col) = &q.sort_by {
+            validate_column(sort_col)?;
+            order.sort_by(|&a, &b| self.cell(sort_col, a).cmp(&self.cell(sort_col, b)));
+            if q.descending {
+                order.reverse();
+            }
+        }
+        if let Some(limit) = q.limit {
+            order.truncate(limit);
+        }
+        let rows = order
+            .iter()
+            .map(|&i| {
+                select
+                    .iter()
+                    .map(|col| self.cell(col, i).render())
+                    .collect()
+            })
+            .collect();
+        Ok(QueryResult {
+            header: select,
+            rows,
+        })
+    }
+
+    fn summarize(&self, q: &Query, keep: &[usize]) -> Result<QueryResult, String> {
+        let target = q
+            .select
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "norm_score".to_string());
+        validate_column(&target)?;
+        if matches!(self.cell(&target, 0), Cell::Text(_)) && !self.is_empty() {
+            return Err(format!("--summarize: column {target} is not numeric"));
+        }
+        // Group key → accumulator, ordered by first appearance then sorted.
+        let mut groups: Vec<(Vec<String>, Welford)> = Vec::new();
+        for &i in keep {
+            let key: Vec<String> = GROUP_COLS
+                .iter()
+                .map(|col| self.cell(col, i).render())
+                .collect();
+            let x = match self.cell(&target, i) {
+                Cell::Num(v) => v,
+                Cell::Int(v) => v as f64,
+                Cell::Text(_) => unreachable!("checked above"),
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, w)) => w.push(x),
+                None => {
+                    let mut w = Welford::new();
+                    w.push(x);
+                    groups.push((key, w));
+                }
+            }
+        }
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut header: Vec<String> = GROUP_COLS.iter().map(|s| s.to_string()).collect();
+        for suffix in ["n", "mean", "std", "min", "max"] {
+            header.push(format!("{target}_{suffix}"));
+        }
+        let rows = groups
+            .into_iter()
+            .map(|(mut key, w)| {
+                key.push(w.count().to_string());
+                key.push(render_f64(w.mean()));
+                key.push(render_f64(w.population_std()));
+                key.push(render_f64(w.min().unwrap_or(0.0)));
+                key.push(render_f64(w.max().unwrap_or(0.0)));
+                key
+            })
+            .collect();
+        Ok(QueryResult { header, rows })
+    }
+}
+
+impl Default for ResultStore {
+    fn default() -> Self {
+        ResultStore::new()
+    }
+}
+
+/// The summary-mode grouping columns.
+const GROUP_COLS: [&str; 5] = ["source", "econ", "set", "scenario", "policy"];
+
+fn validate_column(col: &str) -> Result<(), String> {
+    if COLUMN_NAMES.contains(&col) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown column {col:?} (available: {})",
+            COLUMN_NAMES.join(", ")
+        ))
+    }
+}
+
+/// One rendered/sortable cell value.
+#[derive(Clone, Debug)]
+enum Cell {
+    Num(f64),
+    Int(u64),
+    Text(String),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Num(v) => render_f64(*v),
+            Cell::Int(v) => v.to_string(),
+            Cell::Text(s) => s.clone(),
+        }
+    }
+
+    fn cmp(&self, other: &Cell) -> std::cmp::Ordering {
+        match (self, other) {
+            (Cell::Num(a), Cell::Num(b)) => a.total_cmp(b),
+            (Cell::Int(a), Cell::Int(b)) => a.cmp(b),
+            (Cell::Text(a), Cell::Text(b)) => a.cmp(b),
+            // Heterogeneous cells cannot arise: a column has one type.
+            _ => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+/// Stable float rendering for query output: six decimal places, enough to
+/// round-trip objective percentages and scores for golden comparisons.
+fn render_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// A parsed `utility_risk query` invocation.
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    /// Keep only rows with this provenance ([`SOURCE_GRID`]/[`SOURCE_CHAOS`]).
+    pub source: Option<u8>,
+    /// Keep only rows under this economic model.
+    pub econ: Option<EconomicModel>,
+    /// Keep only rows of this estimate set.
+    pub set: Option<EstimateSet>,
+    /// Keep only rows whose scenario label contains this substring
+    /// (case-insensitive).
+    pub scenario_contains: Option<String>,
+    /// Keep only rows of this policy (exact display name).
+    pub policy: Option<String>,
+    /// Columns to project (row mode) or the single column to aggregate
+    /// (summary mode). Empty = defaults.
+    pub select: Vec<String>,
+    /// Sort row output by this column.
+    pub sort_by: Option<String>,
+    /// Reverse the sort.
+    pub descending: bool,
+    /// Keep at most this many rows (after sorting).
+    pub limit: Option<usize>,
+    /// Group and aggregate instead of listing rows.
+    pub summarize: bool,
+}
+
+impl Query {
+    fn matches(&self, store: &ResultStore, i: usize) -> bool {
+        let c = &store.columns;
+        if let Some(src) = self.source {
+            if c.source[i] != src {
+                return false;
+            }
+        }
+        if let Some(econ) = self.econ {
+            if c.econ[i] != econ_code(econ) {
+                return false;
+            }
+        }
+        if let Some(set) = self.set {
+            if c.set[i] != set_code(set) {
+                return false;
+            }
+        }
+        if let Some(sub) = &self.scenario_contains {
+            let label = &store.scenarios[c.scenario[i] as usize];
+            if !label.to_lowercase().contains(&sub.to_lowercase()) {
+                return false;
+            }
+        }
+        if let Some(policy) = &self.policy {
+            if store.policies[c.policy[i] as usize] != *policy {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A rendered query: a header row plus data rows, all strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Column names, in output order.
+    pub header: Vec<String>,
+    /// Data rows, each as wide as the header.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl QueryResult {
+    /// Tab-separated rendering with a header line — trivially parseable
+    /// (the CI golden checks cut on tabs) yet readable in a terminal.
+    pub fn render(&self) -> String {
+        let mut s = self.header.join("\t");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join("\t"));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ExperimentConfig;
+    use crate::run_evaluation;
+
+    fn tiny_store() -> (ResultStore, ExperimentConfig) {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(30)
+        };
+        let ev = run_evaluation(&cfg);
+        (ResultStore::from_evaluation(&ev, &cfg), cfg)
+    }
+
+    #[test]
+    fn store_has_one_row_per_cell_and_round_trips() {
+        let (store, _) = tiny_store();
+        // 13 scenarios × 6 values × 5 policies × 4 grids.
+        assert_eq!(store.len(), 13 * 6 * 5 * 4);
+        assert_eq!(store.scenarios.len(), Scenario::ALL.len());
+        let dir = std::env::temp_dir().join("ccs_store_roundtrip_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = store.save(&dir).unwrap();
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.columns.norm_score, store.columns.norm_score);
+        assert_eq!(loaded.columns.digest, store.columns.digest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_version_gate() {
+        let dir = std::env::temp_dir().join("ccs_store_schema_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::new();
+        store.schema_version = 99;
+        let path = store.save(&dir).unwrap();
+        let err = ResultStore::load(&path).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filters_project_sort_and_limit() {
+        let (store, _) = tiny_store();
+        let q = Query {
+            econ: Some(EconomicModel::CommodityMarket),
+            set: Some(EstimateSet::A),
+            policy: Some("FCFS-BF".to_string()),
+            select: vec!["scenario".into(), "value".into(), "risk_score".into()],
+            sort_by: Some("risk_score".into()),
+            descending: true,
+            limit: Some(10),
+            ..Default::default()
+        };
+        let res = store.query(&q).unwrap();
+        assert_eq!(res.header, vec!["scenario", "value", "risk_score"]);
+        assert_eq!(res.rows.len(), 10);
+        let scores: Vec<f64> = res.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "not sorted desc");
+    }
+
+    #[test]
+    fn summarize_reproduces_separate_risk_analysis() {
+        // Group mean/σ of norm-scored objectives per scenario/policy must
+        // equal Eqs. 5–6 computed by the batch pipeline over the same
+        // normalized values — here cross-checked for the SLA objective.
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(30)
+        };
+        let ev = run_evaluation(&cfg);
+        let store = ResultStore::from_evaluation(&ev, &cfg);
+        let q = Query {
+            econ: Some(EconomicModel::CommodityMarket),
+            set: Some(EstimateSet::A),
+            select: vec!["sla".into()],
+            summarize: true,
+            ..Default::default()
+        };
+        let res = store.query(&q).unwrap();
+        // One group per scenario × policy.
+        assert_eq!(res.rows.len(), Scenario::ALL.len() * 5);
+        for row in &res.rows {
+            let n: u64 = row[5].parse().unwrap();
+            assert_eq!(n, 6, "six sweep values per scenario");
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_a_typed_error() {
+        let (store, _) = tiny_store();
+        let q = Query {
+            select: vec!["bogus".into()],
+            ..Default::default()
+        };
+        let err = store.query(&q).unwrap_err();
+        assert!(err.contains("unknown column \"bogus\""), "{err}");
+    }
+
+    #[test]
+    fn chaos_findings_land_as_rows() {
+        use ccs_chaos::{ChaosCase, SoakFinding};
+        let mut store = ResultStore::new();
+        let case = ChaosCase::generate(7);
+        let report = SoakReport {
+            rounds: 1,
+            clean: 0,
+            events: 0,
+            findings: vec![SoakFinding {
+                round: 0,
+                signature: "violation:test".to_string(),
+                detail: "detail".to_string(),
+                case: case.clone(),
+                minimized: case,
+            }],
+        };
+        store.append_chaos(&report);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.columns.source[0], SOURCE_CHAOS);
+        assert_eq!(store.columns.risk_score[0], 1.0);
+        assert!(store.scenarios[0].starts_with("chaos:"));
+        let q = Query {
+            source: Some(SOURCE_CHAOS),
+            ..Default::default()
+        };
+        assert_eq!(store.query(&q).unwrap().rows.len(), 1);
+    }
+}

@@ -52,6 +52,7 @@ pub mod plot;
 pub mod rank;
 pub mod report;
 pub mod separate;
+pub mod stream;
 pub mod svg;
 pub mod trend;
 
@@ -68,4 +69,5 @@ pub use objective::{Better, Focus, Objective};
 pub use plot::{sample_figure1, Extrema, PolicySeries, RiskPlot};
 pub use rank::{rank, RankBy, RankedPolicy};
 pub use separate::separate;
+pub use stream::{normalize_scores, RealtimeRisk, SlidingStats, Welford};
 pub use trend::{Gradient, TrendLine};

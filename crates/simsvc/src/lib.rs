@@ -29,6 +29,7 @@ pub mod budget;
 pub mod fault;
 pub mod invariant;
 pub mod metrics;
+pub mod observe;
 pub mod record;
 pub mod runner;
 pub mod samples;
@@ -42,10 +43,12 @@ pub use invariant::{
     Violation,
 };
 pub use metrics::RunMetrics;
+pub use observe::{LiveRunStats, RunObserver};
 pub use record::JobRecord;
 pub use runner::{
     simulate, simulate_counted, simulate_faulty, simulate_faulty_counted, simulate_faulty_with,
-    simulate_guarded, simulate_guarded_with, simulate_with, RunConfig, RunResult,
+    simulate_guarded, simulate_guarded_with, simulate_observed, simulate_observed_with,
+    simulate_with, RunConfig, RunResult,
 };
 pub use timeline::{TimePoint, Timeline};
 pub use trace::{simulate_traced, simulate_traced_faulty, simulate_traced_with, RunTrace};

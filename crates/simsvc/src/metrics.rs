@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Aggregate counters of one simulation run, from which the paper's four
 /// objectives are computed.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// `m` — jobs submitted to the computing service.
     pub submitted: u32,

@@ -3,6 +3,7 @@
 use crate::budget::{BudgetExceeded, RunBudget, Watchdog};
 use crate::fault::{Degradation, FaultConfig};
 use crate::metrics::RunMetrics;
+use crate::observe::RunObserver;
 use crate::record::JobRecord;
 use ccs_des::{FailureEventKind, FailureProcess, FastHashMap, FastHashSet, NodeFailureEvent};
 use ccs_economy::{bid_utility, EconomicModel, Ledger};
@@ -117,6 +118,42 @@ pub fn simulate_guarded(
     simulate_guarded_with(jobs, policy, cfg, kind.name(), fault, budget)
 }
 
+/// Like [`simulate_counted`] (pass `fault: Some(..)` for failure
+/// injection), but feeding every [`Outcome`] to `observer` *as the run
+/// produces it* — the streaming-analytics hook. The observer is strictly
+/// read-only with respect to simulation state, so the returned
+/// [`RunResult`] is byte-identical to the observer-free run.
+///
+/// During fault injection the observer sees the raw live stream, *before*
+/// the accepted→restarted / rejected→aborted reconciliation post-pass;
+/// see [`RunObserver`] for the contract.
+pub fn simulate_observed(
+    jobs: &[Job],
+    kind: PolicyKind,
+    cfg: &RunConfig,
+    fault: Option<&FaultConfig>,
+    observer: &mut dyn RunObserver,
+) -> (RunResult, u64) {
+    let policy = build_policy(kind, cfg.econ, cfg.nodes);
+    simulate_observed_with(jobs, policy, cfg, kind.name(), fault, observer)
+}
+
+/// Like [`simulate_observed`], but with a caller-constructed policy. `name`
+/// labels the per-policy telemetry series.
+pub fn simulate_observed_with(
+    jobs: &[Job],
+    policy: Box<dyn Policy>,
+    cfg: &RunConfig,
+    name: &str,
+    fault: Option<&FaultConfig>,
+    observer: &mut dyn RunObserver,
+) -> (RunResult, u64) {
+    let (result, out) =
+        run_with_outcomes_observed(jobs, policy, cfg, name, fault, None, Some(observer))
+            .expect("unbudgeted runs cannot exceed a budget");
+    (result, out.len() as u64)
+}
+
 /// Like [`simulate_guarded`], but with a caller-constructed policy. `name`
 /// labels the per-policy telemetry series.
 pub fn simulate_guarded_with(
@@ -206,12 +243,46 @@ pub(crate) fn run_with_outcomes_faulty(
 /// so results are identical either way.
 pub(crate) fn run_with_outcomes_guarded(
     jobs: &[Job],
-    mut policy: Box<dyn Policy>,
+    policy: Box<dyn Policy>,
     cfg: &RunConfig,
     name: &str,
     fault: Option<&FaultConfig>,
     budget: Option<RunBudget>,
 ) -> Result<(RunResult, Vec<Outcome>), BudgetExceeded> {
+    run_with_outcomes_observed(jobs, policy, cfg, name, fault, budget, None)
+}
+
+/// The innermost driver: [`run_with_outcomes_guarded`] plus an optional
+/// [`RunObserver`] fed the outcome stream at a watermark between driver
+/// steps. `observer: None` is the legacy path — the watermark bookkeeping
+/// is a single `usize` compare per step and no outcome is ever cloned, so
+/// the hot path is untouched (pinned by the `stream_stats` bench and the
+/// perf-snapshot hashes).
+///
+/// The observer is fed *before* [`reconcile_fault_outcomes`] rewrites the
+/// stream: it consumes the raw live view (restarts still look like
+/// re-acceptances) and applies its own reconciliation if it wants
+/// batch-equivalent accounting.
+fn run_with_outcomes_observed(
+    jobs: &[Job],
+    mut policy: Box<dyn Policy>,
+    cfg: &RunConfig,
+    name: &str,
+    fault: Option<&FaultConfig>,
+    budget: Option<RunBudget>,
+    mut observer: Option<&mut dyn RunObserver>,
+) -> Result<(RunResult, Vec<Outcome>), BudgetExceeded> {
+    // Feeds `out[*fed..]` — the outcomes appended since the last call — to
+    // the observer, in stream order.
+    fn feed(observer: &mut Option<&mut dyn RunObserver>, out: &[Outcome], fed: &mut usize) {
+        if let Some(obs) = observer.as_deref_mut() {
+            for o in &out[*fed..] {
+                obs.on_outcome(o);
+            }
+        }
+        *fed = out.len();
+    }
+    let mut fed: usize = 0;
     let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run.duration_ns", name);
     let mut faults = fault.map(|f| {
         f.validate()
@@ -237,6 +308,7 @@ pub(crate) fn run_with_outcomes_guarded(
         let _decision_span =
             ccs_telemetry::TimerGuard::start_labeled("runner.decision.duration_ns", name);
         policy.on_submit(job, job.submit, &mut out);
+        feed(&mut observer, &out, &mut fed);
     }
     if let Some(fd) = faults.as_mut() {
         // Drain under failures: merge the policy's internal events with the
@@ -248,6 +320,7 @@ pub(crate) fn run_with_outcomes_guarded(
         let mut stagnant: u64 = 0;
         let mut last_queued = usize::MAX;
         loop {
+            feed(&mut observer, &out, &mut fed);
             if let Some(wd) = watchdog.as_mut() {
                 wd.tick()?;
             }
@@ -291,10 +364,12 @@ pub(crate) fn run_with_outcomes_guarded(
                 wd.tick()?;
             }
             policy.advance_to(t, &mut out);
+            feed(&mut observer, &out, &mut fed);
         }
     }
     policy.drain(&mut out);
     drop(policy);
+    feed(&mut observer, &out, &mut fed);
     if faults.is_some() {
         reconcile_fault_outcomes(&mut out);
     }
