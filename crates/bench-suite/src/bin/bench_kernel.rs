@@ -2,6 +2,10 @@
 //!
 //! Usage: `cargo run --release -p ccs-bench-suite --bin bench_kernel [out.json]`
 //!
+//! `bench_kernel --list [file]` runs nothing: it prints the trendline as
+//! TSV (one row per entry × measurement) and exits — the quick way to eyeball
+//! throughput history or feed it to `cut`/`awk`.
+//!
 //! Setting `CCS_BENCH_QUICK=1` shrinks the per-measurement time budget
 //! (~50 ms instead of 1 s) — the smoke mode CI uses to catch gross
 //! regressions without paying for a full benchmark run.
@@ -202,8 +206,30 @@ fn report_line(m: &Measurement) {
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--list") {
+        let path = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("bench_kernel --list: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match BenchHistory::from_json(&text) {
+            Ok(history) => {
+                print!("{}", history.to_tsv());
+                return;
+            }
+            Err(e) => {
+                eprintln!("bench_kernel --list: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let out = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_kernel.json".to_string());
     let quick = std::env::var("CCS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
     let min_secs = if quick { 0.05 } else { 1.0 };
@@ -316,6 +342,15 @@ fn main() {
         telemetry_enabled: ccs_telemetry::ENABLED,
         measurements,
     });
+    // Re-runs under one label supersede the previous attempt rather than
+    // accumulating near-identical consecutive entries.
+    let dropped = history.dedupe_consecutive();
+    if dropped > 0 {
+        eprintln!(
+            "trendline: {dropped} superseded same-label entr{} dropped",
+            if dropped == 1 { "y" } else { "ies" }
+        );
+    }
     let json = serde_json::to_string_pretty(&history).expect("serialise trendline");
     std::fs::write(&out, json + "\n").expect("write trendline");
     eprintln!("wrote {out} ({} trendline entries)", history.entries.len());

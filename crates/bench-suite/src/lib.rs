@@ -76,6 +76,29 @@ pub struct BenchHistory {
 /// Current `BenchHistory::schema_version`.
 pub const HISTORY_SCHEMA_VERSION: u32 = 3;
 
+/// Why a trendline file failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The file parsed as neither a v3 history nor a legacy v2 report.
+    Parse(String),
+    /// The file declares a schema version this build does not read.
+    SchemaVersion(u32),
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryError::Parse(msg) => f.write_str(msg),
+            HistoryError::SchemaVersion(v) => write!(
+                f,
+                "history schema version {v} (this build reads {HISTORY_SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
 impl BenchHistory {
     /// An empty trendline at the current schema version.
     pub fn new() -> Self {
@@ -93,20 +116,17 @@ impl BenchHistory {
     /// Parses a trendline file, upgrading a legacy v2 single-run
     /// [`BenchReport`] into a one-entry history (label `"v2-baseline"`,
     /// date 0) so old baselines keep working unmodified.
-    pub fn from_json(text: &str) -> Result<BenchHistory, String> {
+    pub fn from_json(text: &str) -> Result<BenchHistory, HistoryError> {
         if text.contains("\"entries\"") {
-            let history: BenchHistory =
-                serde_json::from_str(text).map_err(|e| format!("cannot parse history: {e}"))?;
+            let history: BenchHistory = serde_json::from_str(text)
+                .map_err(|e| HistoryError::Parse(format!("cannot parse history: {e}")))?;
             if history.schema_version != HISTORY_SCHEMA_VERSION {
-                return Err(format!(
-                    "history schema version {} (this build reads {HISTORY_SCHEMA_VERSION})",
-                    history.schema_version
-                ));
+                return Err(HistoryError::SchemaVersion(history.schema_version));
             }
             Ok(history)
         } else {
             let legacy: BenchReport = serde_json::from_str(text)
-                .map_err(|e| format!("cannot parse legacy report: {e}"))?;
+                .map_err(|e| HistoryError::Parse(format!("cannot parse legacy report: {e}")))?;
             Ok(BenchHistory {
                 schema_version: HISTORY_SCHEMA_VERSION,
                 entries: vec![BenchEntry {
@@ -117,6 +137,45 @@ impl BenchHistory {
                 }],
             })
         }
+    }
+
+    /// Collapses runs of consecutive entries sharing a label, keeping the
+    /// newest of each run; returns how many entries were dropped. Re-running
+    /// the suite under one label (say, iterating on a PR) then supersedes
+    /// the previous attempt instead of bloating the committed trendline.
+    pub fn dedupe_consecutive(&mut self) -> usize {
+        let before = self.entries.len();
+        let mut i = 0;
+        while i + 1 < self.entries.len() {
+            if self.entries[i].label == self.entries[i + 1].label {
+                self.entries.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        before - self.entries.len()
+    }
+
+    /// Renders the trendline as TSV, one row per (entry, measurement) —
+    /// the `bench_kernel --list` output, trivially greppable/cuttable.
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::from(
+            "recorded_unix_secs\tlabel\ttelemetry\tbenchmark\tunits_per_sec\tbest_secs_per_iter\n",
+        );
+        for e in &self.entries {
+            for m in &e.measurements {
+                s.push_str(&format!(
+                    "{}\t{}\t{}\t{}\t{:.1}\t{:.9}\n",
+                    e.recorded_unix_secs,
+                    e.label,
+                    e.telemetry_enabled,
+                    m.name,
+                    m.units_per_sec,
+                    m.best_secs_per_iter
+                ));
+            }
+        }
+        s
     }
 }
 
@@ -230,7 +289,61 @@ mod tests {
     fn history_refuses_unknown_schema() {
         let json = r#"{"schema_version": 9, "entries": []}"#;
         let err = BenchHistory::from_json(json).unwrap_err();
-        assert!(err.contains("schema version 9"), "{err}");
+        assert_eq!(err, HistoryError::SchemaVersion(9));
+        assert!(err.to_string().contains("schema version 9"), "{err}");
+
+        let err = BenchHistory::from_json("not json").unwrap_err();
+        assert!(matches!(err, HistoryError::Parse(_)), "{err:?}");
+    }
+
+    fn entry(label: &str, at: u64) -> BenchEntry {
+        BenchEntry {
+            recorded_unix_secs: at,
+            label: label.to_string(),
+            telemetry_enabled: false,
+            measurements: vec![measure("tiny", 1, 0.001, || at)],
+        }
+    }
+
+    #[test]
+    fn dedupe_keeps_newest_of_consecutive_same_label_runs() {
+        let mut history = BenchHistory::new();
+        history.entries = vec![
+            entry("pr-1", 10),
+            entry("pr-2", 20),
+            entry("pr-2", 30),
+            entry("pr-2", 40),
+            entry("pr-3", 50),
+            // A label reappearing later is a distinct run, not a duplicate.
+            entry("pr-2", 60),
+        ];
+        let dropped = history.dedupe_consecutive();
+        assert_eq!(dropped, 2);
+        let kept: Vec<(u64, &str)> = history
+            .entries
+            .iter()
+            .map(|e| (e.recorded_unix_secs, e.label.as_str()))
+            .collect();
+        assert_eq!(
+            kept,
+            vec![(10, "pr-1"), (40, "pr-2"), (50, "pr-3"), (60, "pr-2")]
+        );
+        assert_eq!(history.dedupe_consecutive(), 0, "idempotent");
+    }
+
+    #[test]
+    fn tsv_lists_one_row_per_measurement() {
+        let mut history = BenchHistory::new();
+        history.entries = vec![entry("a", 1), entry("b", 2)];
+        let tsv = history.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3, "{tsv}");
+        assert!(lines[0].starts_with("recorded_unix_secs\tlabel\t"));
+        assert!(lines[1].starts_with("1\ta\tfalse\ttiny\t"));
+        assert!(lines[2].starts_with("2\tb\tfalse\ttiny\t"));
+        // Every row is as wide as the header.
+        let width = lines[0].split('\t').count();
+        assert!(lines.iter().all(|l| l.split('\t').count() == width));
     }
 
     #[test]

@@ -428,6 +428,9 @@ impl PsCluster {
     /// completions to a caller-owned buffer, so a driver loop can reuse one
     /// vector across every advance.
     pub fn advance_into(&mut self, t: f64, out: &mut Vec<JobCompletion>) {
+        // Share recomputation dominates this loop; one guard per advance
+        // call (not per event) keeps profiling overhead off the hot path.
+        let _phase = ccs_telemetry::profile::enter("ps_recompute");
         while let Some(et) = self.queue.peek_time() {
             if et.as_secs() > t {
                 break;
@@ -604,6 +607,10 @@ impl PsCluster {
     /// the same arithmetic in the same order as the reference rescan, just
     /// without allocating.
     fn recompute(&mut self, node: usize, now: f64) {
+        // One work unit per share recomputation, attributed to whichever
+        // phase is active (`ps_recompute` during advance, the admission
+        // phase during submit). No-op unless the `profile` feature is on.
+        ccs_telemetry::profile::count(1);
         if let Some(h) = self.nodes[node].pending_event.take() {
             self.queue.cancel(h);
         }

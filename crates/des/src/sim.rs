@@ -107,6 +107,9 @@ impl<E> Simulation<E> {
         debug_assert!(time >= self.clock, "event queue returned a past event");
         self.clock = time;
         self.processed += 1;
+        // Attribute the pop to whatever phase is active (no-op unless the
+        // `profile` feature is on; a single thread-local add when it is).
+        ccs_telemetry::profile::count(1);
         Some((time, ev))
     }
 

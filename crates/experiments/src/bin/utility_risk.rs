@@ -12,6 +12,8 @@
 //! utility_risk trace                       one traced run + SLA report
 //! utility_risk chaos                       seeded chaos soak (generate→run→check→shrink)
 //! utility_risk query                       slice the columnar result store
+//! utility_risk perf                        phase-attributed cost report from the store
+//! utility_risk perf diff                   attribute a perf delta to phases and cells
 //! ```
 //!
 //! Every subcommand accepts the shared flags `--quick`, `--quiet`,
@@ -25,7 +27,13 @@
 //! JSONL) and takes `--store FILE`, the filters `--source grid|chaos`,
 //! `--econ commodity|bid`, `--set A|B`, `--scenario SUBSTR`,
 //! `--policy NAME`, plus `--select COLS`, `--sort-by COL`, `--desc`,
-//! `--limit N`, `--summarize`.
+//! `--limit N`, `--summarize`. `perf` reads the same store (`--store FILE`,
+//! `--top N`, `--by scenario|policy`); `perf diff` compares either two
+//! stores (`--store NEW --baseline OLD`) or two `BENCH_kernel.json`
+//! trendline entries (`--bench FILE [--from LABEL] [--to LABEL]`),
+//! attributing the delta to phases and cell groups. Grid runs built with
+//! `--features profile` additionally write `profile.folded` (collapsed
+//! flamegraph stacks) under `--out`.
 
 use ccs_chaos::{run_soak, SoakConfig};
 use ccs_economy::EconomicModel;
@@ -42,7 +50,7 @@ use ccs_workload::{apply_scenario, WorkloadSummary};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos|query> \
+        "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos|query|perf> \
          [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
          grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N] \
          [--cell-wall-budget SECS] [--cell-event-budget N] [--compact-journal]\n\
@@ -50,7 +58,9 @@ fn usage() -> ! {
          chaos also takes: [--rounds N] [--budget SECS] [--max-events N]\n\
          query takes: [--store FILE] [--source grid|chaos] [--econ commodity|bid] [--set A|B] \
          [--scenario SUBSTR] [--policy NAME] [--select COL,COL,…] [--sort-by COL] [--desc] \
-         [--limit N] [--summarize]"
+         [--limit N] [--summarize]\n\
+         perf takes: [--store FILE] [--top N] [--by scenario|policy]\n\
+         perf diff takes: --store NEW --baseline OLD | --bench FILE [--from LABEL] [--to LABEL]"
     );
     std::process::exit(2);
 }
@@ -252,6 +262,123 @@ fn parse_query_args(args: &mut Vec<String>) -> Result<(Query, Option<std::path::
     Ok((q, store_path))
 }
 
+/// The `perf` subcommand's own flags, stripped before the shared parser.
+/// `diff` is set by the positional `diff` word after `perf`.
+struct PerfArgs {
+    diff: bool,
+    store: Option<std::path::PathBuf>,
+    baseline: Option<std::path::PathBuf>,
+    bench: Option<std::path::PathBuf>,
+    from: Option<String>,
+    to: Option<String>,
+    top: usize,
+    by: ccs_experiments::perf::GroupBy,
+}
+
+fn parse_perf_args(diff: bool, args: &mut Vec<String>) -> Result<PerfArgs, String> {
+    let mut p = PerfArgs {
+        diff,
+        store: None,
+        baseline: None,
+        bench: None,
+        from: None,
+        to: None,
+        top: 10,
+        by: ccs_experiments::perf::GroupBy::Scenario,
+    };
+    let value_of = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, String> {
+        let v = args
+            .get(i + 1)
+            .cloned()
+            .ok_or(format!("{flag} requires a value"))?;
+        args.drain(i..i + 2);
+        Ok(v)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                p.store = Some(std::path::PathBuf::from(value_of(args, i, "--store")?));
+            }
+            "--baseline" => {
+                p.baseline = Some(std::path::PathBuf::from(value_of(args, i, "--baseline")?));
+            }
+            "--bench" => {
+                p.bench = Some(std::path::PathBuf::from(value_of(args, i, "--bench")?));
+            }
+            "--from" => p.from = Some(value_of(args, i, "--from")?),
+            "--to" => p.to = Some(value_of(args, i, "--to")?),
+            "--top" => {
+                let v = value_of(args, i, "--top")?;
+                p.top = v
+                    .parse()
+                    .map_err(|_| format!("--top: expected a count, got {v:?}"))?;
+            }
+            "--by" => {
+                p.by = ccs_experiments::perf::GroupBy::parse(&value_of(args, i, "--by")?)?;
+            }
+            _ => i += 1,
+        }
+    }
+    if p.diff && p.bench.is_none() && p.baseline.is_none() {
+        return Err("perf diff needs --baseline OLD_STORE or --bench TRENDLINE".to_string());
+    }
+    if !p.diff && (p.baseline.is_some() || p.bench.is_some() || p.from.is_some() || p.to.is_some())
+    {
+        return Err("--baseline/--bench/--from/--to only apply to perf diff".to_string());
+    }
+    Ok(p)
+}
+
+/// Loads a result store or exits 1 with a pointer at how to produce one.
+fn load_store_or_die(path: &std::path::Path, context: &str) -> ResultStore {
+    match ResultStore::load(path) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!(
+                "utility_risk {context}: {e}\n(run `utility_risk summary` or `all` first to \
+                 produce the store, or point the flag at one)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs `utility_risk perf` / `perf diff` against already-written artifacts
+/// (no simulation) and exits.
+fn run_perf(p: &PerfArgs, out: &std::path::Path) -> ! {
+    if !p.diff {
+        let path = p.store.clone().unwrap_or_else(|| out.join(STORE_FILE));
+        let store = load_store_or_die(&path, "perf");
+        print!("{}", ccs_experiments::perf::report(&store, p.top, p.by));
+        std::process::exit(0);
+    }
+    let result = if let Some(bench) = &p.bench {
+        match std::fs::read_to_string(bench) {
+            Ok(text) => {
+                ccs_experiments::perf::diff_bench(&text, p.from.as_deref(), p.to.as_deref())
+            }
+            Err(e) => Err(format!("cannot read {}: {e}", bench.display())),
+        }
+    } else {
+        let new_path = p.store.clone().unwrap_or_else(|| out.join(STORE_FILE));
+        let base_path = p.baseline.clone().expect("checked at parse time");
+        let baseline = load_store_or_die(&base_path, "perf diff");
+        let new = load_store_or_die(&new_path, "perf diff");
+        ccs_experiments::perf::diff_stores(&baseline, &new)
+    };
+    match result {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("utility_risk perf diff: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Builds the columnar result store of a finished evaluation and writes it
 /// atomically under `out`, next to the figure artifacts.
 fn write_store(
@@ -394,6 +521,23 @@ fn main() {
             Ok(chaos) => Some(chaos),
             Err(e) => {
                 eprintln!("utility_risk chaos: {e}");
+                usage();
+            }
+        }
+    } else {
+        None
+    };
+    // `perf` consumes an optional positional `diff`, then strips its own
+    // flags before the shared parser.
+    let perf_args = if cmd == "perf" {
+        let diff = args.first().map(|a| a == "diff").unwrap_or(false);
+        if diff {
+            args.remove(0);
+        }
+        match parse_perf_args(diff, &mut args) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("utility_risk perf: {e}");
                 usage();
             }
         }
@@ -546,6 +690,10 @@ fn main() {
             let chaos = chaos_args.expect("parsed above");
             run_chaos(&chaos, cfg.seed, &out);
         }
+        "perf" => {
+            let p = perf_args.expect("parsed above");
+            run_perf(&p, &out);
+        }
         "query" => {
             let (q, store_path) = query_args.expect("parsed above");
             let path = store_path.unwrap_or_else(|| out.join(STORE_FILE));
@@ -615,6 +763,21 @@ fn main() {
     }
     if !raw_grids.is_empty() {
         progress::note_raw(&telemetry_report::slowest_cells_summary(&raw_grids, 5));
+        // Phase-profiled builds additionally export the merged profile as
+        // collapsed flamegraph stacks (inferno / flamegraph.pl / speedscope
+        // all read the folded format directly).
+        let mut merged = ccs_telemetry::profile::ProfileSnapshot::default();
+        for g in &raw_grids {
+            merged.merge(&g.profile);
+        }
+        if !merged.is_empty() {
+            let path = out.join("profile.folded");
+            write_atomic(&path, merged.folded().as_bytes()).expect("write profile.folded");
+            progress::note(&format!(
+                "phase profile (folded stacks): {}",
+                path.display()
+            ));
+        }
     }
     if let Some(path) = telemetry {
         TelemetryReport::collect(&raw_grids)

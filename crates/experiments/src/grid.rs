@@ -19,6 +19,7 @@ use ccs_simsvc::{
     simulate_checked_guarded, simulate_counted, simulate_faulty_counted, simulate_guarded,
     simulate_guarded_with, BudgetExceeded, RunBudget, RunConfig, Violation,
 };
+use ccs_telemetry::profile::ProfileSnapshot;
 use ccs_workload::{apply_scenario, BaseJob, Job, SdscSp2Model};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -102,6 +103,65 @@ pub struct GridControl {
     pub stall_cell: Option<String>,
 }
 
+/// The phase leaves extracted from a cell's profile snapshot into its
+/// fixed-width cost vector, in column order. These are the phase names the
+/// runner/cluster/grid instrumentation uses; the same leaf can occur under
+/// several parents (e.g. `ps_recompute` under both admission and dispatch)
+/// and the cost vector aggregates by leaf.
+pub const PHASE_LEAVES: [&str; 6] = [
+    "workload_gen",
+    "admission",
+    "dispatch",
+    "ps_recompute",
+    "fault",
+    "collect",
+];
+
+/// The per-cell cost vector: phase-attributed self-time plus the cell's
+/// peak policy queue depth. All zeros unless the `profile` feature was on
+/// (and for journal hits / skipped cells, whose work never re-ran).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCost {
+    /// Self-time nanoseconds per phase, indexed like [`PHASE_LEAVES`].
+    pub phase_ns: [u64; 6],
+    /// Largest policy queue depth observed during the cell.
+    pub peak_queue_depth: u64,
+}
+
+impl CellCost {
+    /// Extracts the fixed-width cost vector from a cell's profile snapshot.
+    pub fn from_snapshot(snap: &ProfileSnapshot) -> CellCost {
+        let mut phase_ns = [0u64; 6];
+        for (slot, leaf) in phase_ns.iter_mut().zip(PHASE_LEAVES) {
+            *slot = snap.leaf_ns(leaf);
+        }
+        CellCost {
+            phase_ns,
+            peak_queue_depth: snap.peak_queue_depth,
+        }
+    }
+
+    /// Total attributed nanoseconds across all phases.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// The most expensive phase `(name, self_ns)`, or `None` when the cell
+    /// holds no phase data (profile off, journal hit, or skipped).
+    pub fn top_phase(&self) -> Option<(&'static str, u64)> {
+        let (i, &ns) = self
+            .phase_ns
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &ns)| ns)?;
+        if ns == 0 {
+            None
+        } else {
+            Some((PHASE_LEAVES[i], ns))
+        }
+    }
+}
+
 /// Wall-clock timing of one grid cell (one policy at one scenario value).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellTiming {
@@ -116,6 +176,8 @@ pub struct CellTiming {
     /// Simulation outcomes the cell produced (0 for journal hits and
     /// skipped cells — their events were never re-simulated).
     pub events: u64,
+    /// Phase-attributed cost vector (zeros unless profiled).
+    pub cost: CellCost,
 }
 
 impl CellTiming {
@@ -187,6 +249,12 @@ pub struct RawGrid {
     /// `cell_events[scenario][value][policy]` — simulation outcomes per
     /// cell (0 for journal hits and skipped cells).
     pub cell_events: Vec<Vec<Vec<u64>>>,
+    /// `cell_costs[scenario][value][policy]` — per-cell phase cost vectors
+    /// (all zeros unless built with the `profile` feature).
+    pub cell_costs: Vec<Vec<Vec<CellCost>>>,
+    /// Grid-wide merge of every simulated cell's profile snapshot — the
+    /// folded-stack flamegraph source. Empty unless profiled.
+    pub profile: ProfileSnapshot,
     /// Scenario traces served from the per-grid workload cache instead of
     /// being re-synthesised.
     pub workload_cache_hits: u64,
@@ -209,8 +277,10 @@ impl RawGrid {
         self.policies.iter().map(|p| p.name()).collect()
     }
 
-    /// The `k` slowest cells, most expensive first.
-    pub fn slowest_cells(&self, k: usize) -> Vec<CellTiming> {
+    /// Every cell's timing joined with its cost vector — the single code
+    /// path behind both the slowest-cells summary and the persisted store
+    /// columns.
+    pub fn cell_timings(&self) -> Vec<CellTiming> {
         let mut cells: Vec<CellTiming> = Vec::new();
         for (s, per_value) in self.cell_secs.iter().enumerate() {
             for (v, per_policy) in per_value.iter().enumerate() {
@@ -221,10 +291,17 @@ impl RawGrid {
                         policy: self.policies[p].name().to_string(),
                         secs,
                         events: self.cell_events[s][v][p],
+                        cost: self.cell_costs[s][v][p],
                     });
                 }
             }
         }
+        cells
+    }
+
+    /// The `k` slowest cells, most expensive first.
+    pub fn slowest_cells(&self, k: usize) -> Vec<CellTiming> {
+        let mut cells = self.cell_timings();
         cells.sort_by(|a, b| b.secs.total_cmp(&a.secs));
         cells.truncate(k);
         cells
@@ -361,6 +438,11 @@ pub fn run_grid_with_base_ctl_observed(
         vec![vec![0u64; policies.len()]; 6];
         Scenario::ALL.len()
     ]);
+    let cell_costs = Mutex::new(vec![
+        vec![vec![CellCost::default(); policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
+    let profile_acc = Mutex::new(ProfileSnapshot::default());
     let workload_cache = WorkloadCache::new();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -383,6 +465,8 @@ pub fn run_grid_with_base_ctl_observed(
             let raw = &raw;
             let cell_secs = &cell_secs;
             let cell_events = &cell_events;
+            let cell_costs = &cell_costs;
+            let profile_acc = &profile_acc;
             let workload_cache = &workload_cache;
             let next = &next;
             let done = &done;
@@ -404,7 +488,7 @@ pub fn run_grid_with_base_ctl_observed(
                     }
                     let (s, v) = points[i];
                     let t0 = Instant::now();
-                    let (row, timings, events) = run_point(
+                    let point = run_point(
                         econ,
                         set,
                         cfg,
@@ -421,10 +505,14 @@ pub fn run_grid_with_base_ctl_observed(
                         workload_cache,
                     );
                     my_busy += t0.elapsed().as_secs_f64();
-                    board.record_point(s, &row);
-                    raw.lock().unwrap()[s][v] = row;
-                    cell_secs.lock().unwrap()[s][v] = timings;
-                    cell_events.lock().unwrap()[s][v] = events;
+                    board.record_point(s, &point.row);
+                    raw.lock().unwrap()[s][v] = point.row;
+                    cell_secs.lock().unwrap()[s][v] = point.secs;
+                    cell_events.lock().unwrap()[s][v] = point.events;
+                    cell_costs.lock().unwrap()[s][v] = point.costs;
+                    if !point.profile.is_empty() {
+                        profile_acc.lock().unwrap().merge(&point.profile);
+                    }
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
                         let suffix = board.snapshot().progress_suffix();
@@ -448,6 +536,8 @@ pub fn run_grid_with_base_ctl_observed(
         raw: raw.into_inner().unwrap(),
         cell_secs: cell_secs.into_inner().unwrap(),
         cell_events: cell_events.into_inner().unwrap(),
+        cell_costs: cell_costs.into_inner().unwrap(),
+        profile: profile_acc.into_inner().unwrap(),
         workload_cache_hits: workload_cache.hits.load(Ordering::Relaxed),
         workload_cache_misses: workload_cache.misses.load(Ordering::Relaxed),
         worker_busy_secs: busy.into_inner().unwrap(),
@@ -517,6 +607,17 @@ fn violation_summary(violations: &[Violation]) -> String {
     s
 }
 
+/// Everything one experiment point yields, per policy column.
+struct PointResult {
+    row: Vec<[f64; 4]>,
+    secs: Vec<f64>,
+    events: Vec<u64>,
+    costs: Vec<CellCost>,
+    /// Merge of the point's per-cell profile snapshots (empty when the
+    /// `profile` feature is off).
+    profile: ProfileSnapshot,
+}
+
 /// Runs one experiment point (one scenario value) for every policy,
 /// returning the objective row and per-policy wall-clock seconds. Panics
 /// are confined to the failing cell; journal hits skip simulation entirely.
@@ -536,7 +637,7 @@ fn run_point(
     run_budget: RunBudget,
     errors: &Mutex<Vec<CellError>>,
     cache: &WorkloadCache,
-) -> (Vec<[f64; 4]>, Vec<f64>, Vec<u64>) {
+) -> PointResult {
     let scenario = Scenario::ALL[scenario_idx];
     let value = scenario.values()[value_idx];
     let fault = scenario.fault(value, cfg.seed);
@@ -551,12 +652,15 @@ fn run_point(
     let mut row = Vec::with_capacity(policies.len());
     let mut secs = Vec::with_capacity(policies.len());
     let mut events = Vec::with_capacity(policies.len());
+    let mut costs = Vec::with_capacity(policies.len());
+    let mut profile = ProfileSnapshot::default();
     for &kind in policies {
         let key = cell_key(econ, set, cfg, scenario_idx, value_idx, kind);
         if let Some(rec) = journal.and_then(|j| j.get(&key)) {
             row.push(rec.objectives);
             secs.push(rec.secs);
             events.push(rec.events);
+            costs.push(CellCost::default());
             continue;
         }
         if let Some(b) = budget {
@@ -566,12 +670,18 @@ fn run_point(
                 row.push([0.0; 4]);
                 secs.push(0.0);
                 events.push(0);
+                costs.push(CellCost::default());
                 continue;
             }
         }
         let t0 = Instant::now();
+        // The cell phase spans workload synthesis + the simulation run; a
+        // panicking cell unwinds its inner guards, so the accumulator stays
+        // consistent and `take()` below always isolates this cell.
+        let cell_phase = ccs_telemetry::profile::enter("cell");
         let jobs = jobs.get_or_insert_with(|| {
             cache.get_or_generate(format!("{transform:?}"), || {
+                let _phase = ccs_telemetry::profile::enter("workload_gen");
                 apply_scenario(base, &transform, cfg.seed)
             })
         });
@@ -636,7 +746,16 @@ fn run_point(
                 }
             }
         }));
+        drop(cell_phase);
         let cell_secs = t0.elapsed().as_secs_f64();
+        let cost = {
+            let snap = ccs_telemetry::profile::take();
+            let cost = CellCost::from_snapshot(&snap);
+            if !snap.is_empty() {
+                profile.merge(&snap);
+            }
+            cost
+        };
         let fail_with = |err_kind: CellErrorKind, message: String| {
             errors.lock().unwrap().push(CellError {
                 scenario: scenario.label(),
@@ -665,6 +784,7 @@ fn run_point(
                 row.push(objectives);
                 secs.push(cell_secs);
                 events.push(n_events);
+                costs.push(cost);
                 continue;
             }
             Ok(CellSim::Budget(e)) => fail_with(CellErrorKind::Budget, e.to_string()),
@@ -676,8 +796,15 @@ fn run_point(
         row.push([0.0; 4]);
         secs.push(cell_secs);
         events.push(0);
+        costs.push(cost);
     }
-    (row, secs, events)
+    PointResult {
+        row,
+        secs,
+        events,
+        costs,
+        profile,
+    }
 }
 
 /// Renders a caught panic payload as text (panics carry `&str` or `String`
@@ -885,6 +1012,41 @@ mod tests {
                     assert!(e >= 40, "simulated cell recorded {e} events");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cell_costs_follow_profile_feature() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        assert_eq!(g.cell_costs.len(), 13);
+        assert_eq!(g.cell_costs[0].len(), 6);
+        assert_eq!(g.cell_costs[0][0].len(), g.policies.len());
+        let total_ns: u64 = g
+            .cell_timings()
+            .iter()
+            .map(|c| c.cost.total_phase_ns())
+            .sum();
+        if ccs_telemetry::profile::PROFILE_ENABLED {
+            // Profiled build: every simulated cell carries phase data and
+            // the grid-wide flamegraph snapshot is populated.
+            assert!(total_ns > 0, "profiled grid recorded no phase time");
+            assert!(!g.profile.is_empty());
+            assert!(g.profile.folded().contains("cell;run"));
+            let depth_seen = g.cell_timings().iter().any(|c| c.cost.peak_queue_depth > 0);
+            assert!(depth_seen, "no cell observed a queue depth");
+        } else {
+            // Default build: the cost model exists but stays all-zero —
+            // no clock reads were taken.
+            assert_eq!(total_ns, 0);
+            assert!(g.profile.is_empty());
+            assert!(g
+                .cell_timings()
+                .iter()
+                .all(|c| c.cost.top_phase().is_none()));
         }
     }
 

@@ -30,6 +30,7 @@ pub mod figures;
 pub mod grid;
 pub mod journal;
 pub mod live;
+pub mod perf;
 pub mod progress;
 pub mod replications;
 pub mod report_md;

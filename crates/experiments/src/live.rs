@@ -254,10 +254,7 @@ mod tests {
         let b = board2();
         // P1 beats P0 on every objective at every point.
         b.record_point(0, &row_a());
-        b.record_point(
-            1,
-            &[[200.0, 70.0, 80.0, 30.0], [50.0, 90.0, 99.0, 60.0]],
-        );
+        b.record_point(1, &[[200.0, 70.0, 80.0, 30.0], [50.0, 90.0, 99.0, 60.0]]);
         let s = b.snapshot();
         assert_eq!(s.riskiest().unwrap().name, "P0");
         assert!(s.policies[0].score > s.policies[1].score);

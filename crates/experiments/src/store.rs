@@ -18,7 +18,7 @@
 //! misinterpreting them — the store is an artifact format, not an API.
 
 use crate::atomic::write_atomic;
-use crate::grid::ExperimentConfig;
+use crate::grid::{CellCost, ExperimentConfig};
 use crate::journal::cell_key;
 use crate::scenario::{EstimateSet, Scenario};
 use crate::Evaluation;
@@ -33,7 +33,12 @@ use std::path::Path;
 pub const STORE_FILE: &str = "results_store.json";
 
 /// Store schema version; bump on any column or encoding change.
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the per-cell cost vector: `events_per_sec`,
+/// `peak_queue_depth`, and one `ns_*` self-time column per profiled phase.
+/// v1 stores load transparently — the new columns are additive and
+/// zero-filled on upgrade.
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 /// Row provenance: a normal grid cell, or a chaos-soak finding.
 pub const SOURCE_GRID: u8 = 0;
@@ -85,6 +90,44 @@ pub struct Columns {
     /// Provenance digest: the journal [`cell_key`] for grid rows, the
     /// failure signature for chaos rows.
     pub digest: Vec<String>,
+    /// Outcome events per wall-clock second (0 when the cell did not
+    /// simulate). Schema v2.
+    pub events_per_sec: Vec<f64>,
+    /// Largest policy queue depth observed in the cell (0 unless the run
+    /// was profiled). Schema v2.
+    pub peak_queue_depth: Vec<u64>,
+    /// Self-time nanoseconds in workload synthesis. Schema v2; all `ns_*`
+    /// columns are 0 unless the producing build had the `profile` feature.
+    pub ns_workload_gen: Vec<u64>,
+    /// Self-time nanoseconds in policy admission (`on_submit`). Schema v2.
+    pub ns_admission: Vec<u64>,
+    /// Self-time nanoseconds in event dispatch (`advance_to`/drain).
+    /// Schema v2.
+    pub ns_dispatch: Vec<u64>,
+    /// Self-time nanoseconds in proportional-share recomputation.
+    /// Schema v2.
+    pub ns_ps_recompute: Vec<u64>,
+    /// Self-time nanoseconds in fault delivery. Schema v2.
+    pub ns_fault: Vec<u64>,
+    /// Self-time nanoseconds in the metrics post-pass. Schema v2.
+    pub ns_collect: Vec<u64>,
+}
+
+impl Columns {
+    /// The row's cost-vector columns, reassembled as a [`CellCost`].
+    pub fn cell_cost(&self, i: usize) -> CellCost {
+        CellCost {
+            phase_ns: [
+                self.ns_workload_gen[i],
+                self.ns_admission[i],
+                self.ns_dispatch[i],
+                self.ns_ps_recompute[i],
+                self.ns_fault[i],
+                self.ns_collect[i],
+            ],
+            peak_queue_depth: self.peak_queue_depth[i],
+        }
+    }
 }
 
 /// The queryable columnar result store.
@@ -100,8 +143,95 @@ pub struct ResultStore {
     pub columns: Columns,
 }
 
+/// Schema-v1 mirror of [`Columns`]: the seventeen original arrays, without
+/// the cost vector. Kept only so [`ResultStore::load`] can upgrade v1
+/// files; `Serialize` is derived so tests can author v1 fixtures.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct ColumnsV1 {
+    source: Vec<u8>,
+    econ: Vec<u8>,
+    set: Vec<u8>,
+    scenario: Vec<u32>,
+    value_idx: Vec<u8>,
+    value: Vec<f64>,
+    policy: Vec<u32>,
+    seed: Vec<u64>,
+    wait: Vec<f64>,
+    sla: Vec<f64>,
+    reliability: Vec<f64>,
+    profitability: Vec<f64>,
+    norm_score: Vec<f64>,
+    risk_score: Vec<f64>,
+    secs: Vec<f64>,
+    events: Vec<u64>,
+    digest: Vec<String>,
+}
+
+/// Schema-v1 mirror of [`ResultStore`] (see [`ColumnsV1`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StoreV1 {
+    schema_version: u32,
+    scenarios: Vec<String>,
+    policies: Vec<String>,
+    columns: ColumnsV1,
+}
+
+impl StoreV1 {
+    /// Upgrades in place to the current schema: the v2 columns are
+    /// additive, so they zero-fill (with `events_per_sec` derived from the
+    /// existing secs/events columns) and the version bumps.
+    fn upgrade(self) -> ResultStore {
+        let v1 = self.columns;
+        let n = v1.source.len();
+        let events_per_sec = v1
+            .secs
+            .iter()
+            .zip(&v1.events)
+            .map(|(&secs, &events)| {
+                if secs > 0.0 {
+                    events as f64 / secs
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        ResultStore {
+            schema_version: STORE_SCHEMA_VERSION,
+            scenarios: self.scenarios,
+            policies: self.policies,
+            columns: Columns {
+                source: v1.source,
+                econ: v1.econ,
+                set: v1.set,
+                scenario: v1.scenario,
+                value_idx: v1.value_idx,
+                value: v1.value,
+                policy: v1.policy,
+                seed: v1.seed,
+                wait: v1.wait,
+                sla: v1.sla,
+                reliability: v1.reliability,
+                profitability: v1.profitability,
+                norm_score: v1.norm_score,
+                risk_score: v1.risk_score,
+                secs: v1.secs,
+                events: v1.events,
+                digest: v1.digest,
+                events_per_sec,
+                peak_queue_depth: vec![0; n],
+                ns_workload_gen: vec![0; n],
+                ns_admission: vec![0; n],
+                ns_dispatch: vec![0; n],
+                ns_ps_recompute: vec![0; n],
+                ns_fault: vec![0; n],
+                ns_collect: vec![0; n],
+            },
+        }
+    }
+}
+
 /// Every queryable column name, in presentation order.
-pub const COLUMN_NAMES: [&str; 17] = [
+pub const COLUMN_NAMES: [&str; 25] = [
     "source",
     "econ",
     "set",
@@ -119,6 +249,25 @@ pub const COLUMN_NAMES: [&str; 17] = [
     "secs",
     "events",
     "digest",
+    "events_per_sec",
+    "peak_queue_depth",
+    "ns_workload_gen",
+    "ns_admission",
+    "ns_dispatch",
+    "ns_ps_recompute",
+    "ns_fault",
+    "ns_collect",
+];
+
+/// The schema-v2 cost-vector columns, in [`crate::grid::PHASE_LEAVES`]
+/// order — the phase-attribution surface `utility_risk perf` reads.
+pub const PHASE_COLUMNS: [&str; 6] = [
+    "ns_workload_gen",
+    "ns_admission",
+    "ns_dispatch",
+    "ns_ps_recompute",
+    "ns_fault",
+    "ns_collect",
 ];
 
 /// Default projection for row-mode queries.
@@ -170,22 +319,40 @@ fn set_code(set: EstimateSet) -> u8 {
     }
 }
 
-/// One cell's worth of data, in row form, fed to [`ResultStore::push`].
-struct Row<'a> {
-    source: u8,
-    econ: u8,
-    set: u8,
-    scenario: &'a str,
-    value_idx: u8,
-    value: f64,
-    policy: &'a str,
-    seed: u64,
-    objectives: [f64; 4],
-    norm_score: f64,
-    risk_score: f64,
-    secs: f64,
-    events: u64,
-    digest: String,
+/// One cell's worth of data, in row form, fed to [`ResultStore::push_row`].
+/// Public so integration tests (and external tooling) can synthesise
+/// stores without running a grid.
+pub struct Row<'a> {
+    /// Provenance: [`SOURCE_GRID`] or [`SOURCE_CHAOS`].
+    pub source: u8,
+    /// Economic model code (0 = commodity, 1 = bid).
+    pub econ: u8,
+    /// Estimate set code (0 = A, 1 = B, 2 = n/a).
+    pub set: u8,
+    /// Scenario label (interned on push).
+    pub scenario: &'a str,
+    /// Scenario value index.
+    pub value_idx: u8,
+    /// Scenario sweep value.
+    pub value: f64,
+    /// Policy display name (interned on push).
+    pub policy: &'a str,
+    /// Master seed of the producing run.
+    pub seed: u64,
+    /// Raw `[wait, sla, reliability, profitability]`.
+    pub objectives: [f64; 4],
+    /// Normalized score (Eq. 5 input).
+    pub norm_score: f64,
+    /// Realtime risk score.
+    pub risk_score: f64,
+    /// Wall-clock seconds simulating the cell.
+    pub secs: f64,
+    /// Outcome events the cell produced.
+    pub events: u64,
+    /// Provenance digest.
+    pub digest: String,
+    /// Phase cost vector (zeros when unprofiled).
+    pub cost: CellCost,
 }
 
 impl ResultStore {
@@ -219,7 +386,8 @@ impl ResultStore {
         }
     }
 
-    fn push(&mut self, row: Row<'_>) {
+    /// Appends one row, interning its scenario and policy labels.
+    pub fn push_row(&mut self, row: Row<'_>) {
         let scenario = Self::intern(&mut self.scenarios, row.scenario);
         let policy = Self::intern(&mut self.policies, row.policy);
         let c = &mut self.columns;
@@ -240,6 +408,18 @@ impl ResultStore {
         c.secs.push(row.secs);
         c.events.push(row.events);
         c.digest.push(row.digest);
+        c.events_per_sec.push(if row.secs > 0.0 {
+            row.events as f64 / row.secs
+        } else {
+            0.0
+        });
+        c.peak_queue_depth.push(row.cost.peak_queue_depth);
+        c.ns_workload_gen.push(row.cost.phase_ns[0]);
+        c.ns_admission.push(row.cost.phase_ns[1]);
+        c.ns_dispatch.push(row.cost.phase_ns[2]);
+        c.ns_ps_recompute.push(row.cost.phase_ns[3]);
+        c.ns_fault.push(row.cost.phase_ns[4]);
+        c.ns_collect.push(row.cost.phase_ns[5]);
     }
 
     /// Builds the store of a completed evaluation: one row per grid cell
@@ -276,7 +456,7 @@ impl ResultStore {
                     for (p, &objectives) in row.iter().enumerate() {
                         let norm_score = norm[p].iter().sum::<f64>() / 4.0;
                         let violation_p = (1.0 - objectives[2] / 100.0).clamp(0.0, 1.0);
-                        self.push(Row {
+                        self.push_row(Row {
                             source: SOURCE_GRID,
                             econ: econ_code(grid.econ),
                             set: set_code(grid.set),
@@ -291,6 +471,7 @@ impl ResultStore {
                             secs: grid.cell_secs[s][v][p],
                             events: grid.cell_events[s][v][p],
                             digest: cell_key(grid.econ, grid.set, cfg, s, v, grid.policies[p]),
+                            cost: grid.cell_costs[s][v][p],
                         });
                     }
                 }
@@ -306,7 +487,7 @@ impl ResultStore {
         for finding in &report.findings {
             let codes: Vec<&str> = finding.case.stressors.iter().map(|s| s.code()).collect();
             let label = format!("chaos:{}", codes.join("+"));
-            self.push(Row {
+            self.push_row(Row {
                 source: SOURCE_CHAOS,
                 econ: econ_code(finding.case.econ),
                 set: SET_NONE,
@@ -321,6 +502,7 @@ impl ResultStore {
                 secs: 0.0,
                 events: 0,
                 digest: finding.signature.clone(),
+                cost: CellCost::default(),
             });
         }
     }
@@ -334,11 +516,32 @@ impl ResultStore {
     }
 
     /// Loads a store, refusing unknown schema versions and ragged columns.
+    /// Schema-v1 files (pre cost-vector) upgrade transparently: the v2
+    /// columns are additive and zero-filled, exactly the values a v1
+    /// producer would have recorded for unprofiled cells.
     pub fn load(path: &Path) -> Result<ResultStore, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let store: ResultStore = serde_json::from_str(&text)
-            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        let store: ResultStore = match serde_json::from_str(&text) {
+            Ok(store) => store,
+            // The in-tree serde shim reports any absent struct field as an
+            // error, so a v1 file fails the v2 parse; retry against the v1
+            // mirror before giving up.
+            Err(v2_err) => match serde_json::from_str::<StoreV1>(&text) {
+                Ok(v1) if v1.schema_version == 1 => v1.upgrade(),
+                Ok(v1) => {
+                    return Err(format!(
+                        "{}: schema version {} (this build reads {})",
+                        path.display(),
+                        v1.schema_version,
+                        STORE_SCHEMA_VERSION
+                    ));
+                }
+                Err(_) => {
+                    return Err(format!("cannot parse {}: {v2_err}", path.display()));
+                }
+            },
+        };
         if store.schema_version != STORE_SCHEMA_VERSION {
             return Err(format!(
                 "{}: schema version {} (this build reads {})",
@@ -367,6 +570,14 @@ impl ResultStore {
             c.secs.len(),
             c.events.len(),
             c.digest.len(),
+            c.events_per_sec.len(),
+            c.peak_queue_depth.len(),
+            c.ns_workload_gen.len(),
+            c.ns_admission.len(),
+            c.ns_dispatch.len(),
+            c.ns_ps_recompute.len(),
+            c.ns_fault.len(),
+            c.ns_collect.len(),
         ];
         if lens.iter().any(|&l| l != n) {
             return Err(format!("{}: ragged columns {lens:?}", path.display()));
@@ -395,6 +606,14 @@ impl ResultStore {
             "secs" => Cell::Num(c.secs[i]),
             "events" => Cell::Int(c.events[i]),
             "digest" => Cell::Text(c.digest[i].clone()),
+            "events_per_sec" => Cell::Num(c.events_per_sec[i]),
+            "peak_queue_depth" => Cell::Int(c.peak_queue_depth[i]),
+            "ns_workload_gen" => Cell::Int(c.ns_workload_gen[i]),
+            "ns_admission" => Cell::Int(c.ns_admission[i]),
+            "ns_dispatch" => Cell::Int(c.ns_dispatch[i]),
+            "ns_ps_recompute" => Cell::Int(c.ns_ps_recompute[i]),
+            "ns_fault" => Cell::Int(c.ns_fault[i]),
+            "ns_collect" => Cell::Int(c.ns_collect[i]),
             other => unreachable!("column {other} validated before access"),
         }
     }
@@ -670,6 +889,80 @@ mod tests {
         let err = ResultStore::load(&path).unwrap_err();
         assert!(err.contains("schema version 99"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_store_upgrades_on_load() {
+        let dir = std::env::temp_dir().join("ccs_store_v1_upgrade_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Author a two-row v1 fixture exactly as a pre-cost-vector build
+        // would have written it.
+        let v1 = StoreV1 {
+            schema_version: 1,
+            scenarios: vec!["% of High Urgency Jobs".to_string()],
+            policies: vec!["FCFS-BF".to_string(), "Libra".to_string()],
+            columns: ColumnsV1 {
+                source: vec![SOURCE_GRID, SOURCE_GRID],
+                econ: vec![0, 0],
+                set: vec![0, 0],
+                scenario: vec![0, 0],
+                value_idx: vec![0, 0],
+                value: vec![20.0, 20.0],
+                policy: vec![0, 1],
+                seed: vec![42, 42],
+                wait: vec![1.0, 2.0],
+                sla: vec![90.0, 95.0],
+                reliability: vec![99.0, 98.0],
+                profitability: vec![10.0, 12.0],
+                norm_score: vec![0.5, 0.6],
+                risk_score: vec![0.05, 0.04],
+                secs: vec![0.5, 0.0],
+                events: vec![1000, 0],
+                digest: vec!["k1".to_string(), "k2".to_string()],
+            },
+        };
+        let path = dir.join(STORE_FILE);
+        let json = serde_json::to_string(&v1).unwrap();
+        std::fs::write(&path, json).unwrap();
+
+        let store = ResultStore::load(&path).unwrap();
+        assert_eq!(store.schema_version, STORE_SCHEMA_VERSION);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.columns.secs, vec![0.5, 0.0]);
+        assert_eq!(store.columns.digest[1], "k2");
+        // Derived and zero-filled v2 columns.
+        assert_eq!(store.columns.events_per_sec, vec![2000.0, 0.0]);
+        assert_eq!(store.columns.peak_queue_depth, vec![0, 0]);
+        assert_eq!(store.columns.cell_cost(0), CellCost::default());
+        // The upgraded store queries like a native v2 one.
+        let q = Query {
+            select: vec!["policy".into(), "events_per_sec".into()],
+            ..Default::default()
+        };
+        let res = store.query(&q).unwrap();
+        assert_eq!(res.rows[0], vec!["FCFS-BF", "2000.000000"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_columns_round_trip_and_stay_consistent() {
+        let (store, _) = tiny_store();
+        let c = &store.columns;
+        for i in 0..store.len() {
+            let expect = if c.secs[i] > 0.0 {
+                c.events[i] as f64 / c.secs[i]
+            } else {
+                0.0
+            };
+            assert_eq!(c.events_per_sec[i], expect, "row {i}");
+            // cell_cost reassembles exactly what push_row scattered.
+            let cost = c.cell_cost(i);
+            assert_eq!(cost.phase_ns[3], c.ns_ps_recompute[i]);
+            assert_eq!(cost.peak_queue_depth, c.peak_queue_depth[i]);
+        }
+        // Simulated cells exist, so some event rates are positive.
+        assert!(c.events_per_sec.iter().any(|&r| r > 0.0));
     }
 
     #[test]

@@ -12,8 +12,9 @@ use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Current [`TelemetryReport::schema_version`].
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current [`TelemetryReport::schema_version`]. v2 added the per-cell
+/// phase cost vector to [`CellTiming`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Wall-time table of one grid: seconds per (scenario, policy), summed
 /// over the six scenario values.
@@ -108,8 +109,11 @@ impl TelemetryReport {
 }
 
 /// Renders the end-of-run slowest-cells summary printed to stderr: each
-/// cell with its wall time and event rate, then one line totalling the
-/// workload-cache traffic across all grids.
+/// cell with its wall time, event rate and (when profiled) its dominant
+/// phase, then one line totalling the workload-cache traffic across all
+/// grids. Reads the unified per-cell cost model ([`RawGrid::slowest_cells`]
+/// over [`crate::grid::CellCost`]) — the same data the result store
+/// persists — rather than recomputing its own timings.
 pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     use std::fmt::Write as _;
     let mut cells: Vec<(String, CellTiming)> = grids
@@ -125,7 +129,7 @@ pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     cells.truncate(k);
     let mut s = String::from("slowest cells:\n");
     for (tag, c) in cells {
-        let _ = writeln!(
+        let _ = write!(
             s,
             "  {:>8.3}s  {:>9.0} ev/s  {tag}  {}[{}]  {}",
             c.secs,
@@ -134,6 +138,11 @@ pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
             c.value_idx,
             c.policy
         );
+        if let Some((phase, ns)) = c.cost.top_phase() {
+            let pct = 100.0 * ns as f64 / c.cost.total_phase_ns().max(1) as f64;
+            let _ = write!(s, "  [{phase} {pct:.0}%]");
+        }
+        s.push('\n');
     }
     let hits: u64 = grids.iter().map(|g| g.workload_cache_hits).sum();
     let misses: u64 = grids.iter().map(|g| g.workload_cache_misses).sum();

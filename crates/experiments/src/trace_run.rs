@@ -344,7 +344,11 @@ fn esc(s: &str) -> String {
 /// Sim seconds become microseconds (the format's native unit). Each job is
 /// one thread track: a `wait` slice from submit to start, a `run` slice
 /// from start to finish, and an instant for rejections; kernel spans land
-/// on tid 0 as instants with their counters as args.
+/// on tid 0 as instants with their counters as args. Two counter (`"C"`)
+/// tracks ride along: a `jobs` track plotting waiting/running occupancy at
+/// every transition, and a `kernel_queue` track plotting the event-queue
+/// high-water mark per kernel span — Perfetto renders both as area charts
+/// above the slices.
 pub fn chrome_trace_json(trace: &RunTrace) -> String {
     #[derive(Default, Clone, Copy)]
     struct Life {
@@ -430,6 +434,46 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
             span.tombstone_skips,
             span.depth_hwm
         ));
+        events.push(format!(
+            r#"{{"name":"kernel_queue","cat":"des","ph":"C","pid":1,"tid":0,"ts":{:.3},"args":{{"depth_hwm":{}}}}}"#,
+            us(*t),
+            span.depth_hwm
+        ));
+    }
+
+    // The `jobs` counter track: waiting/running occupancy sampled at every
+    // transition. Waiting = submitted but not yet started; a job that never
+    // starts leaves the waiting count at its rejection instant.
+    let mut transitions: Vec<(f64, i64, i64)> = Vec::new(); // (t, Δwaiting, Δrunning)
+    for (job, l) in &lives {
+        let Some(submit) = l.submit else { continue };
+        transitions.push((submit, 1, 0));
+        match l.start {
+            Some(start) => {
+                transitions.push((start, -1, 1));
+                if let Some(finish) = l.finish {
+                    transitions.push((finish, 0, -1));
+                }
+            }
+            None => {
+                if let Some((_, t, _)) = rejects.iter().find(|(j, _, _)| j == job) {
+                    transitions.push((*t, -1, 0));
+                }
+            }
+        }
+    }
+    transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut waiting = 0i64;
+    let mut running = 0i64;
+    for (t, dw, dr) in transitions {
+        waiting += dw;
+        running += dr;
+        events.push(format!(
+            r#"{{"name":"jobs","cat":"sla","ph":"C","pid":1,"tid":0,"ts":{:.3},"args":{{"waiting":{},"running":{}}}}}"#,
+            us(t),
+            waiting.max(0),
+            running.max(0)
+        ));
     }
 
     format!(
@@ -489,6 +533,24 @@ mod tests {
             panic!("traceEvents array missing")
         };
         assert!(!events.is_empty());
+        // The jobs counter track exists and its running count peaks > 0.
+        let mut max_running = 0i64;
+        for e in events {
+            if e.get("name").and_then(|n| match n {
+                serde::Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            }) == Some("jobs")
+            {
+                assert_eq!(e.get("ph"), Some(&serde::Value::Str("C".to_string())));
+                if let Some(serde::Value::Int(r)) = e.get("args").and_then(|a| a.get("running")) {
+                    max_running = max_running.max(*r);
+                }
+            }
+        }
+        assert!(
+            max_running > 0,
+            "jobs counter track never saw a running job"
+        );
     }
 
     #[test]

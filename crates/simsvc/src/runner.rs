@@ -284,6 +284,11 @@ fn run_with_outcomes_observed(
     }
     let mut fed: usize = 0;
     let _run_span = ccs_telemetry::TimerGuard::start_labeled("runner.run.duration_ns", name);
+    // Phase attribution (no-op unless the `profile` feature is on): the
+    // whole driver is the `run` phase; admission / dispatch / fault /
+    // collect below are its children. Self-time on `run` itself is driver
+    // overhead (loop bookkeeping, watchdog ticks, observer feeding).
+    let _phase_run = ccs_telemetry::profile::enter("run");
     let mut faults = fault.map(|f| {
         f.validate()
             .unwrap_or_else(|e| panic!("invalid FaultConfig: {e}"));
@@ -302,12 +307,22 @@ fn run_with_outcomes_observed(
             wd.tick()?;
         }
         if let Some(fd) = faults.as_mut() {
+            let _phase = ccs_telemetry::profile::enter("fault");
             fd.deliver_until(job.submit, policy.as_mut(), &mut out);
         }
-        policy.advance_to(job.submit, &mut out);
+        {
+            let _phase = ccs_telemetry::profile::enter("dispatch");
+            policy.advance_to(job.submit, &mut out);
+        }
         let _decision_span =
             ccs_telemetry::TimerGuard::start_labeled("runner.decision.duration_ns", name);
-        policy.on_submit(job, job.submit, &mut out);
+        {
+            let _phase = ccs_telemetry::profile::enter("admission");
+            policy.on_submit(job, job.submit, &mut out);
+        }
+        if ccs_telemetry::profile::PROFILE_ENABLED {
+            ccs_telemetry::profile::depth(policy.queued_jobs() as u64);
+        }
         feed(&mut observer, &out, &mut fed);
     }
     if let Some(fd) = faults.as_mut() {
@@ -328,11 +343,13 @@ fn run_with_outcomes_observed(
                 (Some(t), Some(f)) if f <= t => {
                     stagnant = 0;
                     last_queued = usize::MAX;
+                    let _phase = ccs_telemetry::profile::enter("fault");
                     fd.deliver_next(policy.as_mut(), &mut out);
                 }
                 (Some(t), _) => {
                     stagnant = 0;
                     last_queued = usize::MAX;
+                    let _phase = ccs_telemetry::profile::enter("dispatch");
                     policy.advance_to(t, &mut out);
                 }
                 (None, Some(_)) if policy.queued_jobs() > 0 => {
@@ -348,6 +365,7 @@ fn run_with_outcomes_observed(
                         // are scored as accepted-but-unfulfilled below.
                         break;
                     }
+                    let _phase = ccs_telemetry::profile::enter("fault");
                     fd.deliver_next(policy.as_mut(), &mut out);
                 }
                 _ => break,
@@ -363,13 +381,20 @@ fn run_with_outcomes_observed(
             if let Some(wd) = watchdog.as_mut() {
                 wd.tick()?;
             }
-            policy.advance_to(t, &mut out);
+            {
+                let _phase = ccs_telemetry::profile::enter("dispatch");
+                policy.advance_to(t, &mut out);
+            }
             feed(&mut observer, &out, &mut fed);
         }
     }
-    policy.drain(&mut out);
-    drop(policy);
+    {
+        let _phase = ccs_telemetry::profile::enter("dispatch");
+        policy.drain(&mut out);
+        drop(policy);
+    }
     feed(&mut observer, &out, &mut fed);
+    let _phase_collect = ccs_telemetry::profile::enter("collect");
     if faults.is_some() {
         reconcile_fault_outcomes(&mut out);
     }

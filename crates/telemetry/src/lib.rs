@@ -29,10 +29,17 @@
 //!
 //! The [`trace`] module adds per-job SLA lifecycle *events* on top of these
 //! aggregates; see its docs for the schema and the `trace` feature gate.
+//!
+//! # Phase profiling
+//!
+//! The [`profile`] module adds a hierarchical self-time phase profiler
+//! (folded-stack wall-time attribution) behind the `profile` feature; like
+//! the counters it is a true no-op when the feature is off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod profile;
 mod snapshot;
 pub mod trace;
 

@@ -1,0 +1,119 @@
+//! Property tests for phase-profile snapshot merge semantics: merging is
+//! commutative and associative and conserves self-time/calls/events — the
+//! contract that lets per-cell snapshots fold into a grid-wide flamegraph
+//! in any completion order.
+
+use ccs_telemetry::profile::{PhaseStat, ProfileSnapshot};
+use proptest::prelude::*;
+
+/// Builds a snapshot from generated (path-id, ns, calls, events) tuples.
+/// Paths are drawn from a small pool so generated snapshots overlap on
+/// keys (the interesting case for merge).
+fn snap_from(entries: &[(u8, u64, u64, u64)], depth: u64) -> ProfileSnapshot {
+    const PATHS: [&str; 6] = [
+        "cell",
+        "cell;run",
+        "cell;run;admission",
+        "cell;run;dispatch",
+        "cell;run;dispatch;ps_recompute",
+        "cell;workload_gen",
+    ];
+    let mut s = ProfileSnapshot {
+        peak_queue_depth: depth,
+        ..Default::default()
+    };
+    for &(k, self_ns, calls, events) in entries {
+        s.phases
+            .entry(PATHS[(k % 6) as usize].to_string())
+            .or_default()
+            .merge(&PhaseStat {
+                self_ns,
+                calls,
+                events,
+            });
+    }
+    s
+}
+
+type Ops = (Vec<(u8, u64, u64, u64)>, u64);
+
+fn ops() -> impl Strategy<Value = Ops> {
+    (
+        prop::collection::vec(
+            (any::<u8>(), 0u64..1_000_000, 0u64..1_000, 0u64..1_000_000),
+            0..12,
+        ),
+        0u64..10_000,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        let sb = snap_from(&b.0, b.1);
+        prop_assert_eq!(sa.clone().merged(&sb), sb.clone().merged(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(a in ops(), b in ops(), c in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        let sb = snap_from(&b.0, b.1);
+        let sc = snap_from(&c.0, c.1);
+        let left = sa.clone().merged(&sb).merged(&sc);
+        let right = sa.clone().merged(&sb.clone().merged(&sc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_conserves_totals_and_maxes_depth(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        let sb = snap_from(&b.0, b.1);
+        let merged = sa.clone().merged(&sb);
+        prop_assert_eq!(merged.total_ns(), sa.total_ns().wrapping_add(sb.total_ns()));
+        prop_assert_eq!(
+            merged.peak_queue_depth,
+            sa.peak_queue_depth.max(sb.peak_queue_depth)
+        );
+        for (path, stat) in &merged.phases {
+            let pa = sa.phases.get(path).copied().unwrap_or_default();
+            let pb = sb.phases.get(path).copied().unwrap_or_default();
+            prop_assert_eq!(stat.calls, pa.calls + pb.calls);
+            prop_assert_eq!(stat.events, pa.events + pb.events);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        prop_assert_eq!(sa.clone().merged(&ProfileSnapshot::default()), sa.clone());
+        prop_assert_eq!(ProfileSnapshot::default().merged(&sa), sa);
+    }
+
+    #[test]
+    fn leaf_aggregation_distributes_over_merge(a in ops(), b in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        let sb = snap_from(&b.0, b.1);
+        let merged = sa.clone().merged(&sb);
+        for leaf in ["cell", "run", "admission", "dispatch", "ps_recompute", "workload_gen"] {
+            prop_assert_eq!(
+                merged.leaf_ns(leaf),
+                sa.leaf_ns(leaf).wrapping_add(sb.leaf_ns(leaf))
+            );
+        }
+    }
+
+    #[test]
+    fn folded_roundtrips_self_time(a in ops()) {
+        let sa = snap_from(&a.0, a.1);
+        // Every line of the folded render is `path value`; values sum to
+        // the snapshot's total self time.
+        let mut total = 0u64;
+        for line in sa.folded().lines() {
+            let (path, value) = line.rsplit_once(' ').expect("folded line shape");
+            prop_assert!(sa.phases.contains_key(path));
+            total = total.wrapping_add(value.parse::<u64>().expect("numeric value"));
+        }
+        prop_assert_eq!(total, sa.total_ns());
+    }
+}

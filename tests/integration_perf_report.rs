@@ -1,0 +1,159 @@
+//! Integration: `perf diff` explains an injected regression.
+//!
+//! Synthesises two result stores that differ only in one way — the Libra
+//! policy under the failure-rate scenario got slower, with the extra time
+//! spent in PS share recomputation — and asserts the diff names exactly
+//! that phase and that cell group. This is the explainability contract the
+//! CI perf leg relies on: a tripped bench gate must translate into "which
+//! phase, which cells".
+
+use ccs_experiments::grid::CellCost;
+use ccs_experiments::perf::{diff_stores, report, GroupBy};
+use ccs_experiments::store::{ResultStore, Row, SOURCE_GRID};
+
+const SCENARIOS: [&str; 3] = [
+    "% of High Urgency Jobs",
+    "Failure Rate (%)",
+    "Deadline High Mean",
+];
+const POLICIES: [&str; 3] = ["FCFS-BF", "Libra", "Libra+R"];
+
+/// A plausible profiled cost vector scaled by `f`.
+fn base_cost(f: u64) -> CellCost {
+    CellCost {
+        // workload_gen, admission, dispatch, ps_recompute, fault, collect
+        phase_ns: [
+            40_000 * f,
+            25_000 * f,
+            380_000 * f,
+            120_000 * f,
+            30_000 * f,
+            55_000 * f,
+        ],
+        peak_queue_depth: 12,
+    }
+}
+
+/// Builds a full synthetic grid store; `mutate` may perturb each row's
+/// (secs, cost) after the baseline values are filled in.
+fn build_store(mut mutate: impl FnMut(&str, &str, &mut f64, &mut CellCost)) -> ResultStore {
+    let mut store = ResultStore::new();
+    for (s, scenario) in SCENARIOS.iter().enumerate() {
+        for value_idx in 0..2u8 {
+            for (p, policy) in POLICIES.iter().enumerate() {
+                let mut secs = 0.1 + 0.01 * (s + p) as f64;
+                let mut cost = base_cost(1);
+                mutate(scenario, policy, &mut secs, &mut cost);
+                store.push_row(Row {
+                    source: SOURCE_GRID,
+                    econ: 0,
+                    set: 0,
+                    scenario,
+                    value_idx,
+                    value: value_idx as f64 * 10.0,
+                    policy,
+                    seed: 42,
+                    objectives: [1.5, 92.0, 99.0, 11.0],
+                    norm_score: 0.55,
+                    risk_score: 0.02,
+                    secs,
+                    events: (secs * 50_000.0) as u64,
+                    digest: format!("{scenario}/{value_idx}/{policy}"),
+                    cost,
+                });
+            }
+        }
+    }
+    store
+}
+
+#[test]
+fn perf_diff_names_injected_phase_and_cell_group() {
+    let baseline = build_store(|_, _, _, _| {});
+    // The regression: Libra under Failure Rate doubles in wall time, and
+    // the growth is concentrated in ps_recompute (5×).
+    let regressed = build_store(|scenario, policy, secs, cost| {
+        if policy == "Libra" && scenario.contains("Failure Rate") {
+            *secs *= 2.0;
+            cost.phase_ns[3] *= 5;
+        }
+    });
+
+    let text = diff_stores(&baseline, &regressed).unwrap();
+    // 3 scenarios × 2 values × 3 policies, all matched.
+    assert!(text.contains("18 matched cells"), "{text}");
+
+    // The phase attribution: ps_recompute is the largest regression.
+    let phase_line = text
+        .lines()
+        .find(|l| l.contains("[largest regression]"))
+        .unwrap_or_else(|| panic!("no largest-regression line in:\n{text}"));
+    assert!(
+        phase_line.trim_start().starts_with("ps_recompute"),
+        "wrong phase blamed:\n{text}"
+    );
+
+    // The cell attribution: Libra under Failure Rate, with the phase named
+    // again inside the group.
+    let group_line = text
+        .lines()
+        .find(|l| l.starts_with("worst cell group:"))
+        .unwrap_or_else(|| panic!("no worst-group line in:\n{text}"));
+    assert!(
+        group_line.contains("Libra under Failure Rate (%)"),
+        "{text}"
+    );
+    assert!(group_line.contains("(x2.00)"), "{text}");
+    assert!(group_line.contains("ps_recompute"), "{text}");
+    assert!(group_line.contains("+400.0%"), "{text}");
+}
+
+#[test]
+fn perf_diff_is_clean_on_identical_stores() {
+    let a = build_store(|_, _, _, _| {});
+    let b = build_store(|_, _, _, _| {});
+    let text = diff_stores(&a, &b).unwrap();
+    assert!(
+        text.contains("18 matched cells (0 only in baseline, 0 only in new)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("total wall") && text.contains("+0.0%"),
+        "{text}"
+    );
+    assert!(!text.contains("[largest regression]"), "{text}");
+}
+
+#[test]
+fn perf_report_has_stable_shape() {
+    let store = build_store(|_, _, _, _| {});
+    let text = report(&store, 5, GroupBy::Scenario);
+    assert!(text.starts_with("perf report: 18 grid cells"), "{text}");
+    assert!(text.contains("profiling: on"), "{text}");
+    assert!(text.contains("top 5 costliest cells:"), "{text}");
+    // Header + 5 cells.
+    let top: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("top 5"))
+        .take_while(|l| !l.starts_with("phase self-time"))
+        .collect();
+    assert_eq!(top.len(), 6, "{text}");
+    // One breakdown line per scenario, each naming its dominant phase.
+    let breakdown: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("phase self-time by scenario"))
+        .skip(1)
+        .collect();
+    assert_eq!(breakdown.len(), SCENARIOS.len(), "{text}");
+    for line in breakdown {
+        assert!(line.contains("dispatch"), "dominant phase missing: {line}");
+    }
+    // Grouping by policy gives one line per policy.
+    let by_policy = report(&store, 1, GroupBy::Policy);
+    let breakdown = by_policy
+        .lines()
+        .skip_while(|l| !l.starts_with("phase self-time by policy"))
+        .skip(1)
+        .count();
+    assert_eq!(breakdown, POLICIES.len(), "{by_policy}");
+}
