@@ -20,6 +20,8 @@
 //!   still reproduces the *same* failure signature.
 //! - [`run_soak`] — the generate→run→check→shrink loop behind the
 //!   `utility_risk chaos` CLI and the CI chaos leg.
+//! - [`WorkerKillPlan`] — a seed-deterministic worker-kill drill for the
+//!   multi-process grid supervisor (`CCS_KILL_WORKER`).
 //!
 //! Everything is deterministic: a soak is a pure function of its seed,
 //! round count, and budget, so a CI failure replays exactly on a laptop.
@@ -29,10 +31,12 @@
 
 pub mod case;
 pub mod fixtures;
+pub mod killplan;
 pub mod shrink;
 pub mod soak;
 
 pub use case::{CaseOutcome, ChaosCase, Stressor};
 pub use fixtures::{BrokenPolicyKind, BrownoutPolicy, StuckPolicy};
+pub use killplan::{WorkerKillPlan, KILL_WORKER_ENV};
 pub use shrink::{shrink, Shrunk};
 pub use soak::{round_seed, run_soak, SoakConfig, SoakFinding, SoakReport};

@@ -21,7 +21,10 @@
 //! takes `--econ commodity|bid`, `--set A|B`, `--scenario IDX`,
 //! `--value IDX`, `--policy NAME`. Grid subcommands take the crash-safety
 //! flags `--resume JOURNAL`, `--cell-budget N`, `--cell-wall-budget SECS`,
-//! `--cell-event-budget N`, `--compact-journal`. `chaos` takes `--rounds N`,
+//! `--cell-event-budget N`, `--compact-journal`, plus the multi-process
+//! supervisor flags `--workers N`, `--retries N`, `--backoff-ms MS`,
+//! `--heartbeat-ms MS` (the latter three require `--workers`; results are
+//! byte-identical to a single-process run). `chaos` takes `--rounds N`,
 //! `--budget SECS`, `--max-events N` (per-replay watchdog budget). `query`
 //! reads the `results_store.json` a grid run wrote (no simulation, no
 //! JSONL) and takes `--store FILE`, the filters `--source grid|chaos`,
@@ -42,7 +45,8 @@ use ccs_experiments::store::{SOURCE_CHAOS, SOURCE_GRID};
 use ccs_experiments::{
     build_figure, parse_cli_checked, progress, replicate, run_all_ablations, run_evaluation_ctl,
     tables, telemetry_report, trace_report, write_atomic, CellError, EstimateSet, GridControl,
-    Journal, Query, RawGrid, ResultStore, TelemetryReport, TraceCellSpec, STORE_FILE,
+    Journal, Query, RawGrid, ResultStore, SupervisorConfig, TelemetryReport, TraceCellSpec,
+    STORE_FILE,
 };
 use ccs_risk::Objective;
 use ccs_simsvc::RunBudget;
@@ -54,6 +58,7 @@ fn usage() -> ! {
          [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
          grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N] \
          [--cell-wall-budget SECS] [--cell-event-budget N] [--compact-journal]\n\
+         multi-process grid: [--workers N] [--retries N] [--backoff-ms MS] [--heartbeat-ms MS]\n\
          trace also takes: [--econ commodity|bid] [--set A|B] [--scenario IDX] [--value IDX] [--policy NAME]\n\
          chaos also takes: [--rounds N] [--budget SECS] [--max-events N]\n\
          query takes: [--store FILE] [--source grid|chaos] [--econ commodity|bid] [--set A|B] \
@@ -67,14 +72,64 @@ fn usage() -> ! {
 
 /// Strips the crash-safety flags (`--resume FILE`, `--cell-budget N`,
 /// `--cell-wall-budget SECS`, `--cell-event-budget N`, `--compact-journal`)
-/// from the argument list before the shared parser sees them. Returns the
-/// grid control plus whether the journal should be compacted afterwards.
+/// and the multi-process supervisor flags (`--workers N`, `--retries N`,
+/// `--backoff-ms MS`, `--heartbeat-ms MS`) from the argument list before
+/// the shared parser sees them. Returns the grid control plus whether the
+/// journal should be compacted afterwards.
 fn parse_grid_control(args: &mut Vec<String>) -> Result<(GridControl, bool), String> {
     let mut ctl = GridControl::default();
     let mut compact = false;
+    let mut workers: Option<usize> = None;
+    let mut retries: Option<u32> = None;
+    let mut backoff_ms: Option<u64> = None;
+    let mut heartbeat_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--workers" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--workers requires a count")?;
+                workers = Some(
+                    v.parse()
+                        .map_err(|_| format!("--workers: expected a count, got {v:?}"))?,
+                );
+                args.drain(i..i + 2);
+            }
+            "--retries" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--retries requires a count")?;
+                retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("--retries: expected a count, got {v:?}"))?,
+                );
+                args.drain(i..i + 2);
+            }
+            "--backoff-ms" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--backoff-ms requires milliseconds")?;
+                backoff_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--backoff-ms: expected milliseconds, got {v:?}"))?,
+                );
+                args.drain(i..i + 2);
+            }
+            "--heartbeat-ms" => {
+                let v = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("--heartbeat-ms requires milliseconds")?;
+                heartbeat_ms =
+                    Some(v.parse().map_err(|_| {
+                        format!("--heartbeat-ms: expected milliseconds, got {v:?}")
+                    })?);
+                args.drain(i..i + 2);
+            }
             "--resume" => {
                 let v = args
                     .get(i + 1)
@@ -130,6 +185,33 @@ fn parse_grid_control(args: &mut Vec<String>) -> Result<(GridControl, bool), Str
     }
     if compact && ctl.journal.is_none() {
         return Err("--compact-journal requires --resume JOURNAL".to_string());
+    }
+    match workers {
+        Some(w) => {
+            let d = SupervisorConfig::default();
+            let sup = SupervisorConfig {
+                workers: w,
+                retries: retries.unwrap_or(d.retries),
+                backoff_ms: backoff_ms.unwrap_or(d.backoff_ms),
+                heartbeat_ms: heartbeat_ms.unwrap_or(d.heartbeat_ms),
+                worker_bin: None,
+            };
+            sup.validate().map_err(|e| e.to_string())?;
+            ctl.supervisor = Some(sup);
+        }
+        None => {
+            for (flag, set) in [
+                ("--retries", retries.is_some()),
+                ("--backoff-ms", backoff_ms.is_some()),
+                ("--heartbeat-ms", heartbeat_ms.is_some()),
+            ] {
+                if set {
+                    return Err(format!(
+                        "{flag} requires --workers N (supervised multi-process mode)"
+                    ));
+                }
+            }
+        }
     }
     Ok((ctl, compact))
 }
@@ -489,6 +571,13 @@ fn report_cell_errors(errors: &[CellError], out: &std::path::Path) -> bool {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The hidden `worker` subcommand: how the supervisor re-execs this
+    // binary as a grid worker (see `ccs_experiments::supervisor`). It
+    // speaks length-prefixed JSON frames on stdin/stdout and never
+    // returns, so it must run before any flag parsing.
+    if args.first().map(String::as_str) == Some("worker") {
+        ccs_experiments::worker::worker_main();
+    }
     if args.is_empty() {
         usage();
     }

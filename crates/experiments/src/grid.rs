@@ -17,7 +17,7 @@ use ccs_policies::{build_policy, PolicyKind};
 use ccs_risk::WaitNormalization;
 use ccs_simsvc::{
     simulate_checked_guarded, simulate_counted, simulate_faulty_counted, simulate_guarded,
-    simulate_guarded_with, BudgetExceeded, RunBudget, RunConfig, Violation,
+    simulate_guarded_with, BudgetExceeded, FaultConfig, RunBudget, RunConfig, Violation,
 };
 use ccs_telemetry::profile::ProfileSnapshot;
 use ccs_workload::{apply_scenario, BaseJob, Job, SdscSp2Model};
@@ -101,6 +101,14 @@ pub struct GridControl {
     /// when `None`. The drill applies a small default budget when no
     /// per-cell budget is configured, so it terminates either way.
     pub stall_cell: Option<String>,
+    /// Fan the grid out across worker OS processes instead of in-process
+    /// threads. `None` (the default) keeps the in-process thread pool;
+    /// `Some` hands the run to [`crate::supervisor::run_grid_supervised`],
+    /// which re-execs the current binary as `utility_risk worker`
+    /// subprocesses. Supervised runs synthesise base jobs from
+    /// `cfg.trace` inside each worker, so caller-provided base jobs are
+    /// ignored on this path.
+    pub supervisor: Option<crate::supervisor::SupervisorConfig>,
 }
 
 /// The phase leaves extracted from a cell's profile snapshot into its
@@ -178,6 +186,9 @@ pub struct CellTiming {
     pub events: u64,
     /// Phase-attributed cost vector (zeros unless profiled).
     pub cost: CellCost,
+    /// 1-based id of the worker (thread or process) that simulated the
+    /// cell; 0 when unattributed (skipped cells, pre-v3 journal hits).
+    pub worker: u64,
 }
 
 impl CellTiming {
@@ -200,14 +211,14 @@ impl CellTiming {
 /// the baseline) can share one immutable trace instead of re-synthesising
 /// it. Keyed by the transform's debug rendering, which spells out every
 /// field at full float precision.
-struct WorkloadCache {
+pub(crate) struct WorkloadCache {
     map: Mutex<HashMap<String, Arc<Vec<Job>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
 }
 
 impl WorkloadCache {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         WorkloadCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -219,7 +230,11 @@ impl WorkloadCache {
     /// on a miss. Synthesis runs outside the lock: two workers racing the
     /// same key at worst duplicate one synthesis (the first insert wins),
     /// never block each other for its duration.
-    fn get_or_generate(&self, key: String, generate: impl FnOnce() -> Vec<Job>) -> Arc<Vec<Job>> {
+    pub(crate) fn get_or_generate(
+        &self,
+        key: String,
+        generate: impl FnOnce() -> Vec<Job>,
+    ) -> Arc<Vec<Job>> {
         if let Some(hit) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -252,6 +267,10 @@ pub struct RawGrid {
     /// `cell_costs[scenario][value][policy]` — per-cell phase cost vectors
     /// (all zeros unless built with the `profile` feature).
     pub cell_costs: Vec<Vec<Vec<CellCost>>>,
+    /// `cell_workers[scenario][value][policy]` — 1-based id of the worker
+    /// (thread in-process, process under the supervisor) that simulated
+    /// each cell; 0 for skipped cells and unattributed journal hits.
+    pub cell_workers: Vec<Vec<Vec<u64>>>,
     /// Grid-wide merge of every simulated cell's profile snapshot — the
     /// folded-stack flamegraph source. Empty unless profiled.
     pub profile: ProfileSnapshot,
@@ -292,6 +311,7 @@ impl RawGrid {
                         secs,
                         events: self.cell_events[s][v][p],
                         cost: self.cell_costs[s][v][p],
+                        worker: self.cell_workers[s][v][p],
                     });
                 }
             }
@@ -328,6 +348,19 @@ pub fn policies_for(econ: EconomicModel) -> Vec<PolicyKind> {
         EconomicModel::CommodityMarket => PolicyKind::COMMODITY.to_vec(),
         EconomicModel::BidBased => PolicyKind::BID_BASED.to_vec(),
     }
+}
+
+/// Round-robin shard plan: work item `i` lands in shard `i % workers`.
+/// Deterministic in `(total, workers)` and balanced to within one item —
+/// the supervisor seeds each worker's deque from its shard, then lets
+/// work-stealing rebalance uneven cell costs at runtime.
+pub fn plan_shards(total: usize, workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut shards = vec![Vec::new(); workers];
+    for i in 0..total {
+        shards[i % workers].push(i);
+    }
+    shards
 }
 
 /// Runs the full 13 × 6 grid for one (economic model, estimate set) pair.
@@ -402,6 +435,11 @@ pub fn run_grid_with_base_ctl_observed(
     ctl: &GridControl,
     board: &LiveRiskBoard,
 ) -> RawGrid {
+    if ctl.supervisor.is_some() {
+        // Multi-process path: workers synthesise base jobs from cfg.trace
+        // themselves, so the caller-provided base is not shipped.
+        return crate::supervisor::run_grid_supervised(econ, set, cfg, ctl, board);
+    }
     let journal = ctl.journal.as_deref().map(|p| {
         Journal::open(p).unwrap_or_else(|e| panic!("cannot open journal {}: {e}", p.display()))
     });
@@ -442,6 +480,10 @@ pub fn run_grid_with_base_ctl_observed(
         vec![vec![CellCost::default(); policies.len()]; 6];
         Scenario::ALL.len()
     ]);
+    let cell_workers = Mutex::new(vec![
+        vec![vec![0u64; policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
     let profile_acc = Mutex::new(ProfileSnapshot::default());
     let workload_cache = WorkloadCache::new();
     let next = AtomicUsize::new(0);
@@ -466,6 +508,7 @@ pub fn run_grid_with_base_ctl_observed(
             let cell_secs = &cell_secs;
             let cell_events = &cell_events;
             let cell_costs = &cell_costs;
+            let cell_workers = &cell_workers;
             let profile_acc = &profile_acc;
             let workload_cache = &workload_cache;
             let next = &next;
@@ -503,6 +546,7 @@ pub fn run_grid_with_base_ctl_observed(
                         run_budget,
                         errors,
                         workload_cache,
+                        worker as u64 + 1,
                     );
                     my_busy += t0.elapsed().as_secs_f64();
                     board.record_point(s, &point.row);
@@ -510,6 +554,7 @@ pub fn run_grid_with_base_ctl_observed(
                     cell_secs.lock().unwrap()[s][v] = point.secs;
                     cell_events.lock().unwrap()[s][v] = point.events;
                     cell_costs.lock().unwrap()[s][v] = point.costs;
+                    cell_workers.lock().unwrap()[s][v] = point.workers;
                     if !point.profile.is_empty() {
                         profile_acc.lock().unwrap().merge(&point.profile);
                     }
@@ -537,6 +582,7 @@ pub fn run_grid_with_base_ctl_observed(
         cell_secs: cell_secs.into_inner().unwrap(),
         cell_events: cell_events.into_inner().unwrap(),
         cell_costs: cell_costs.into_inner().unwrap(),
+        cell_workers: cell_workers.into_inner().unwrap(),
         profile: profile_acc.into_inner().unwrap(),
         workload_cache_hits: workload_cache.hits.load(Ordering::Relaxed),
         workload_cache_misses: workload_cache.misses.load(Ordering::Relaxed),
@@ -550,7 +596,7 @@ pub fn run_grid_with_base_ctl_observed(
 
 /// Feeds grid timings into the global telemetry registry (no-op without
 /// the `telemetry` feature).
-fn record_grid_telemetry(grid: &RawGrid) {
+pub(crate) fn record_grid_telemetry(grid: &RawGrid) {
     if !ccs_telemetry::ENABLED {
         return;
     }
@@ -607,12 +653,135 @@ fn violation_summary(violations: &[Violation]) -> String {
     s
 }
 
+/// Which fault-injection drills apply to one cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CellDrill {
+    /// Panic the cell deliberately ([`FAIL_CELL_ENV`]).
+    pub fail: bool,
+    /// Wedge the cell with a never-quiescing policy ([`STALL_CELL_ENV`]).
+    pub stall: bool,
+}
+
+/// One simulated cell, before it is folded into a grid: the outcome (or a
+/// typed failure), wall-clock seconds, and the profile-derived cost.
+pub(crate) struct SimulatedCell {
+    /// `Ok((objectives, events))` on completion, `Err((kind, message))`
+    /// when the cell panicked, blew its budget, or violated invariants.
+    pub outcome: Result<([f64; 4], u64), (CellErrorKind, String)>,
+    /// Wall-clock seconds spent in the cell.
+    pub secs: f64,
+    /// Phase cost vector (zeros unless the `profile` feature is on).
+    pub cost: CellCost,
+    /// The cell's profile snapshot (empty unless profiled).
+    pub profile: ProfileSnapshot,
+}
+
+/// Simulates one grid cell — the single code path shared by the in-process
+/// thread pool ([`run_point`]) and the multi-process worker
+/// (`crate::worker`). Jobs are fetched through `get_jobs` inside the cell's
+/// profile span so workload synthesis is attributed to the cell; panics are
+/// caught and returned as typed failures, never propagated.
+pub(crate) fn simulate_cell(
+    kind: PolicyKind,
+    run_cfg: &RunConfig,
+    fault: Option<&FaultConfig>,
+    run_budget: RunBudget,
+    drill: CellDrill,
+    cell_label: &str,
+    get_jobs: impl FnOnce() -> Arc<Vec<Job>>,
+) -> SimulatedCell {
+    let t0 = Instant::now();
+    // The cell phase spans workload synthesis + the simulation run; a
+    // panicking cell unwinds its inner guards, so the accumulator stays
+    // consistent and `take()` below always isolates this cell.
+    let cell_phase = ccs_telemetry::profile::enter("cell");
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        assert!(
+            !drill.fail,
+            "{FAIL_CELL_ENV} injected panic in cell {cell_label}"
+        );
+        let jobs = get_jobs();
+        if drill.stall {
+            // Watchdog drill: swap in a policy whose event horizon never
+            // empties. An unguarded drain against it would spin forever,
+            // so the drill always runs with *some* budget.
+            let budget = if run_budget.is_unlimited() {
+                RunBudget {
+                    max_wall_secs: Some(5.0),
+                    max_events: Some(1_000_000),
+                }
+            } else {
+                run_budget
+            };
+            return match simulate_guarded_with(
+                &jobs,
+                Box::new(StuckPolicy::new()),
+                run_cfg,
+                kind.name(),
+                fault,
+                budget,
+            ) {
+                Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
+                Err(e) => CellSim::Budget(e),
+            };
+        }
+        if cfg!(feature = "invariants") {
+            let policy = build_policy(kind, run_cfg.econ, run_cfg.nodes);
+            return match simulate_checked_guarded(
+                &jobs,
+                policy,
+                run_cfg,
+                kind.name(),
+                fault,
+                run_budget,
+            ) {
+                Ok(checked) if checked.violations.is_empty() => {
+                    CellSim::Done(checked.result.metrics.objectives(), checked.events)
+                }
+                Ok(checked) => CellSim::Invariant(checked.violations),
+                Err(e) => CellSim::Budget(e),
+            };
+        }
+        if run_budget.is_unlimited() {
+            let (result, n_events) = match fault {
+                Some(f) => simulate_faulty_counted(&jobs, kind, run_cfg, f),
+                None => simulate_counted(&jobs, kind, run_cfg),
+            };
+            CellSim::Done(result.metrics.objectives(), n_events)
+        } else {
+            match simulate_guarded(&jobs, kind, run_cfg, fault, run_budget) {
+                Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
+                Err(e) => CellSim::Budget(e),
+            }
+        }
+    }));
+    drop(cell_phase);
+    let secs = t0.elapsed().as_secs_f64();
+    let profile = ccs_telemetry::profile::take();
+    let cost = CellCost::from_snapshot(&profile);
+    let outcome = match outcome {
+        Ok(CellSim::Done(objectives, n_events)) => Ok((objectives, n_events)),
+        Ok(CellSim::Budget(e)) => Err((CellErrorKind::Budget, e.to_string())),
+        Ok(CellSim::Invariant(violations)) => {
+            Err((CellErrorKind::Invariant, violation_summary(&violations)))
+        }
+        Err(payload) => Err((CellErrorKind::Panic, panic_message(payload))),
+    };
+    SimulatedCell {
+        outcome,
+        secs,
+        cost,
+        profile,
+    }
+}
+
 /// Everything one experiment point yields, per policy column.
 struct PointResult {
     row: Vec<[f64; 4]>,
     secs: Vec<f64>,
     events: Vec<u64>,
     costs: Vec<CellCost>,
+    workers: Vec<u64>,
     /// Merge of the point's per-cell profile snapshots (empty when the
     /// `profile` feature is off).
     profile: ProfileSnapshot,
@@ -637,6 +806,7 @@ fn run_point(
     run_budget: RunBudget,
     errors: &Mutex<Vec<CellError>>,
     cache: &WorkloadCache,
+    worker_id: u64,
 ) -> PointResult {
     let scenario = Scenario::ALL[scenario_idx];
     let value = scenario.values()[value_idx];
@@ -653,6 +823,7 @@ fn run_point(
     let mut secs = Vec::with_capacity(policies.len());
     let mut events = Vec::with_capacity(policies.len());
     let mut costs = Vec::with_capacity(policies.len());
+    let mut workers = Vec::with_capacity(policies.len());
     let mut profile = ProfileSnapshot::default();
     for &kind in policies {
         let key = cell_key(econ, set, cfg, scenario_idx, value_idx, kind);
@@ -661,6 +832,7 @@ fn run_point(
             secs.push(rec.secs);
             events.push(rec.events);
             costs.push(CellCost::default());
+            workers.push(rec.worker);
             continue;
         }
         if let Some(b) = budget {
@@ -671,138 +843,77 @@ fn run_point(
                 secs.push(0.0);
                 events.push(0);
                 costs.push(CellCost::default());
+                workers.push(0);
                 continue;
             }
         }
-        let t0 = Instant::now();
-        // The cell phase spans workload synthesis + the simulation run; a
-        // panicking cell unwinds its inner guards, so the accumulator stays
-        // consistent and `take()` below always isolates this cell.
-        let cell_phase = ccs_telemetry::profile::enter("cell");
-        let jobs = jobs.get_or_insert_with(|| {
-            cache.get_or_generate(format!("{transform:?}"), || {
-                let _phase = ccs_telemetry::profile::enter("workload_gen");
-                apply_scenario(base, &transform, cfg.seed)
-            })
-        });
         let this_cell = format!("{scenario_idx}:{value_idx}:{}", kind.name());
-        let stalled = stall_cell == Some(this_cell.as_str());
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            assert!(
-                fail_cell != Some(this_cell.as_str()),
-                "{FAIL_CELL_ENV} injected panic in cell {this_cell}"
-            );
-            if stalled {
-                // Watchdog drill: swap in a policy whose event horizon
-                // never empties. An unguarded drain against it would spin
-                // forever, so the drill always runs with *some* budget.
-                let budget = if run_budget.is_unlimited() {
-                    RunBudget {
-                        max_wall_secs: Some(5.0),
-                        max_events: Some(1_000_000),
-                    }
-                } else {
-                    run_budget
-                };
-                return match simulate_guarded_with(
-                    jobs,
-                    Box::new(StuckPolicy::new()),
-                    &run_cfg,
-                    kind.name(),
-                    fault.as_ref(),
-                    budget,
-                ) {
-                    Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
-                    Err(e) => CellSim::Budget(e),
-                };
-            }
-            if cfg!(feature = "invariants") {
-                let policy = build_policy(kind, run_cfg.econ, run_cfg.nodes);
-                return match simulate_checked_guarded(
-                    jobs,
-                    policy,
-                    &run_cfg,
-                    kind.name(),
-                    fault.as_ref(),
-                    run_budget,
-                ) {
-                    Ok(checked) if checked.violations.is_empty() => {
-                        CellSim::Done(checked.result.metrics.objectives(), checked.events)
-                    }
-                    Ok(checked) => CellSim::Invariant(checked.violations),
-                    Err(e) => CellSim::Budget(e),
-                };
-            }
-            if run_budget.is_unlimited() {
-                let (result, n_events) = match &fault {
-                    Some(f) => simulate_faulty_counted(jobs, kind, &run_cfg, f),
-                    None => simulate_counted(jobs, kind, &run_cfg),
-                };
-                CellSim::Done(result.metrics.objectives(), n_events)
-            } else {
-                match simulate_guarded(jobs, kind, &run_cfg, fault.as_ref(), run_budget) {
-                    Ok((result, n)) => CellSim::Done(result.metrics.objectives(), n),
-                    Err(e) => CellSim::Budget(e),
-                }
-            }
-        }));
-        drop(cell_phase);
-        let cell_secs = t0.elapsed().as_secs_f64();
-        let cost = {
-            let snap = ccs_telemetry::profile::take();
-            let cost = CellCost::from_snapshot(&snap);
-            if !snap.is_empty() {
-                profile.merge(&snap);
-            }
-            cost
+        let drill = CellDrill {
+            fail: fail_cell == Some(this_cell.as_str()),
+            stall: stall_cell == Some(this_cell.as_str()),
         };
-        let fail_with = |err_kind: CellErrorKind, message: String| {
-            errors.lock().unwrap().push(CellError {
-                scenario: scenario.label(),
-                scenario_idx,
-                value_idx,
-                policy: kind.name().to_string(),
-                kind: err_kind,
-                message,
-            });
-        };
-        match outcome {
-            Ok(CellSim::Done(objectives, n_events)) => {
+        let jobs_slot = &mut jobs;
+        let sim = simulate_cell(
+            kind,
+            &run_cfg,
+            fault.as_ref(),
+            run_budget,
+            drill,
+            &this_cell,
+            || {
+                Arc::clone(jobs_slot.get_or_insert_with(|| {
+                    cache.get_or_generate(format!("{transform:?}"), || {
+                        let _phase = ccs_telemetry::profile::enter("workload_gen");
+                        apply_scenario(base, &transform, cfg.seed)
+                    })
+                }))
+            },
+        );
+        if !sim.profile.is_empty() {
+            profile.merge(&sim.profile);
+        }
+        match sim.outcome {
+            Ok((objectives, n_events)) => {
                 // A stall drill that somehow completed must not poison the
                 // journal with the stuck fixture's numbers.
-                if let Some(j) = journal.filter(|_| !stalled) {
+                if let Some(j) = journal.filter(|_| !drill.stall) {
                     j.append(&CellRecord {
                         key,
                         scenario_idx,
                         value_idx,
                         policy: kind.name().to_string(),
                         objectives,
-                        secs: cell_secs,
+                        secs: sim.secs,
                         events: n_events,
+                        worker: worker_id,
                     });
                 }
                 row.push(objectives);
-                secs.push(cell_secs);
                 events.push(n_events);
-                costs.push(cost);
-                continue;
             }
-            Ok(CellSim::Budget(e)) => fail_with(CellErrorKind::Budget, e.to_string()),
-            Ok(CellSim::Invariant(violations)) => {
-                fail_with(CellErrorKind::Invariant, violation_summary(&violations))
+            Err((err_kind, message)) => {
+                errors.lock().unwrap().push(CellError {
+                    scenario: scenario.label(),
+                    scenario_idx,
+                    value_idx,
+                    policy: kind.name().to_string(),
+                    kind: err_kind,
+                    message,
+                });
+                row.push([0.0; 4]);
+                events.push(0);
             }
-            Err(payload) => fail_with(CellErrorKind::Panic, panic_message(payload)),
         }
-        row.push([0.0; 4]);
-        secs.push(cell_secs);
-        events.push(0);
-        costs.push(cost);
+        secs.push(sim.secs);
+        costs.push(sim.cost);
+        workers.push(worker_id);
     }
     PointResult {
         row,
         secs,
         events,
         costs,
+        workers,
         profile,
     }
 }
@@ -1048,6 +1159,39 @@ mod tests {
                 .iter()
                 .all(|c| c.cost.top_phase().is_none()));
         }
+    }
+
+    #[test]
+    fn plan_shards_is_balanced_and_total() {
+        let shards = plan_shards(11, 4);
+        assert_eq!(shards.len(), 4);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+        let (min, max) = (
+            shards.iter().map(Vec::len).min().unwrap(),
+            shards.iter().map(Vec::len).max().unwrap(),
+        );
+        assert!(max - min <= 1, "unbalanced: {shards:?}");
+        // Degenerate inputs stay well-formed.
+        assert_eq!(plan_shards(3, 0).len(), 1);
+        assert!(plan_shards(0, 4).iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn in_process_cells_attribute_their_worker_thread() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        let ids: std::collections::HashSet<u64> =
+            g.cell_workers.iter().flatten().flatten().copied().collect();
+        assert!(!ids.contains(&0), "simulated cells must be attributed");
+        assert!(
+            ids.iter().all(|&w| w <= 2),
+            "worker ids 1..=threads: {ids:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Supervisor ↔ worker IPC: length-prefixed JSON frames over pipes.
+//!
+//! The multi-process grid (`crate::supervisor` / `crate::worker`) speaks a
+//! deliberately boring protocol — std-only per the offline-build
+//! constraint: each frame is a 4-byte big-endian length followed by that
+//! many bytes of JSON, flowing over the worker's stdin (supervisor →
+//! worker, [`ToWorker`]) and stdout (worker → supervisor, [`FromWorker`]).
+//! Length prefixing makes torn frames detectable: a worker killed
+//! mid-write leaves a short read, which the supervisor classifies as a
+//! crash, not a hang. Frames larger than [`MAX_FRAME_LEN`] are rejected
+//! before allocation, so a corrupted length word cannot OOM the peer.
+
+use crate::grid::CellCost;
+use crate::journal::CellErrorKind;
+use crate::scenario::EstimateSet;
+use ccs_economy::EconomicModel;
+use ccs_policies::PolicyKind;
+use ccs_telemetry::profile::ProfileSnapshot;
+use ccs_workload::SdscSp2Model;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on one frame's JSON payload. Generous — the largest real
+/// frame (a profiled `CellOk`) is a few KiB — but small enough that a
+/// corrupt length word fails fast instead of attempting a huge allocation.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Writes one frame: 4-byte big-endian payload length, then the payload.
+/// The frame is assembled into one buffer and written with a single
+/// `write_all`, so concurrent writers interleave only at frame boundaries
+/// when serialised by a caller-side lock.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_LEN)
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "frame too large"))?;
+    let mut buf = Vec::with_capacity(4 + bytes.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(bytes);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the pipe between frames — normal shutdown).
+/// EOF *inside* a frame, an oversized length word, or unparseable JSON
+/// are errors: the peer died mid-write or the stream is corrupt.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+}
+
+/// One grid cell, fully addressed: everything a worker needs to locate the
+/// scenario/value/policy, plus the provenance key the supervisor journals
+/// the result under.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Economic model of the enclosing grid.
+    pub econ: EconomicModel,
+    /// Estimate set of the enclosing grid.
+    pub set: EstimateSet,
+    /// Scenario index into `Scenario::ALL`.
+    pub scenario_idx: usize,
+    /// Scenario value index, 0..6.
+    pub value_idx: usize,
+    /// The policy to run.
+    pub policy: PolicyKind,
+    /// Provenance key (`crate::journal::cell_key`) for journaling.
+    pub key: String,
+}
+
+/// Frames the supervisor sends to a worker (over the worker's stdin).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ToWorker {
+    /// Handshake: the run's full configuration. Sent exactly once, first.
+    Hello {
+        /// This worker's 1-based id.
+        worker_id: u64,
+        /// Master seed (trace synthesis + QoS annotation).
+        seed: u64,
+        /// Cluster size.
+        nodes: u32,
+        /// Synthetic trace model — workers re-synthesise base jobs
+        /// themselves rather than shipping megabytes of jobs per frame.
+        trace: SdscSp2Model,
+        /// Heartbeat interval in milliseconds (workers beat at 1/4 this).
+        heartbeat_ms: u64,
+        /// Per-cell wall-clock budget in seconds, if any.
+        cell_wall_budget: Option<f64>,
+        /// Per-cell event budget, if any.
+        cell_event_budget: Option<u64>,
+        /// `CCS_FAIL_CELL` drill, resolved supervisor-side.
+        fail_cell: Option<String>,
+        /// `CCS_STALL_CELL` drill, resolved supervisor-side.
+        stall_cell: Option<String>,
+        /// Path of this worker's shard journal (UTF-8; the serde shim has
+        /// no `PathBuf` impl), or `None` to disable shard journaling.
+        shard_journal: Option<String>,
+    },
+    /// Run one cell. The supervisor sends at most one outstanding cell
+    /// per worker, so a worker never queues work it could lose.
+    RunCell {
+        /// The cell to simulate.
+        cell: CellSpec,
+    },
+    /// Clean shutdown: the worker exits 0.
+    Shutdown,
+}
+
+/// Frames a worker sends to the supervisor (over its stdout).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FromWorker {
+    /// Handshake acknowledgement: the worker is ready for cells.
+    Ready {
+        /// Echo of the worker's id.
+        worker_id: u64,
+    },
+    /// Liveness beacon, sent from a dedicated thread so a long-running
+    /// cell does not read as silence (wedged *cells* are the per-cell
+    /// budget's job; the heartbeat watchdog catches dead *processes*).
+    Heartbeat {
+        /// Echo of the worker's id.
+        worker_id: u64,
+        /// Cells completed so far (monotonic).
+        cells_done: u64,
+    },
+    /// A cell completed. The worker has already appended the result to
+    /// its shard journal, so the record survives even if this frame is
+    /// lost to a crash.
+    CellOk {
+        /// The cell that ran.
+        cell: CellSpec,
+        /// Objective row `[wait, SLA, reliability, profitability]`.
+        objectives: [f64; 4],
+        /// Wall-clock seconds the cell took.
+        secs: f64,
+        /// Simulation outcomes the cell produced.
+        events: u64,
+        /// Phase cost vector (zeros unless profiled).
+        cost: CellCost,
+        /// The cell's profile snapshot (empty unless profiled).
+        profile: ProfileSnapshot,
+    },
+    /// A cell failed in a *typed* way (panic, budget, invariants) while
+    /// the worker itself stayed healthy.
+    CellErr {
+        /// The cell that failed.
+        cell: CellSpec,
+        /// Failure classification.
+        kind: CellErrorKind,
+        /// Panic payload, budget diagnostic, or violation summary.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            econ: EconomicModel::CommodityMarket,
+            set: EstimateSet::A,
+            scenario_idx: 3,
+            value_idx: 2,
+            policy: PolicyKind::FcfsBf,
+            key: "deadbeef".to_string(),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msgs = vec![
+            ToWorker::Hello {
+                worker_id: 2,
+                seed: 42,
+                nodes: 128,
+                trace: SdscSp2Model::default(),
+                heartbeat_ms: 2000,
+                cell_wall_budget: Some(5.0),
+                cell_event_budget: None,
+                fail_cell: None,
+                stall_cell: Some("0:1:SJF-BF".to_string()),
+                shard_journal: Some("/tmp/j.jsonl.shard2".to_string()),
+            },
+            ToWorker::RunCell { cell: spec() },
+            ToWorker::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for m in &msgs {
+            let got: ToWorker = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&got, m);
+        }
+        assert_eq!(read_frame::<ToWorker>(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn worker_frames_round_trip() {
+        let msgs = vec![
+            FromWorker::Ready { worker_id: 1 },
+            FromWorker::Heartbeat {
+                worker_id: 1,
+                cells_done: 7,
+            },
+            FromWorker::CellOk {
+                cell: spec(),
+                objectives: [1.0, 2.0, 3.0, 4.0],
+                secs: 0.25,
+                events: 99,
+                cost: CellCost::default(),
+                profile: ProfileSnapshot::default(),
+            },
+            FromWorker::CellErr {
+                cell: spec(),
+                kind: CellErrorKind::Panic,
+                message: "boom".to_string(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for m in &msgs {
+            let got: FromWorker = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&got, m);
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ToWorker::Shutdown).unwrap();
+        // A worker killed mid-write leaves a truncated tail.
+        buf.truncate(buf.len() - 1);
+        let mut r = Cursor::new(buf);
+        assert!(read_frame::<ToWorker>(&mut r).is_err());
+
+        // Truncation inside the *header* is also an error, not EOF.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ToWorker::Shutdown).unwrap();
+        buf.truncate(2);
+        let mut r = Cursor::new(buf);
+        assert!(read_frame::<ToWorker>(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected_before_allocation() {
+        let mut buf = (MAX_FRAME_LEN + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = Cursor::new(buf);
+        let err = read_frame::<ToWorker>(&mut r).unwrap_err();
+        assert!(err.to_string().contains("exceeds cap"), "{err}");
+    }
+
+    #[test]
+    fn garbage_payload_is_invalid_data() {
+        let mut buf = 4u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"}{!!");
+        let mut r = Cursor::new(buf);
+        assert!(read_frame::<ToWorker>(&mut r).is_err());
+    }
+}

@@ -88,6 +88,17 @@ fn is_profiled(store: &ResultStore) -> bool {
     })
 }
 
+/// Worker attribution for a row: `w3` for a cell run by worker 3 (a
+/// thread in-process, an OS process under the supervisor), `w-` when
+/// unattributed (chaos rows, cells restored from pre-v3 journals).
+fn worker_tag(worker: u64) -> String {
+    if worker == 0 {
+        "w-".to_string()
+    } else {
+        format!("w{worker}")
+    }
+}
+
 fn econ_set_tag(store: &ResultStore, i: usize) -> String {
     let c = &store.columns;
     let econ = if c.econ[i] == 0 { "commodity" } else { "bid" };
@@ -133,10 +144,11 @@ pub fn report(store: &ResultStore, top: usize, group_by: GroupBy) -> String {
     for &i in &by_cost {
         let _ = write!(
             s,
-            "  {:>8.3}s  {:>9.0} ev/s  depth {:>4}  {}  {}[{}]  {}",
+            "  {:>8.3}s  {:>9.0} ev/s  depth {:>4}  {:>3}  {}  {}[{}]  {}",
             c.secs[i],
             c.events_per_sec[i],
             c.peak_queue_depth[i],
+            worker_tag(c.worker[i]),
             econ_set_tag(store, i),
             store.scenarios[c.scenario[i] as usize],
             c.value_idx[i],
@@ -507,6 +519,7 @@ mod tests {
                 events: (secs * 1000.0) as u64,
                 digest: format!("cell{v}"),
                 cost: *cost,
+                worker: (v as u64 % 2) + 1,
             });
         }
         store
@@ -536,6 +549,7 @@ mod tests {
         // Top-1 is the 2.0s Libra cell, dominated by ps_recompute.
         assert!(text.contains("top 1 costliest cells"), "{text}");
         assert!(text.contains("Libra"), "{text}");
+        assert!(text.contains(" w1 "), "{text}");
         assert!(text.contains("[ps_recompute 90%]"), "{text}");
         assert!(text.contains("phase self-time by policy"), "{text}");
         // Unprofiled store says so.

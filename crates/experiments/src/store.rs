@@ -34,11 +34,12 @@ pub const STORE_FILE: &str = "results_store.json";
 
 /// Store schema version; bump on any column or encoding change.
 ///
-/// v2 added the per-cell cost vector: `events_per_sec`,
-/// `peak_queue_depth`, and one `ns_*` self-time column per profiled phase.
-/// v1 stores load transparently — the new columns are additive and
-/// zero-filled on upgrade.
-pub const STORE_SCHEMA_VERSION: u32 = 2;
+/// v3 added the `worker` attribution column (which worker process/thread
+/// simulated each cell). v2 added the per-cell cost vector:
+/// `events_per_sec`, `peak_queue_depth`, and one `ns_*` self-time column
+/// per profiled phase. v1 and v2 stores load transparently — the new
+/// columns are additive and zero-filled on upgrade.
+pub const STORE_SCHEMA_VERSION: u32 = 3;
 
 /// Row provenance: a normal grid cell, or a chaos-soak finding.
 pub const SOURCE_GRID: u8 = 0;
@@ -111,6 +112,11 @@ pub struct Columns {
     pub ns_fault: Vec<u64>,
     /// Self-time nanoseconds in the metrics post-pass. Schema v2.
     pub ns_collect: Vec<u64>,
+    /// 1-based id of the worker (thread in-process, OS process under the
+    /// multi-process supervisor) that simulated the cell; 0 when
+    /// unattributed (chaos rows, skipped cells, pre-v3 journal hits).
+    /// Schema v3.
+    pub worker: Vec<u64>,
 }
 
 impl Columns {
@@ -225,13 +231,97 @@ impl StoreV1 {
                 ns_ps_recompute: vec![0; n],
                 ns_fault: vec![0; n],
                 ns_collect: vec![0; n],
+                worker: vec![0; n],
+            },
+        }
+    }
+}
+
+/// Schema-v2 mirror of [`Columns`]: everything but the v3 `worker`
+/// attribution column. Kept only so [`ResultStore::load`] can upgrade v2
+/// files; `Serialize` is derived so tests can author v2 fixtures.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct ColumnsV2 {
+    source: Vec<u8>,
+    econ: Vec<u8>,
+    set: Vec<u8>,
+    scenario: Vec<u32>,
+    value_idx: Vec<u8>,
+    value: Vec<f64>,
+    policy: Vec<u32>,
+    seed: Vec<u64>,
+    wait: Vec<f64>,
+    sla: Vec<f64>,
+    reliability: Vec<f64>,
+    profitability: Vec<f64>,
+    norm_score: Vec<f64>,
+    risk_score: Vec<f64>,
+    secs: Vec<f64>,
+    events: Vec<u64>,
+    digest: Vec<String>,
+    events_per_sec: Vec<f64>,
+    peak_queue_depth: Vec<u64>,
+    ns_workload_gen: Vec<u64>,
+    ns_admission: Vec<u64>,
+    ns_dispatch: Vec<u64>,
+    ns_ps_recompute: Vec<u64>,
+    ns_fault: Vec<u64>,
+    ns_collect: Vec<u64>,
+}
+
+/// Schema-v2 mirror of [`ResultStore`] (see [`ColumnsV2`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StoreV2 {
+    schema_version: u32,
+    scenarios: Vec<String>,
+    policies: Vec<String>,
+    columns: ColumnsV2,
+}
+
+impl StoreV2 {
+    /// Upgrades to the current schema: the v3 `worker` column is additive
+    /// and zero-fills (0 = unattributed, exactly what a v2 producer knew).
+    fn upgrade(self) -> ResultStore {
+        let v2 = self.columns;
+        let n = v2.source.len();
+        ResultStore {
+            schema_version: STORE_SCHEMA_VERSION,
+            scenarios: self.scenarios,
+            policies: self.policies,
+            columns: Columns {
+                source: v2.source,
+                econ: v2.econ,
+                set: v2.set,
+                scenario: v2.scenario,
+                value_idx: v2.value_idx,
+                value: v2.value,
+                policy: v2.policy,
+                seed: v2.seed,
+                wait: v2.wait,
+                sla: v2.sla,
+                reliability: v2.reliability,
+                profitability: v2.profitability,
+                norm_score: v2.norm_score,
+                risk_score: v2.risk_score,
+                secs: v2.secs,
+                events: v2.events,
+                digest: v2.digest,
+                events_per_sec: v2.events_per_sec,
+                peak_queue_depth: v2.peak_queue_depth,
+                ns_workload_gen: v2.ns_workload_gen,
+                ns_admission: v2.ns_admission,
+                ns_dispatch: v2.ns_dispatch,
+                ns_ps_recompute: v2.ns_ps_recompute,
+                ns_fault: v2.ns_fault,
+                ns_collect: v2.ns_collect,
+                worker: vec![0; n],
             },
         }
     }
 }
 
 /// Every queryable column name, in presentation order.
-pub const COLUMN_NAMES: [&str; 25] = [
+pub const COLUMN_NAMES: [&str; 26] = [
     "source",
     "econ",
     "set",
@@ -257,6 +347,7 @@ pub const COLUMN_NAMES: [&str; 25] = [
     "ns_ps_recompute",
     "ns_fault",
     "ns_collect",
+    "worker",
 ];
 
 /// The schema-v2 cost-vector columns, in [`crate::grid::PHASE_LEAVES`]
@@ -353,6 +444,8 @@ pub struct Row<'a> {
     pub digest: String,
     /// Phase cost vector (zeros when unprofiled).
     pub cost: CellCost,
+    /// 1-based worker attribution (0 = unattributed).
+    pub worker: u64,
 }
 
 impl ResultStore {
@@ -420,6 +513,7 @@ impl ResultStore {
         c.ns_ps_recompute.push(row.cost.phase_ns[3]);
         c.ns_fault.push(row.cost.phase_ns[4]);
         c.ns_collect.push(row.cost.phase_ns[5]);
+        c.worker.push(row.worker);
     }
 
     /// Builds the store of a completed evaluation: one row per grid cell
@@ -472,6 +566,7 @@ impl ResultStore {
                             events: grid.cell_events[s][v][p],
                             digest: cell_key(grid.econ, grid.set, cfg, s, v, grid.policies[p]),
                             cost: grid.cell_costs[s][v][p],
+                            worker: grid.cell_workers[s][v][p],
                         });
                     }
                 }
@@ -503,6 +598,7 @@ impl ResultStore {
                 events: 0,
                 digest: finding.signature.clone(),
                 cost: CellCost::default(),
+                worker: 0,
             });
         }
     }
@@ -516,30 +612,42 @@ impl ResultStore {
     }
 
     /// Loads a store, refusing unknown schema versions and ragged columns.
-    /// Schema-v1 files (pre cost-vector) upgrade transparently: the v2
-    /// columns are additive and zero-filled, exactly the values a v1
-    /// producer would have recorded for unprofiled cells.
+    /// Schema-v1 (pre cost-vector) and schema-v2 (pre worker-attribution)
+    /// files upgrade transparently: the newer columns are additive and
+    /// zero-filled, exactly the values the older producer would have
+    /// recorded.
     pub fn load(path: &Path) -> Result<ResultStore, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let store: ResultStore = match serde_json::from_str(&text) {
             Ok(store) => store,
             // The in-tree serde shim reports any absent struct field as an
-            // error, so a v1 file fails the v2 parse; retry against the v1
-            // mirror before giving up.
-            Err(v2_err) => match serde_json::from_str::<StoreV1>(&text) {
-                Ok(v1) if v1.schema_version == 1 => v1.upgrade(),
-                Ok(v1) => {
+            // error, so older files fail the current parse; retry against
+            // the v2 then v1 mirrors before giving up.
+            Err(v3_err) => match serde_json::from_str::<StoreV2>(&text) {
+                Ok(v2) if v2.schema_version == 2 => v2.upgrade(),
+                Ok(v2) => {
                     return Err(format!(
                         "{}: schema version {} (this build reads {})",
                         path.display(),
-                        v1.schema_version,
+                        v2.schema_version,
                         STORE_SCHEMA_VERSION
                     ));
                 }
-                Err(_) => {
-                    return Err(format!("cannot parse {}: {v2_err}", path.display()));
-                }
+                Err(_) => match serde_json::from_str::<StoreV1>(&text) {
+                    Ok(v1) if v1.schema_version == 1 => v1.upgrade(),
+                    Ok(v1) => {
+                        return Err(format!(
+                            "{}: schema version {} (this build reads {})",
+                            path.display(),
+                            v1.schema_version,
+                            STORE_SCHEMA_VERSION
+                        ));
+                    }
+                    Err(_) => {
+                        return Err(format!("cannot parse {}: {v3_err}", path.display()));
+                    }
+                },
             },
         };
         if store.schema_version != STORE_SCHEMA_VERSION {
@@ -578,6 +686,7 @@ impl ResultStore {
             c.ns_ps_recompute.len(),
             c.ns_fault.len(),
             c.ns_collect.len(),
+            c.worker.len(),
         ];
         if lens.iter().any(|&l| l != n) {
             return Err(format!("{}: ragged columns {lens:?}", path.display()));
@@ -614,6 +723,7 @@ impl ResultStore {
             "ns_ps_recompute" => Cell::Int(c.ns_ps_recompute[i]),
             "ns_fault" => Cell::Int(c.ns_fault[i]),
             "ns_collect" => Cell::Int(c.ns_collect[i]),
+            "worker" => Cell::Int(c.worker[i]),
             other => unreachable!("column {other} validated before access"),
         }
     }
@@ -931,10 +1041,11 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.columns.secs, vec![0.5, 0.0]);
         assert_eq!(store.columns.digest[1], "k2");
-        // Derived and zero-filled v2 columns.
+        // Derived and zero-filled v2/v3 columns.
         assert_eq!(store.columns.events_per_sec, vec![2000.0, 0.0]);
         assert_eq!(store.columns.peak_queue_depth, vec![0, 0]);
         assert_eq!(store.columns.cell_cost(0), CellCost::default());
+        assert_eq!(store.columns.worker, vec![0, 0]);
         // The upgraded store queries like a native v2 one.
         let q = Query {
             select: vec!["policy".into(), "events_per_sec".into()],
@@ -943,6 +1054,73 @@ mod tests {
         let res = store.query(&q).unwrap();
         assert_eq!(res.rows[0], vec!["FCFS-BF", "2000.000000"]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_store_upgrades_on_load() {
+        let dir = std::env::temp_dir().join("ccs_store_v2_upgrade_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Author a one-row v2 fixture exactly as a pre-worker-attribution
+        // build would have written it.
+        let v2 = StoreV2 {
+            schema_version: 2,
+            scenarios: vec!["% of High Urgency Jobs".to_string()],
+            policies: vec!["FCFS-BF".to_string()],
+            columns: ColumnsV2 {
+                source: vec![SOURCE_GRID],
+                econ: vec![0],
+                set: vec![0],
+                scenario: vec![0],
+                value_idx: vec![0],
+                value: vec![20.0],
+                policy: vec![0],
+                seed: vec![42],
+                wait: vec![1.0],
+                sla: vec![90.0],
+                reliability: vec![99.0],
+                profitability: vec![10.0],
+                norm_score: vec![0.5],
+                risk_score: vec![0.05],
+                secs: vec![0.5],
+                events: vec![1000],
+                digest: vec!["k1".to_string()],
+                events_per_sec: vec![2000.0],
+                peak_queue_depth: vec![3],
+                ns_workload_gen: vec![7],
+                ns_admission: vec![0],
+                ns_dispatch: vec![0],
+                ns_ps_recompute: vec![0],
+                ns_fault: vec![0],
+                ns_collect: vec![0],
+            },
+        };
+        let path = dir.join(STORE_FILE);
+        std::fs::write(&path, serde_json::to_string(&v2).unwrap()).unwrap();
+
+        let store = ResultStore::load(&path).unwrap();
+        assert_eq!(store.schema_version, STORE_SCHEMA_VERSION);
+        assert_eq!(store.len(), 1);
+        // v2 data survives; the v3 worker column zero-fills.
+        assert_eq!(store.columns.peak_queue_depth, vec![3]);
+        assert_eq!(store.columns.ns_workload_gen, vec![7]);
+        assert_eq!(store.columns.worker, vec![0]);
+        let q = Query {
+            select: vec!["policy".into(), "worker".into()],
+            ..Default::default()
+        };
+        let res = store.query(&q).unwrap();
+        assert_eq!(res.rows[0], vec!["FCFS-BF", "0"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_rows_carry_worker_attribution() {
+        let (store, _) = tiny_store();
+        // Every grid cell simulated in-process is attributed to a worker
+        // thread; 0 would mean the attribution was lost.
+        assert!(store.columns.worker.iter().all(|&w| w >= 1));
+        assert!(store.columns.worker.iter().all(|&w| w <= 2));
     }
 
     #[test]

@@ -1,0 +1,886 @@
+//! The multi-process grid supervisor: shards cells across worker OS
+//! processes and survives their deaths.
+//!
+//! The supervisor re-execs the current binary as `utility_risk worker`
+//! subprocesses (see `crate::worker`) and speaks the [`crate::ipc`] frame
+//! protocol with each. It owns the crash-safe journal and drives the full
+//! robustness loop:
+//!
+//! - **Shard planning** — cells are dealt round-robin into per-worker
+//!   deques ([`crate::grid::plan_shards`]); an idle worker drains its own
+//!   deque first, then *steals* from the longest other deque, so a dead
+//!   worker's remaining shard is absorbed by survivors and uneven cell
+//!   costs rebalance at runtime.
+//! - **Heartbeat watchdog** — workers beat at a quarter of
+//!   `heartbeat_ms`; a worker silent for the full interval is declared
+//!   dead ([`WorkerFailure::HeartbeatTimeout`]) and killed. Long cells
+//!   don't trip this (heartbeats ride their own thread); wedged cells are
+//!   the per-cell budget's job.
+//! - **Failure classification** — every worker death is typed
+//!   ([`WorkerFailure`]): process exit ([`WorkerFailure::Crash`], with
+//!   exit code; `None` = signal/abort), heartbeat timeout, or protocol
+//!   error (torn/garbage frame). In-flight cells are orphaned and
+//!   retried.
+//! - **Retry with deterministic backoff** — an orphaned or panicked cell
+//!   re-enters the queue after [`backoff_delay_ms`]: exponential in the
+//!   attempt number with jitter derived from `(seed, cell key, attempt)`,
+//!   so two supervisors replaying the same history produce the same
+//!   schedule. Budget/invariant failures are *not* retried — they are
+//!   deterministic verdicts, reported with their original kind exactly
+//!   like the in-process runner.
+//! - **Poison-cell quarantine** — a cell failing `retries` times lands in
+//!   the report as a typed [`CellErrorKind::Quarantine`] error (exit 1,
+//!   placeholder objectives, never NaN) and the sweep continues.
+//! - **Respawn & graceful degradation** — if every worker is dead with
+//!   work outstanding, fresh workers are spawned up to 2× the configured
+//!   count; past that cap, remaining cells are quarantined rather than
+//!   looping forever.
+//!
+//! The correctness contract is byte-identity: the merged grid (and
+//! everything derived from it) is identical regardless of worker count,
+//! kill schedule, or resume — cells are deterministic, so *where* and
+//! *when* one runs cannot change its numbers.
+
+use crate::grid::{plan_shards, policies_for, CellCost, ExperimentConfig, GridControl, RawGrid};
+use crate::ipc::{read_frame, write_frame, CellSpec, FromWorker, ToWorker};
+use crate::journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
+use crate::live::LiveRiskBoard;
+use crate::progress;
+use crate::scenario::{EstimateSet, Scenario};
+use crate::ConfigError;
+use ccs_economy::EconomicModel;
+use ccs_telemetry::profile::ProfileSnapshot;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Retried attempts never back off longer than this, whatever the
+/// exponent says.
+pub const MAX_BACKOFF_MS: u64 = 30_000;
+
+/// Configuration of a supervised (multi-process) grid run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SupervisorConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Failures after which a cell is quarantined (K). `1` means no
+    /// second chances.
+    pub retries: u32,
+    /// Base backoff before a retry, in milliseconds; attempt `n` waits
+    /// `base << (n-1)` (capped at [`MAX_BACKOFF_MS`]) plus jitter.
+    pub backoff_ms: u64,
+    /// Heartbeat deadline in milliseconds: a worker silent this long is
+    /// declared dead. Workers beat at a quarter of this interval.
+    pub heartbeat_ms: u64,
+    /// Worker executable. `None` re-execs the current binary — correct
+    /// for `utility_risk`; tests point this at `CARGO_BIN_EXE_…`.
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            workers: 1,
+            retries: 3,
+            backoff_ms: 250,
+            heartbeat_ms: 5_000,
+            worker_bin: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validates every field, naming the offending CLI flag — the PR 3
+    /// convention: binaries print the [`ConfigError`] and exit 2.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 || self.workers > 256 {
+            return Err(ConfigError::new(
+                "--workers",
+                format!("worker count must be 1..=256, got {}", self.workers),
+            ));
+        }
+        if self.retries == 0 || self.retries > 100 {
+            return Err(ConfigError::new(
+                "--retries",
+                format!("retry cap must be 1..=100, got {}", self.retries),
+            ));
+        }
+        if self.backoff_ms == 0 || self.backoff_ms > MAX_BACKOFF_MS {
+            return Err(ConfigError::new(
+                "--backoff-ms",
+                format!(
+                    "base backoff must be 1..={MAX_BACKOFF_MS} ms, got {}",
+                    self.backoff_ms
+                ),
+            ));
+        }
+        if self.heartbeat_ms < 100 || self.heartbeat_ms > 600_000 {
+            return Err(ConfigError::new(
+                "--heartbeat-ms",
+                format!(
+                    "heartbeat deadline must be 100..=600000 ms, got {}",
+                    self.heartbeat_ms
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why the supervisor gave up on one attempt of one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerFailure {
+    /// The worker process exited while a cell was in flight. `None` exit
+    /// code means a signal/abort (the kill drill lands here).
+    Crash {
+        /// The process exit code, if it exited normally.
+        exit_code: Option<i32>,
+    },
+    /// The worker sent nothing (not even a heartbeat) for the full
+    /// deadline and was declared dead.
+    HeartbeatTimeout {
+        /// How long the worker had been silent, in milliseconds.
+        silent_ms: u64,
+    },
+    /// The worker's stdout produced a torn or unparseable frame; the
+    /// stream cannot be trusted, so the worker was killed.
+    Protocol {
+        /// The framing/parse error.
+        detail: String,
+    },
+    /// The worker stayed healthy but the cell itself failed in a typed
+    /// way (panic, budget, invariants).
+    CellFailed {
+        /// The cell-level failure classification.
+        kind: CellErrorKind,
+        /// Panic payload, budget diagnostic, or violation summary.
+        message: String,
+    },
+}
+
+impl WorkerFailure {
+    /// Whether another attempt could plausibly succeed. Worker deaths
+    /// (crash, timeout, protocol) are environmental — retry. Panics may
+    /// be load- or state-dependent — retry up to the quarantine cap.
+    /// Budget and invariant verdicts are deterministic properties of the
+    /// cell — retrying would reproduce them, so they are final.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            WorkerFailure::CellFailed { kind, .. } => matches!(kind, CellErrorKind::Panic),
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerFailure::Crash { exit_code: Some(c) } => write!(f, "worker exited with code {c}"),
+            WorkerFailure::Crash { exit_code: None } => {
+                write!(f, "worker died to a signal or abort")
+            }
+            WorkerFailure::HeartbeatTimeout { silent_ms } => {
+                write!(f, "worker silent for {silent_ms} ms (heartbeat deadline)")
+            }
+            WorkerFailure::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            WorkerFailure::CellFailed { kind, message } => {
+                write!(f, "cell failed ({kind:?}): {message}")
+            }
+        }
+    }
+}
+
+/// Deterministic retry delay for attempt `attempt` (1-based) of the cell
+/// identified by `key`: exponential in the attempt (`base << (attempt-1)`,
+/// capped at [`MAX_BACKOFF_MS`]) plus jitter in `[0, base)` derived by
+/// FNV-1a from `(seed, key, attempt)` — no wall clock, no global RNG, so
+/// two supervisors replaying the same failure history compute the same
+/// schedule.
+pub fn backoff_delay_ms(seed: u64, key: &str, attempt: u32, base_ms: u64) -> u64 {
+    let shift = attempt.saturating_sub(1).min(16);
+    let exp = base_ms.saturating_mul(1u64 << shift).min(MAX_BACKOFF_MS);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(key.as_bytes());
+    eat(&attempt.to_le_bytes());
+    exp + hash % base_ms.max(1)
+}
+
+/// One spawned worker process, from the supervisor's side.
+struct WorkerHandle {
+    id: u64,
+    slot: usize,
+    child: Child,
+    stdin: ChildStdin,
+    alive: bool,
+    ready: bool,
+    last_seen: Instant,
+    current: Option<CellSpec>,
+}
+
+/// What a reader thread saw on one worker's stdout.
+enum Event {
+    Frame(u64, FromWorker),
+    Eof(u64),
+    Corrupt(u64, String),
+}
+
+/// Runs one grid under the supervisor. Same result contract as
+/// `run_grid_with_base_ctl_observed`, produced by worker processes:
+/// journal hits are resolved supervisor-side (workers never re-simulate
+/// them), completed cells are appended to the primary journal as their
+/// frames arrive, and leftover shard journals from a previous crashed
+/// supervisor are merged before planning, so a supervisor-restart resume
+/// loses at most the frames that were in flight when it died.
+pub fn run_grid_supervised(
+    econ: EconomicModel,
+    set: EstimateSet,
+    cfg: &ExperimentConfig,
+    ctl: &GridControl,
+    board: &LiveRiskBoard,
+) -> RawGrid {
+    let sup = ctl
+        .supervisor
+        .clone()
+        .expect("run_grid_supervised requires ctl.supervisor");
+    sup.validate()
+        .unwrap_or_else(|e| panic!("invalid supervisor config: {e}"));
+
+    // Adopt any shard journals a crashed predecessor left behind *before*
+    // computing journal hits.
+    if let Some(path) = ctl.journal.as_deref() {
+        let _ = Journal::merge_shards(path);
+    }
+    let journal = ctl.journal.as_deref().map(|p| {
+        Journal::open(p).unwrap_or_else(|e| panic!("cannot open journal {}: {e}", p.display()))
+    });
+    let fail_cell = ctl
+        .fail_cell
+        .clone()
+        .or_else(|| std::env::var(crate::grid::FAIL_CELL_ENV).ok());
+    let stall_cell = ctl
+        .stall_cell
+        .clone()
+        .or_else(|| std::env::var(crate::grid::STALL_CELL_ENV).ok());
+    let policies = policies_for(econ);
+    let n_scen = Scenario::ALL.len();
+    let n_pol = policies.len();
+
+    let mut raw = vec![vec![vec![[0.0f64; 4]; n_pol]; 6]; n_scen];
+    let mut cell_secs = vec![vec![vec![0.0f64; n_pol]; 6]; n_scen];
+    let mut cell_events = vec![vec![vec![0u64; n_pol]; 6]; n_scen];
+    let mut cell_costs = vec![vec![vec![CellCost::default(); n_pol]; 6]; n_scen];
+    let mut cell_workers = vec![vec![vec![0u64; n_pol]; 6]; n_scen];
+    let mut profile = ProfileSnapshot::default();
+    let mut errors: Vec<CellError> = Vec::new();
+
+    // Points report to the live board once all their policies resolve.
+    let mut point_fill = vec![vec![0usize; 6]; n_scen];
+    let feed_board =
+        |point_fill: &mut [Vec<usize>], raw: &[Vec<Vec<[f64; 4]>>], s: usize, v: usize| {
+            point_fill[s][v] += 1;
+            if point_fill[s][v] == n_pol {
+                board.record_point(s, &raw[s][v]);
+            }
+        };
+
+    // Enumerate cells; resolve journal hits immediately; everything else
+    // is work.
+    let mut to_run: Vec<CellSpec> = Vec::new();
+    for s in 0..n_scen {
+        for v in 0..6 {
+            for (p, &kind) in policies.iter().enumerate() {
+                let key = cell_key(econ, set, cfg, s, v, kind);
+                if let Some(rec) = journal.as_ref().and_then(|j| j.get(&key)) {
+                    raw[s][v][p] = rec.objectives;
+                    cell_secs[s][v][p] = rec.secs;
+                    cell_events[s][v][p] = rec.events;
+                    cell_workers[s][v][p] = rec.worker;
+                    feed_board(&mut point_fill, &raw, s, v);
+                } else {
+                    to_run.push(CellSpec {
+                        econ,
+                        set,
+                        scenario_idx: s,
+                        value_idx: v,
+                        policy: kind,
+                        key,
+                    });
+                }
+            }
+        }
+    }
+    // The cell budget (the "kill the supervisor partway" hook) truncates
+    // the work list: cells past it stay missing — placeholders, not
+    // journaled — exactly like the in-process runner.
+    let mut skipped: Vec<CellSpec> = Vec::new();
+    if let Some(n) = ctl.cell_budget {
+        skipped = to_run.split_off(n.min(to_run.len()));
+        for cell in &skipped {
+            feed_board(&mut point_fill, &raw, cell.scenario_idx, cell.value_idx);
+        }
+    }
+    let total_cells = n_scen * 6 * n_pol;
+    let total_to_run = to_run.len();
+    let already_resolved = total_cells - total_to_run - skipped.len();
+
+    // Shard the work round-robin into per-slot deques.
+    let shards = plan_shards(to_run.len(), sup.workers);
+    let mut deques: Vec<VecDeque<CellSpec>> = shards
+        .iter()
+        .map(|shard| shard.iter().map(|&i| to_run[i].clone()).collect())
+        .collect();
+
+    let worker_bin = sup.worker_bin.clone().unwrap_or_else(|| {
+        std::env::current_exe().expect("cannot resolve current executable for worker re-exec")
+    });
+    let hello = |worker_id: u64| ToWorker::Hello {
+        worker_id,
+        seed: cfg.seed,
+        nodes: cfg.nodes,
+        trace: cfg.trace,
+        heartbeat_ms: sup.heartbeat_ms,
+        cell_wall_budget: ctl.cell_wall_budget,
+        cell_event_budget: ctl.cell_event_budget,
+        fail_cell: fail_cell.clone(),
+        stall_cell: stall_cell.clone(),
+        shard_journal: ctl.journal.as_deref().map(|p| {
+            Journal::shard_path(p, worker_id)
+                .to_string_lossy()
+                .into_owned()
+        }),
+    };
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let spawn_cap = sup.workers * 2;
+    let mut spawned = 0usize;
+    let mut next_id = 0u64;
+    let mut handles: Vec<WorkerHandle> = Vec::new();
+    let mut busy_secs: Vec<f64> = Vec::new();
+    let telemetry = ccs_telemetry::ENABLED.then(ccs_telemetry::global);
+
+    let spawn_worker = |slot: usize,
+                        spawned: &mut usize,
+                        next_id: &mut u64,
+                        handles: &mut Vec<WorkerHandle>,
+                        busy_secs: &mut Vec<f64>| {
+        *next_id += 1;
+        *spawned += 1;
+        let id = *next_id;
+        busy_secs.push(0.0);
+        if let Some(t) = telemetry {
+            t.counter("grid.worker.spawns").inc();
+        }
+        match Command::new(&worker_bin)
+            .arg("worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+        {
+            Ok(mut child) => {
+                let mut stdin = child.stdin.take().expect("piped stdin");
+                let mut stdout = child.stdout.take().expect("piped stdout");
+                let write_ok = write_frame(&mut stdin, &hello(id)).is_ok();
+                let tx = tx.clone();
+                std::thread::spawn(move || loop {
+                    match read_frame::<FromWorker>(&mut stdout) {
+                        Ok(Some(frame)) => {
+                            if tx.send(Event::Frame(id, frame)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = tx.send(Event::Eof(id));
+                            break;
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Event::Corrupt(id, e.to_string()));
+                            break;
+                        }
+                    }
+                });
+                handles.push(WorkerHandle {
+                    id,
+                    slot,
+                    child,
+                    stdin,
+                    alive: write_ok,
+                    ready: false,
+                    last_seen: Instant::now(),
+                    current: None,
+                });
+            }
+            Err(e) => {
+                progress::note(&format!("supervisor: cannot spawn worker {id}: {e}"));
+                // A handle that is already dead: the main loop's respawn
+                // logic takes it from here.
+            }
+        }
+    };
+
+    for slot in 0..sup.workers.min(total_to_run) {
+        spawn_worker(
+            slot,
+            &mut spawned,
+            &mut next_id,
+            &mut handles,
+            &mut busy_secs,
+        );
+    }
+
+    let heartbeat_deadline = Duration::from_millis(sup.heartbeat_ms);
+    let mut attempts: HashMap<String, u32> = HashMap::new();
+    let mut retry: Vec<(Instant, CellSpec)> = Vec::new();
+    let mut resolved = 0usize;
+    let show_progress = progress::bar_enabled();
+    let started = Instant::now();
+
+    // One closure per resolution kind keeps the loop legible.
+    macro_rules! resolve_err {
+        ($cell:expr, $kind:expr, $message:expr) => {{
+            let cell: &CellSpec = $cell;
+            errors.push(CellError {
+                scenario: Scenario::ALL[cell.scenario_idx].label(),
+                scenario_idx: cell.scenario_idx,
+                value_idx: cell.value_idx,
+                policy: cell.policy.name().to_string(),
+                kind: $kind,
+                message: $message,
+            });
+            feed_board(&mut point_fill, &raw, cell.scenario_idx, cell.value_idx);
+            resolved += 1;
+        }};
+    }
+    macro_rules! fail_cell_attempt {
+        ($cell:expr, $failure:expr) => {{
+            let cell: CellSpec = $cell;
+            let failure: WorkerFailure = $failure;
+            let n = attempts.entry(cell.key.clone()).or_insert(0);
+            *n += 1;
+            let n = *n;
+            if !failure.is_retryable() {
+                if let WorkerFailure::CellFailed { kind, message } = failure {
+                    resolve_err!(&cell, kind, message);
+                } else {
+                    unreachable!("only CellFailed is non-retryable");
+                }
+            } else if n >= sup.retries {
+                resolve_err!(
+                    &cell,
+                    CellErrorKind::Quarantine,
+                    format!("quarantined after {n} failed attempt(s); last: {failure}")
+                );
+            } else {
+                if let Some(t) = telemetry {
+                    t.counter("grid.worker.retries").inc();
+                }
+                let delay = backoff_delay_ms(cfg.seed, &cell.key, n, sup.backoff_ms);
+                retry.push((Instant::now() + Duration::from_millis(delay), cell));
+            }
+        }};
+    }
+
+    while resolved < total_to_run {
+        // Declare a worker dead and orphan its in-flight cell.
+        // (Implemented inline because it borrows half the local state.)
+
+        // 1. Assign work to idle live workers: own deque, then steal from
+        //    the longest, then a due retry.
+        let now = Instant::now();
+        for h in handles
+            .iter_mut()
+            .filter(|h| h.alive && h.ready && h.current.is_none())
+        {
+            let cell = deques[h.slot]
+                .pop_front()
+                .or_else(|| {
+                    // Steal from the back of the longest other deque.
+                    deques
+                        .iter_mut()
+                        .max_by_key(|d| d.len())
+                        .filter(|d| !d.is_empty())
+                        .and_then(|d| d.pop_back())
+                })
+                .or_else(|| {
+                    // A due retry, earliest first.
+                    let due = retry
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (at, _))| *at <= now)
+                        .min_by_key(|(_, (at, _))| *at)
+                        .map(|(i, _)| i);
+                    due.map(|i| retry.swap_remove(i).1)
+                });
+            if let Some(cell) = cell {
+                h.current = Some(cell.clone());
+                let _ = write_frame(&mut h.stdin, &ToWorker::RunCell { cell });
+                // A write failure means the worker died; its Eof event
+                // orphans the cell we just recorded as in flight.
+            }
+        }
+
+        // 2. Wait for events.
+        let timeout = Duration::from_millis(25);
+        let mut batch: Vec<Event> = Vec::new();
+        match rx.recv_timeout(timeout) {
+            Ok(ev) => {
+                batch.push(ev);
+                while let Ok(ev) = rx.try_recv() {
+                    batch.push(ev);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {}
+        }
+
+        for ev in batch {
+            match ev {
+                Event::Frame(id, frame) => {
+                    let Some(h) = handles.iter_mut().find(|h| h.id == id) else {
+                        continue;
+                    };
+                    h.last_seen = Instant::now();
+                    match frame {
+                        FromWorker::Ready { .. } => h.ready = true,
+                        FromWorker::Heartbeat { .. } => {
+                            if let Some(t) = telemetry {
+                                t.counter(&format!("grid.worker.{id}.heartbeats")).inc();
+                            }
+                        }
+                        FromWorker::CellOk {
+                            cell,
+                            objectives,
+                            secs,
+                            events,
+                            cost,
+                            profile: cell_profile,
+                        } => {
+                            h.current = None;
+                            busy_secs[(id - 1) as usize] += secs;
+                            let (s, v) = (cell.scenario_idx, cell.value_idx);
+                            let p = policies.iter().position(|k| *k == cell.policy).unwrap();
+                            raw[s][v][p] = objectives;
+                            cell_secs[s][v][p] = secs;
+                            cell_events[s][v][p] = events;
+                            cell_costs[s][v][p] = cost;
+                            cell_workers[s][v][p] = id;
+                            if !cell_profile.is_empty() {
+                                profile.merge(&cell_profile);
+                            }
+                            // The stall drill's numbers never reach the
+                            // journal (same rule as in-process).
+                            let stalled = stall_cell.as_deref()
+                                == Some(format!("{s}:{v}:{}", cell.policy.name()).as_str());
+                            if let Some(j) = journal.as_ref().filter(|_| !stalled) {
+                                j.append(&CellRecord {
+                                    key: cell.key.clone(),
+                                    scenario_idx: s,
+                                    value_idx: v,
+                                    policy: cell.policy.name().to_string(),
+                                    objectives,
+                                    secs,
+                                    events,
+                                    worker: id,
+                                });
+                            }
+                            feed_board(&mut point_fill, &raw, s, v);
+                            resolved += 1;
+                        }
+                        FromWorker::CellErr {
+                            cell,
+                            kind,
+                            message,
+                        } => {
+                            h.current = None;
+                            fail_cell_attempt!(cell, WorkerFailure::CellFailed { kind, message });
+                        }
+                    }
+                }
+                dead => {
+                    let (id, detail) = match dead {
+                        Event::Eof(id) => (id, None),
+                        Event::Corrupt(id, d) => (id, Some(d)),
+                        Event::Frame(..) => unreachable!("handled above"),
+                    };
+                    let Some(h) = handles.iter_mut().find(|h| h.id == id) else {
+                        continue;
+                    };
+                    if !h.alive {
+                        continue;
+                    }
+                    h.alive = false;
+                    let failure = match detail {
+                        Some(d) => {
+                            let _ = h.child.kill();
+                            let _ = h.child.wait();
+                            WorkerFailure::Protocol { detail: d }
+                        }
+                        None => {
+                            let code = h.child.wait().ok().and_then(|st| st.code());
+                            WorkerFailure::Crash { exit_code: code }
+                        }
+                    };
+                    if let Some(t) = telemetry {
+                        t.counter("grid.worker.deaths").inc();
+                    }
+                    progress::note(&format!("supervisor: worker {id} died: {failure}"));
+                    if let Some(cell) = h.current.take() {
+                        fail_cell_attempt!(cell, failure);
+                    }
+                }
+            }
+        }
+
+        // 3. Heartbeat watchdog.
+        let now = Instant::now();
+        let mut timed_out: Vec<u64> = Vec::new();
+        for h in handles.iter().filter(|h| h.alive) {
+            if now.duration_since(h.last_seen) > heartbeat_deadline {
+                timed_out.push(h.id);
+            }
+        }
+        for id in timed_out {
+            let h = handles.iter_mut().find(|h| h.id == id).unwrap();
+            h.alive = false;
+            let _ = h.child.kill();
+            let _ = h.child.wait();
+            let silent_ms = now.duration_since(h.last_seen).as_millis() as u64;
+            if let Some(t) = telemetry {
+                t.counter("grid.worker.deaths").inc();
+            }
+            let failure = WorkerFailure::HeartbeatTimeout { silent_ms };
+            progress::note(&format!("supervisor: worker {id} died: {failure}"));
+            if let Some(cell) = h.current.take() {
+                fail_cell_attempt!(cell, failure);
+            }
+        }
+
+        // 4. Everyone dead with work outstanding → respawn (up to the
+        //    cap) or quarantine what's left.
+        if resolved < total_to_run && !handles.iter().any(|h| h.alive) {
+            if spawned < spawn_cap {
+                let slot = spawned % sup.workers;
+                spawn_worker(
+                    slot,
+                    &mut spawned,
+                    &mut next_id,
+                    &mut handles,
+                    &mut busy_secs,
+                );
+            } else {
+                let outstanding: Vec<CellSpec> = deques
+                    .iter_mut()
+                    .flat_map(|d| d.drain(..))
+                    .chain(retry.drain(..).map(|(_, c)| c))
+                    .collect();
+                for cell in outstanding {
+                    resolve_err!(
+                        &cell,
+                        CellErrorKind::Quarantine,
+                        format!("no live workers left (spawn cap {spawn_cap} reached)")
+                    );
+                }
+            }
+        }
+
+        if show_progress {
+            let suffix = board.snapshot().progress_suffix();
+            progress::draw_bar_with(
+                already_resolved + resolved,
+                total_cells - skipped.len(),
+                started,
+                &suffix,
+            );
+        }
+    }
+
+    // Clean shutdown: ask politely, then close stdin (EOF also exits the
+    // worker loop) and reap.
+    for h in handles.iter_mut().filter(|h| h.alive) {
+        let _ = write_frame(&mut h.stdin, &ToWorker::Shutdown);
+        let _ = h.stdin.flush();
+    }
+    for mut h in handles {
+        drop(h.stdin);
+        if h.alive {
+            let _ = h.child.wait();
+        }
+    }
+    // Fold shard journals into the primary: on a clean run this only
+    // deletes them (their records were journaled as CellOk frames
+    // arrived), after frame loss it adopts the stragglers.
+    if let Some(path) = ctl.journal.as_deref() {
+        let _ = Journal::merge_shards(path);
+    }
+
+    errors.sort_by(|a, b| {
+        (a.scenario_idx, a.value_idx, &a.policy).cmp(&(b.scenario_idx, b.value_idx, &b.policy))
+    });
+    let grid = RawGrid {
+        econ,
+        set,
+        policies,
+        raw,
+        cell_secs,
+        cell_events,
+        cell_costs,
+        cell_workers,
+        profile,
+        workload_cache_hits: 0,
+        workload_cache_misses: 0,
+        worker_busy_secs: busy_secs,
+        wall_secs: started.elapsed().as_secs_f64(),
+        errors,
+    };
+    crate::grid::record_grid_telemetry(&grid);
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..=10u32 {
+            let a = backoff_delay_ms(42, "cellkey", attempt, 250);
+            let b = backoff_delay_ms(42, "cellkey", attempt, 250);
+            assert_eq!(a, b, "same inputs, same delay");
+            let shift = (attempt - 1).min(16);
+            let exp = 250u64.saturating_mul(1 << shift).min(MAX_BACKOFF_MS);
+            assert!(
+                a >= exp,
+                "attempt {attempt}: delay {a} below exponential floor {exp}"
+            );
+            assert!(
+                a < exp + 250,
+                "attempt {attempt}: jitter out of bounds ({a} >= {exp} + base)"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_varies_with_seed_and_key() {
+        let base = backoff_delay_ms(1, "k", 1, 1000);
+        let other_seed = backoff_delay_ms(2, "k", 1, 1000);
+        let other_key = backoff_delay_ms(1, "k2", 1, 1000);
+        let other_attempt = backoff_delay_ms(1, "k", 2, 1000);
+        // The jitter hash must react to every input (collisions are
+        // possible but three simultaneous ones are not, for FNV on these
+        // fixed strings).
+        assert!(
+            base != other_seed || base != other_key || base + 1000 != other_attempt,
+            "jitter ignored all inputs"
+        );
+    }
+
+    #[test]
+    fn backoff_never_exceeds_cap_plus_jitter() {
+        for attempt in 1..=64u32 {
+            let d = backoff_delay_ms(7, "x", attempt, MAX_BACKOFF_MS);
+            assert!(d < 2 * MAX_BACKOFF_MS + 1, "delay {d} blew the cap");
+        }
+    }
+
+    #[test]
+    fn failure_classification_retryability() {
+        assert!(WorkerFailure::Crash { exit_code: None }.is_retryable());
+        assert!(WorkerFailure::Crash { exit_code: Some(3) }.is_retryable());
+        assert!(WorkerFailure::HeartbeatTimeout { silent_ms: 5000 }.is_retryable());
+        assert!(WorkerFailure::Protocol {
+            detail: "torn".into()
+        }
+        .is_retryable());
+        assert!(WorkerFailure::CellFailed {
+            kind: CellErrorKind::Panic,
+            message: "boom".into()
+        }
+        .is_retryable());
+        // Deterministic verdicts are final.
+        assert!(!WorkerFailure::CellFailed {
+            kind: CellErrorKind::Budget,
+            message: "over".into()
+        }
+        .is_retryable());
+        assert!(!WorkerFailure::CellFailed {
+            kind: CellErrorKind::Invariant,
+            message: "violated".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn failure_display_names_the_cause() {
+        assert!(WorkerFailure::Crash { exit_code: Some(3) }
+            .to_string()
+            .contains("code 3"));
+        assert!(WorkerFailure::Crash { exit_code: None }
+            .to_string()
+            .contains("signal or abort"));
+        assert!(WorkerFailure::HeartbeatTimeout { silent_ms: 1234 }
+            .to_string()
+            .contains("1234 ms"));
+        assert!(WorkerFailure::Protocol {
+            detail: "bad frame".into()
+        }
+        .to_string()
+        .contains("bad frame"));
+    }
+
+    #[test]
+    fn config_validation_names_the_flag() {
+        let ok = SupervisorConfig::default();
+        assert!(ok.validate().is_ok());
+        let cases = [
+            (
+                SupervisorConfig {
+                    workers: 0,
+                    ..ok.clone()
+                },
+                "--workers",
+            ),
+            (
+                SupervisorConfig {
+                    workers: 1000,
+                    ..ok.clone()
+                },
+                "--workers",
+            ),
+            (
+                SupervisorConfig {
+                    retries: 0,
+                    ..ok.clone()
+                },
+                "--retries",
+            ),
+            (
+                SupervisorConfig {
+                    backoff_ms: 0,
+                    ..ok.clone()
+                },
+                "--backoff-ms",
+            ),
+            (
+                SupervisorConfig {
+                    heartbeat_ms: 5,
+                    ..ok.clone()
+                },
+                "--heartbeat-ms",
+            ),
+        ];
+        for (bad, flag) in cases {
+            let err = bad.validate().unwrap_err();
+            assert_eq!(err.field, flag);
+        }
+    }
+}

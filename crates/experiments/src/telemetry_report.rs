@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Current [`TelemetryReport::schema_version`]. v2 added the per-cell
-/// phase cost vector to [`CellTiming`].
-pub const SCHEMA_VERSION: u32 = 2;
+/// phase cost vector to [`CellTiming`]; v3 added worker attribution
+/// (`CellTiming::worker`, 0 when the cell ran in-process).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Wall-time table of one grid: seconds per (scenario, policy), summed
 /// over the six scenario values.
@@ -129,9 +130,14 @@ pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     cells.truncate(k);
     let mut s = String::from("slowest cells:\n");
     for (tag, c) in cells {
+        let worker = if c.worker == 0 {
+            "w-".to_string()
+        } else {
+            format!("w{}", c.worker)
+        };
         let _ = write!(
             s,
-            "  {:>8.3}s  {:>9.0} ev/s  {tag}  {}[{}]  {}",
+            "  {:>8.3}s  {:>9.0} ev/s  {worker:>3}  {tag}  {}[{}]  {}",
             c.secs,
             c.events_per_sec(),
             c.scenario,
@@ -186,6 +192,13 @@ mod tests {
         // Header + k cells + the workload-cache totals line.
         assert_eq!(text.lines().count(), 5);
         assert!(text.contains("ev/s"));
+        // Every cell line carries a worker (thread or process) tag.
+        let tagged = text
+            .lines()
+            .skip(1)
+            .take(3)
+            .all(|l| l.contains("  w") && l.contains("ev/s"));
+        assert!(tagged, "{text}");
         assert!(text.contains("workload cache:"));
     }
 }

@@ -1,0 +1,223 @@
+//! The grid worker process: one shard executor of the multi-process grid.
+//!
+//! A worker is the current binary re-exec'd as `utility_risk worker`
+//! (hidden subcommand). It speaks the [`crate::ipc`] frame protocol:
+//! [`ToWorker::Hello`] configures the run, then the supervisor streams
+//! [`ToWorker::RunCell`] assignments one at a time and the worker answers
+//! each with `CellOk` or a typed `CellErr`. A dedicated thread emits
+//! [`FromWorker::Heartbeat`] beacons at a quarter of the configured
+//! interval, independent of the (possibly long-running) cell on the main
+//! thread — so a slow cell is not silence, only a dead process is.
+//!
+//! Results are belt-and-braces durable: each completed cell is appended to
+//! the worker's *shard journal* (`<primary>.shard<id>`) before the
+//! `CellOk` frame is sent. If the worker (or the pipe) dies between the
+//! append and the supervisor's read, `Journal::merge_shards` adopts the
+//! record on the next resume instead of re-simulating the cell.
+//!
+//! The `CCS_KILL_WORKER` drill (`"worker:after_cells"`,
+//! [`ccs_chaos::WorkerKillPlan`]) makes the matching worker
+//! `std::process::abort()` upon its next assignment — the std-only
+//! stand-in for SIGKILL that the kill-recovery tests and the CI drill use.
+
+use crate::grid::{simulate_cell, CellDrill, ExperimentConfig, WorkloadCache};
+use crate::ipc::{read_frame, write_frame, FromWorker, ToWorker};
+use crate::journal::{CellRecord, Journal};
+use crate::scenario::Scenario;
+use ccs_chaos::WorkerKillPlan;
+use ccs_simsvc::{RunBudget, RunConfig};
+use ccs_workload::apply_scenario;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Exit code for a protocol violation (unreadable or out-of-order frame):
+/// distinct from 0 (clean shutdown) and from abort/panic codes, so the
+/// supervisor's crash classification stays meaningful.
+pub const PROTOCOL_EXIT: i32 = 3;
+
+/// Sends one frame to the supervisor through the shared stdout lock.
+/// Exits the process cleanly if the pipe is gone — a worker without a
+/// supervisor has nothing left to do.
+fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+    let mut w = out.lock().unwrap();
+    if write_frame(&mut *w, msg).is_err() {
+        std::process::exit(0);
+    }
+    let _ = w.flush();
+}
+
+/// Runs the worker protocol loop until shutdown. Never returns.
+pub fn worker_main() -> ! {
+    let mut stdin = std::io::stdin().lock();
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+
+    let hello = match read_frame::<ToWorker>(&mut stdin) {
+        Ok(Some(h @ ToWorker::Hello { .. })) => h,
+        Ok(None) => std::process::exit(0),
+        other => {
+            eprintln!("worker: expected Hello frame, got {other:?}");
+            std::process::exit(PROTOCOL_EXIT);
+        }
+    };
+    let ToWorker::Hello {
+        worker_id,
+        seed,
+        nodes,
+        trace,
+        heartbeat_ms,
+        cell_wall_budget,
+        cell_event_budget,
+        fail_cell,
+        stall_cell,
+        shard_journal,
+    } = hello
+    else {
+        unreachable!("matched Hello above");
+    };
+
+    let cfg = ExperimentConfig {
+        nodes,
+        trace,
+        seed,
+        threads: 1,
+    };
+    let run_budget = RunBudget {
+        max_wall_secs: cell_wall_budget,
+        max_events: cell_event_budget,
+    };
+    let shard = shard_journal.map(|p| {
+        Journal::open(Path::new(&p))
+            .unwrap_or_else(|e| panic!("worker {worker_id}: cannot open shard journal {p}: {e}"))
+    });
+    let kill_plan = WorkerKillPlan::from_env();
+
+    let cells_done = Arc::new(AtomicU64::new(0));
+    {
+        // Heartbeats ride a dedicated thread so a long cell on the main
+        // thread never reads as silence. The thread dies with the process;
+        // if the pipe breaks first, `send` exits for us.
+        let out = Arc::clone(&out);
+        let cells_done = Arc::clone(&cells_done);
+        let interval = std::time::Duration::from_millis((heartbeat_ms / 4).max(10));
+        std::thread::spawn(move || loop {
+            send(
+                &out,
+                &FromWorker::Heartbeat {
+                    worker_id,
+                    cells_done: cells_done.load(Ordering::Relaxed),
+                },
+            );
+            std::thread::sleep(interval);
+        });
+    }
+    send(&out, &FromWorker::Ready { worker_id });
+
+    // Base jobs are synthesised once, lazily; scenario workloads are
+    // memoised across cells exactly like the in-process thread pool.
+    let mut base: Option<Arc<Vec<ccs_workload::BaseJob>>> = None;
+    let cache = WorkloadCache::new();
+
+    loop {
+        let msg = match read_frame::<ToWorker>(&mut stdin) {
+            Ok(Some(m)) => m,
+            Ok(None) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("worker {worker_id}: bad frame from supervisor: {e}");
+                std::process::exit(PROTOCOL_EXIT);
+            }
+        };
+        let cell = match msg {
+            ToWorker::RunCell { cell } => cell,
+            ToWorker::Shutdown => std::process::exit(0),
+            ToWorker::Hello { .. } => {
+                eprintln!("worker {worker_id}: unexpected second Hello");
+                std::process::exit(PROTOCOL_EXIT);
+            }
+        };
+
+        if let Some(plan) = kill_plan {
+            if plan.should_kill(worker_id, cells_done.load(Ordering::Relaxed)) {
+                // The kill drill: die abruptly mid-shard, no cleanup, no
+                // goodbye frame — the supervisor must cope.
+                std::process::abort();
+            }
+        }
+
+        let scenario = Scenario::ALL[cell.scenario_idx];
+        let value = scenario.values()[cell.value_idx];
+        let fault = scenario.fault(value, cfg.seed);
+        let transform = scenario.transform(cell.set, value);
+        let run_cfg = RunConfig {
+            nodes: cfg.nodes,
+            econ: cell.econ,
+        };
+        let this_cell = format!(
+            "{}:{}:{}",
+            cell.scenario_idx,
+            cell.value_idx,
+            cell.policy.name()
+        );
+        let drill = CellDrill {
+            fail: fail_cell.as_deref() == Some(this_cell.as_str()),
+            stall: stall_cell.as_deref() == Some(this_cell.as_str()),
+        };
+        let base_slot = &mut base;
+        let sim = simulate_cell(
+            cell.policy,
+            &run_cfg,
+            fault.as_ref(),
+            run_budget,
+            drill,
+            &this_cell,
+            || {
+                let base = base_slot.get_or_insert_with(|| Arc::new(cfg.trace.generate(cfg.seed)));
+                let base = Arc::clone(base);
+                cache.get_or_generate(format!("{transform:?}"), move || {
+                    let _phase = ccs_telemetry::profile::enter("workload_gen");
+                    apply_scenario(&base, &transform, cfg.seed)
+                })
+            },
+        );
+        cells_done.fetch_add(1, Ordering::Relaxed);
+
+        match sim.outcome {
+            Ok((objectives, events)) => {
+                if let Some(j) = shard.as_ref().filter(|_| !drill.stall) {
+                    j.append(&CellRecord {
+                        key: cell.key.clone(),
+                        scenario_idx: cell.scenario_idx,
+                        value_idx: cell.value_idx,
+                        policy: cell.policy.name().to_string(),
+                        objectives,
+                        secs: sim.secs,
+                        events,
+                        worker: worker_id,
+                    });
+                }
+                send(
+                    &out,
+                    &FromWorker::CellOk {
+                        cell,
+                        objectives,
+                        secs: sim.secs,
+                        events,
+                        cost: sim.cost,
+                        profile: sim.profile,
+                    },
+                );
+            }
+            Err((kind, message)) => {
+                send(
+                    &out,
+                    &FromWorker::CellErr {
+                        cell,
+                        kind,
+                        message,
+                    },
+                );
+            }
+        }
+    }
+}

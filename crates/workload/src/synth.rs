@@ -20,6 +20,7 @@
 use crate::job::{BaseJob, JobId};
 use ccs_des::dist::{Distribution, Exponential, LogNormal, Uniform};
 use ccs_des::SimRng;
+use serde::{Deserialize, Serialize};
 
 /// How user runtime estimates are synthesized.
 ///
@@ -32,7 +33,7 @@ use ccs_des::SimRng;
 /// smallest canonical value at or above the padded runtime, which keeps the
 /// over/under-estimate mix intact while producing the trace-like spiky
 /// histogram.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum EstimateModel {
     /// `estimate = runtime × (1 + Exp(surplus))` (continuous).
     Multiplicative,
@@ -48,7 +49,7 @@ pub const MODAL_ESTIMATES: [f64; 16] = [
 ];
 
 /// Configuration of the synthetic SDSC SP2 workload model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SdscSp2Model {
     /// Number of jobs to generate.
     pub jobs: usize,

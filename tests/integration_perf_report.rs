@@ -60,6 +60,7 @@ fn build_store(mut mutate: impl FnMut(&str, &str, &mut f64, &mut CellCost)) -> R
                     events: (secs * 50_000.0) as u64,
                     digest: format!("{scenario}/{value_idx}/{policy}"),
                     cost,
+                    worker: 0,
                 });
             }
         }
