@@ -3,7 +3,8 @@
 //! Usage: `cargo run --release -p ccs-bench-suite --bin bench_kernel [out.json]`
 //!
 //! `bench_kernel --list [file]` runs nothing: it prints the trendline as
-//! TSV (one row per entry × measurement) and exits — the quick way to eyeball
+//! TSV (one row per entry × measurement, with a `delta_units_per_sec`
+//! column vs the previous entry) and exits — the quick way to eyeball
 //! throughput history or feed it to `cut`/`awk`.
 //!
 //! Setting `CCS_BENCH_QUICK=1` shrinks the per-measurement time budget
@@ -14,6 +15,12 @@
 //!
 //! * `des_kernel_schedule_pop` — events/sec through the DES kernel
 //!   (schedule, a cancellation mix, pop in time order);
+//! * `event_queue_soa_pop` — events/sec through the bare arena/SoA event
+//!   queue (same mix, no simulation clock on top);
+//! * `batched_dispatch` — events/sec through `next_batch` over equal-time
+//!   cohorts (the failure-storm shape the batch API amortises);
+//! * `ensemble_parallel_cell` — job-replicas/sec through one faulty cell
+//!   run as a parallel seed ensemble (`utility_risk --replicas`);
 //! * `ps_advance_to` / `ps_advance_to_sparse` — completions/sec through the
 //!   proportional-share cluster under dense and sparse residency;
 //! * `workload_gen` — jobs/sec through scenario-transform synthesis;
@@ -36,12 +43,13 @@
 
 use ccs_bench_suite::{measure, BenchEntry, BenchHistory, Measurement};
 use ccs_cluster::{PsCluster, WeightMode};
-use ccs_des::{SimRng, SimTime, Simulation};
+use ccs_des::{EventQueue, SimRng, SimTime, Simulation};
 use ccs_economy::EconomicModel;
-use ccs_experiments::{run_grid, EstimateSet, ExperimentConfig, Scenario};
+use ccs_experiments::{run_cell_ensemble, run_grid, EstimateSet, ExperimentConfig, Scenario};
 use ccs_policies::PolicyKind;
-use ccs_simsvc::{simulate, simulate_observed, LiveRunStats, RunConfig};
+use ccs_simsvc::{simulate, simulate_observed, FaultConfig, LiveRunStats, RunConfig};
 use ccs_workload::{apply_scenario, Job, JobId, ScenarioTransform, SdscSp2Model, Urgency};
+use std::sync::Arc;
 
 const KERNEL_EVENTS: u64 = 200_000;
 const GRID_JOBS: usize = 100;
@@ -50,6 +58,8 @@ const PS_ROUNDS: usize = 200;
 const WORKLOAD_JOBS: usize = 2_000;
 const POLICY_JOBS: usize = 300;
 const CELL_JOBS: usize = 200;
+const BATCH_COHORT: u64 = 32;
+const ENSEMBLE_REPLICAS: usize = 4;
 
 /// Schedules `n` events at pseudo-random times (cancelling every 16th) and
 /// drains them in time order; returns a checksum of the processed stream.
@@ -72,6 +82,92 @@ fn kernel_round(n: u64) -> u64 {
             .wrapping_mul(0x100000001B3)
             .wrapping_add(ev)
             .wrapping_add(t.as_secs().to_bits());
+    }
+    checksum
+}
+
+/// Exercises the arena/SoA event queue directly, without the simulation
+/// clock on top: push `n` events at pseudo-random times, cancel every
+/// 16th, drain with `pop`. Isolates the slab + cache-dense heap hot loop
+/// that `des_kernel_schedule_pop` measures through [`Simulation`].
+fn queue_round(n: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SimRng::seed_from(0x50A0);
+    let mut handles = Vec::with_capacity(16);
+    for i in 0..n {
+        let h = q.push(SimTime::new(rng.uniform(0.0, 1e6)), i);
+        if i % 16 == 0 {
+            handles.push(h);
+        }
+    }
+    for h in handles {
+        q.cancel(h);
+    }
+    let mut checksum = 0u64;
+    while let Some((t, ev)) = q.pop() {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(ev)
+            .wrapping_add(t.as_secs().to_bits());
+    }
+    checksum
+}
+
+/// Schedules `n` events in equal-time cohorts ([`BATCH_COHORT`] events per
+/// instant — a failure storm's shape) and drains them through
+/// `next_batch`, the batched same-time dispatch path the runner and PS
+/// cluster consume. Compare against `des_kernel_schedule_pop` to read the
+/// per-instant amortisation.
+fn batch_round(n: u64) -> u64 {
+    let mut sim: Simulation<u64> = Simulation::new();
+    let mut rng = SimRng::seed_from(0xBA7C);
+    let cohorts = n / BATCH_COHORT;
+    for c in 0..cohorts {
+        let t = SimTime::new(rng.uniform(0.0, 1e6));
+        for i in 0..BATCH_COHORT {
+            sim.schedule_at(t, c * BATCH_COHORT + i);
+        }
+    }
+    let mut buf: Vec<u64> = Vec::new();
+    let mut checksum = 0u64;
+    while let Some(t) = sim.next_batch(&mut buf) {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(buf.len() as u64)
+            .wrapping_add(t.as_secs().to_bits());
+        for ev in &buf {
+            checksum = checksum.wrapping_add(*ev);
+        }
+    }
+    checksum
+}
+
+/// One faulty Libra cell run as an [`ENSEMBLE_REPLICAS`]-wide seed
+/// ensemble over a shared workload, fanned across as many threads — the
+/// in-cell parallelism `utility_risk --replicas` exposes. Units are
+/// jobs × replicas, so the number is directly comparable to
+/// `single_cell_utility_risk`: the gap between them is the ensemble
+/// speed-up (minus merge overhead).
+fn ensemble_round(jobs: &Arc<Vec<Job>>, nodes: u32) -> u64 {
+    let cfg = RunConfig {
+        nodes,
+        econ: EconomicModel::CommodityMarket,
+    };
+    let fault = FaultConfig::exponential(0xFA17, 40_000.0, 600.0);
+    let (mu, sigma, events) = run_cell_ensemble(
+        Arc::clone(jobs),
+        PolicyKind::Libra,
+        &cfg,
+        Some(&fault),
+        ENSEMBLE_REPLICAS,
+        ENSEMBLE_REPLICAS,
+    )
+    .expect("ensemble cell completes");
+    let mut checksum = events;
+    for x in mu.iter().chain(sigma.iter()) {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(x.to_bits());
     }
     checksum
 }
@@ -245,6 +341,22 @@ fn main() {
     report_line(&kernel);
     measurements.push(kernel);
 
+    eprintln!("benchmarking SoA event queue ({KERNEL_EVENTS} events/iter, bare queue)...");
+    let queue = measure("event_queue_soa_pop", KERNEL_EVENTS, min_secs, || {
+        queue_round(KERNEL_EVENTS)
+    });
+    report_line(&queue);
+    measurements.push(queue);
+
+    eprintln!(
+        "benchmarking batched dispatch ({KERNEL_EVENTS} events/iter, cohorts of {BATCH_COHORT})..."
+    );
+    let batch = measure("batched_dispatch", KERNEL_EVENTS, min_secs, || {
+        batch_round(KERNEL_EVENTS)
+    });
+    report_line(&batch);
+    measurements.push(batch);
+
     // Dense: ~4 resident tasks per node per wave, short advances. Sparse:
     // one task per node, long advances that drain the cluster each wave.
     let dense_units = (PS_NODES * PS_ROUNDS * 4) as u64;
@@ -316,6 +428,18 @@ fn main() {
     });
     report_line(&stream);
     measurements.push(stream);
+
+    let ensemble_jobs = Arc::new(cell_jobs.clone());
+    let ensemble_units = (CELL_JOBS * ENSEMBLE_REPLICAS) as u64;
+    eprintln!(
+        "benchmarking ensemble cell ({CELL_JOBS} jobs x {ENSEMBLE_REPLICAS} replicas/iter, \
+         {ENSEMBLE_REPLICAS} threads)..."
+    );
+    let ensemble = measure("ensemble_parallel_cell", ensemble_units, min_secs, || {
+        ensemble_round(&ensemble_jobs, 128)
+    });
+    report_line(&ensemble);
+    measurements.push(ensemble);
 
     let grid_points = Scenario::ALL.len() * 6;
     let grid_units = (GRID_JOBS * grid_points * 5) as u64; // 5 commodity policies

@@ -158,20 +158,38 @@ impl BenchHistory {
 
     /// Renders the trendline as TSV, one row per (entry, measurement) —
     /// the `bench_kernel --list` output, trivially greppable/cuttable.
+    ///
+    /// The final `delta_units_per_sec` column is the throughput change vs
+    /// the same-named measurement in the *previous* trendline entry
+    /// (`+12.3%` / `-4.0%`), so a regression is visible straight from the
+    /// listing; `-` when there is no previous entry or the benchmark first
+    /// appears in this one.
     pub fn to_tsv(&self) -> String {
         let mut s = String::from(
-            "recorded_unix_secs\tlabel\ttelemetry\tbenchmark\tunits_per_sec\tbest_secs_per_iter\n",
+            "recorded_unix_secs\tlabel\ttelemetry\tbenchmark\tunits_per_sec\tbest_secs_per_iter\tdelta_units_per_sec\n",
         );
-        for e in &self.entries {
+        for (i, e) in self.entries.iter().enumerate() {
+            let prev = i.checked_sub(1).map(|p| &self.entries[p]);
             for m in &e.measurements {
+                let delta = prev
+                    .and_then(|p| p.measurements.iter().find(|pm| pm.name == m.name))
+                    .filter(|pm| pm.units_per_sec > 0.0)
+                    .map(|pm| {
+                        format!(
+                            "{:+.1}%",
+                            (m.units_per_sec / pm.units_per_sec - 1.0) * 100.0
+                        )
+                    })
+                    .unwrap_or_else(|| "-".to_string());
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{:.1}\t{:.9}\n",
+                    "{}\t{}\t{}\t{}\t{:.1}\t{:.9}\t{}\n",
                     e.recorded_unix_secs,
                     e.label,
                     e.telemetry_enabled,
                     m.name,
                     m.units_per_sec,
-                    m.best_secs_per_iter
+                    m.best_secs_per_iter,
+                    delta
                 ));
             }
         }
@@ -339,11 +357,63 @@ mod tests {
         let lines: Vec<&str> = tsv.lines().collect();
         assert_eq!(lines.len(), 3, "{tsv}");
         assert!(lines[0].starts_with("recorded_unix_secs\tlabel\t"));
+        assert!(lines[0].ends_with("\tdelta_units_per_sec"));
         assert!(lines[1].starts_with("1\ta\tfalse\ttiny\t"));
         assert!(lines[2].starts_with("2\tb\tfalse\ttiny\t"));
         // Every row is as wide as the header.
         let width = lines[0].split('\t').count();
         assert!(lines.iter().all(|l| l.split('\t').count() == width));
+    }
+
+    #[test]
+    fn tsv_delta_column_compares_against_previous_entry() {
+        fn fixed(name: &str, units_per_sec: f64) -> Measurement {
+            Measurement {
+                name: name.to_string(),
+                units_per_iter: 1,
+                iters: 1,
+                total_secs: 1.0,
+                secs_per_iter: 1.0,
+                best_secs_per_iter: 1.0,
+                units_per_sec,
+            }
+        }
+        let mut history = BenchHistory::new();
+        history.entries = vec![
+            BenchEntry {
+                recorded_unix_secs: 1,
+                label: "old".to_string(),
+                telemetry_enabled: false,
+                measurements: vec![fixed("kernel", 100.0)],
+            },
+            BenchEntry {
+                recorded_unix_secs: 2,
+                label: "new".to_string(),
+                telemetry_enabled: false,
+                measurements: vec![fixed("kernel", 125.0), fixed("fresh", 9.0)],
+            },
+        ];
+        let tsv = history.to_tsv();
+        let last = |name: &str| {
+            tsv.lines()
+                .find(|l| l.contains(&format!("\t{name}\t")))
+                .unwrap()
+                .rsplit('\t')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        // The first entry has nothing to compare against.
+        assert_eq!(last("kernel"), "-");
+        let row = tsv
+            .lines()
+            .filter(|l| l.contains("\tkernel\t"))
+            .nth(1)
+            .unwrap();
+        assert!(row.ends_with("\t+25.0%"), "{tsv}");
+        // A benchmark first appearing in the newest entry has no baseline.
+        let fresh = tsv.lines().find(|l| l.contains("\tfresh\t")).unwrap();
+        assert!(fresh.ends_with("\t-"), "{tsv}");
     }
 
     #[test]

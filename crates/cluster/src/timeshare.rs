@@ -43,6 +43,18 @@ const EPS_WORK: f64 = 1e-6;
 /// estimate (the scheduler no longer knows how much work remains).
 const RESIDUAL_EST_FRACTION: f64 = 0.05;
 
+/// Branchless bit-select: the bits of `a` when `cond` holds, else the bits
+/// of `b`. Exactly equivalent to `if cond { a } else { b }` for every f64
+/// bit pattern (NaNs included) — the mask is all-ones or all-zeros — but
+/// compiles to straight-line mask arithmetic with no data-dependent branch,
+/// which is what keeps the per-task weight fold free of the mispredict
+/// stalls a deadline-crossing branch ladder causes.
+#[inline(always)]
+fn select(cond: bool, a: f64, b: f64) -> f64 {
+    let mask = (cond as u64).wrapping_neg();
+    f64::from_bits((a.to_bits() & mask) | (b.to_bits() & !mask))
+}
+
 /// Weight discipline of the proportional-share engine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WeightMode {
@@ -150,6 +162,8 @@ pub struct PsCluster {
     /// Reusable per-event buffers (the event loop allocates nothing).
     weights_scratch: Vec<f64>,
     finished_scratch: Vec<JobId>,
+    /// Pooled scratch for batched same-time event dispatch (`pop_batch`).
+    events_scratch: Vec<usize>,
     now: f64,
     /// Test-only switch: route `recompute`/`free_share` through the naive
     /// full-rescan reference implementation, the property-test oracle.
@@ -194,6 +208,7 @@ impl PsCluster {
             completions: Vec::new(),
             weights_scratch: Vec::new(),
             finished_scratch: Vec::new(),
+            events_scratch: Vec::new(),
             now: 0.0,
             #[cfg(test)]
             force_reference: false,
@@ -240,6 +255,12 @@ impl PsCluster {
 
     /// Demand weight of `task` as of `now`, given its work done `done`,
     /// on a node of speed `rating`.
+    ///
+    /// This is the pre-optimisation branchy form, kept verbatim as the
+    /// property-test oracle for [`PsCluster::weight_of_branchless`] (the
+    /// `force_reference` paths route here); production folds use the
+    /// branchless twin.
+    #[cfg(test)]
     fn weight_of(&self, task: &PsTask, now: f64, done: f64, rating: f64) -> f64 {
         let rem_time = task.abs_deadline - now;
         if rem_time <= 0.0 {
@@ -258,6 +279,39 @@ impl PsCluster {
             }
         };
         w.max(MIN_WEIGHT)
+    }
+
+    /// Branchless [`PsCluster::weight_of`]: identical bits for every input,
+    /// with the data-dependent deadline branch ladder replaced by mask/select
+    /// arithmetic so the aggregate folds below run without per-task
+    /// mispredicts.
+    ///
+    /// Byte-identity argument: the speculative live weight is the exact
+    /// expression `weight_of` evaluates on the non-overdue path (the static
+    /// task fast path returns the admitted share through the same
+    /// `.max(MIN_WEIGHT)` clamp), and `select` copies one operand's bits
+    /// verbatim. When the task is overdue the dynamic expression may produce
+    /// garbage (division by a non-positive remaining time, up to NaN) — but
+    /// those bits are masked out by the select, never observed.
+    #[inline(always)]
+    fn weight_of_branchless(&self, task: &PsTask, now: f64, done: f64, rating: f64) -> f64 {
+        let rem_time = task.abs_deadline - now;
+        // Deadline passed with work remaining: escalate to full demand, or
+        // keep the admitted share when escalation is ablated.
+        let overdue_w = select(self.escalation, 1.0, task.static_w);
+        let live_w = match self.mode {
+            // Static-task fast path: no remaining-work arithmetic at all.
+            WeightMode::Static => task.static_w.max(MIN_WEIGHT),
+            WeightMode::Dynamic => {
+                let rem_est = (task.est_total - done).max(RESIDUAL_EST_FRACTION * task.est_total);
+                // Not `clamp`: `min`/`max` drop a NaN quotient (0/0 when a
+                // zero-length task meets an expired deadline) in favour of
+                // the bound, which `clamp` would propagate instead.
+                #[allow(clippy::manual_clamp)]
+                (rem_est / (rem_time * rating)).min(1.0).max(MIN_WEIGHT)
+            }
+        };
+        select(rem_time <= 0.0, overdue_w, live_w)
     }
 
     /// Projects a task's work done at `now` without mutating it.
@@ -290,7 +344,14 @@ impl PsCluster {
         let used: f64 = n
             .tasks
             .iter()
-            .map(|t| self.weight_of(t, now, Self::projected_done(t, n.last_update, now), rating))
+            .map(|t| {
+                self.weight_of_branchless(
+                    t,
+                    now,
+                    Self::projected_done(t, n.last_update, now),
+                    rating,
+                )
+            })
             .sum();
         1.0 - used
     }
@@ -331,7 +392,12 @@ impl PsCluster {
         let rating = self.ratings[node];
         let mut used = 0.0;
         for t in &n.tasks {
-            used += self.weight_of(t, now, Self::projected_done(t, n.last_update, now), rating);
+            used += self.weight_of_branchless(
+                t,
+                now,
+                Self::projected_done(t, n.last_update, now),
+                rating,
+            );
             if 1.0 - used + eps < required {
                 return None;
             }
@@ -431,18 +497,27 @@ impl PsCluster {
         // Share recomputation dominates this loop; one guard per advance
         // call (not per event) keeps profiling overhead off the hot path.
         let _phase = ccs_telemetry::profile::enter("ps_recompute");
-        while let Some(et) = self.queue.peek_time() {
-            if et.as_secs() > t {
-                break;
-            }
-            let (et, node) = self.queue.pop().expect("peeked event must pop");
+        // Batched same-time dispatch: each pop_batch drains the whole run of
+        // node events sharing the next timestamp in one heap pass. A node
+        // appears at most once per run (it never has two pending events), so
+        // every affected node gets exactly one accrue/harvest/recompute at
+        // that instant, and processing the run in pop order is identical to
+        // popping one event at a time — any event a recompute schedules back
+        // at the same instant carries a higher seq, so both disciplines fire
+        // it after the rest of the run.
+        let mut batch = std::mem::take(&mut self.events_scratch);
+        let horizon = SimTime::new(if t.is_finite() { t } else { f64::INFINITY });
+        while let Some(et) = self.queue.pop_batch_until(horizon, &mut batch) {
             let et = et.as_secs();
             self.now = self.now.max(et);
-            self.nodes[node].pending_event = None;
-            self.accrue(node, et);
-            self.harvest_completions(node, et);
-            self.recompute(node, et);
+            for &node in &batch {
+                self.nodes[node].pending_event = None;
+                self.accrue(node, et);
+                self.harvest_completions(node, et);
+                self.recompute(node, et);
+            }
         }
+        self.events_scratch = batch;
         self.now = self.now.max(t);
         out.append(&mut self.completions);
     }
@@ -476,17 +551,33 @@ impl PsCluster {
     /// accrued to `now`), in ascending job-id order. No-op (empty result)
     /// if the node is already down.
     pub fn fail_node(&mut self, node: usize, now: f64) -> Vec<(JobId, f64)> {
+        self.fail_nodes(&[node], now)
+    }
+
+    /// Batch form of [`PsCluster::fail_node`]: takes every listed node down
+    /// at the same instant in one pass. The interrupted-job set and the
+    /// remaining-work figures are exactly what sequential `fail_node` calls
+    /// would produce (every task is accrued to the same `now` either way),
+    /// but each affected node is accrued and its shares recomputed **once**
+    /// per batch instead of once per failure — the point of batched fault
+    /// dispatch when a storm takes many nodes down simultaneously. Already
+    /// down nodes are skipped; the result is in ascending job-id order.
+    pub fn fail_nodes(&mut self, nodes: &[usize], now: f64) -> Vec<(JobId, f64)> {
         assert!(
             now + 1e-9 >= self.now,
-            "fail_node at {now} before engine time {}",
+            "fail_nodes at {now} before engine time {}",
             self.now
         );
         self.now = self.now.max(now);
-        if !self.up[node] {
-            return Vec::new();
+        let mut resident: Vec<JobId> = Vec::new();
+        for &node in nodes {
+            if self.up[node] {
+                self.up[node] = false;
+                resident.extend(self.nodes[node].tasks.iter().map(|t| t.job_id));
+            }
         }
-        self.up[node] = false;
-        let resident: Vec<JobId> = self.nodes[node].tasks.iter().map(|t| t.job_id).collect();
+        resident.sort_unstable();
+        resident.dedup();
         if resident.is_empty() {
             return Vec::new();
         }
@@ -498,13 +589,14 @@ impl PsCluster {
                 self.nodes[nid]
                     .tasks
                     .iter()
-                    .any(|t| resident.contains(&t.job_id))
+                    .any(|t| resident.binary_search(&t.job_id).is_ok())
             })
             .collect();
         for &nid in &affected {
             self.accrue(nid, now);
         }
-        let mut interrupted: Vec<(JobId, f64)> = resident
+        // `resident` is sorted, so the result is already in job-id order.
+        let interrupted: Vec<(JobId, f64)> = resident
             .iter()
             .map(|&job_id| {
                 let remaining = affected
@@ -516,11 +608,10 @@ impl PsCluster {
                 (job_id, remaining)
             })
             .collect();
-        interrupted.sort_unstable_by_key(|&(job_id, _)| job_id);
         for &nid in &affected {
             self.nodes[nid]
                 .tasks
-                .retain(|t| !resident.contains(&t.job_id));
+                .retain(|t| resident.binary_search(&t.job_id).is_err());
             if self.tracks_aggregates() {
                 self.nodes[nid].refresh_aggregates();
             }
@@ -660,7 +751,7 @@ impl PsCluster {
             {
                 let n = &self.nodes[node];
                 for t in &n.tasks {
-                    let w = self.weight_of(t, now, t.work_done, rating);
+                    let w = self.weight_of_branchless(t, now, t.work_done, rating);
                     sum_w += w;
                     weights.push(w);
                 }
@@ -1002,6 +1093,71 @@ mod tests {
         c.submit(&a, &[0], 20.0);
         let done = c.drain();
         assert_eq!(done.len(), 1);
+    }
+
+    /// A batch failure must interrupt exactly the jobs that sequential
+    /// single-node failures at the same instant would, with bit-identical
+    /// remaining-work figures, and leave the survivors on a bit-identical
+    /// trajectory — it only collapses N accrue/recompute passes into one.
+    #[test]
+    fn fail_nodes_batch_matches_sequential_fail_node() {
+        use ccs_des::SimRng;
+        const NODES: usize = 8;
+        for seed in 0..4u64 {
+            let mut batch = PsCluster::new(NODES, WeightMode::Dynamic);
+            let mut seq = PsCluster::new(NODES, WeightMode::Dynamic);
+            let mut rng = SimRng::seed_from(0xFA11 + seed);
+            for id in 0..20 {
+                let procs = rng.range_usize(1, 4);
+                let mut nids: Vec<usize> = Vec::new();
+                for _ in 0..procs {
+                    let nid = rng.range_usize(0, NODES);
+                    if !nids.contains(&nid) {
+                        nids.push(nid);
+                    }
+                }
+                let runtime = rng.uniform(10.0, 200.0);
+                let j = job(id, 0.0, runtime, runtime, 500.0, nids.len() as u32);
+                batch.submit(&j, &nids, 0.0);
+                seq.submit(&j, &nids, 0.0);
+            }
+            batch.advance_to(25.0);
+            seq.advance_to(25.0);
+            let victims = [1usize, 3, 6];
+            let a = batch.fail_nodes(&victims, 25.0);
+            let mut b: Vec<(JobId, f64)> = Vec::new();
+            for &v in &victims {
+                b.extend(seq.fail_node(v, 25.0));
+            }
+            b.sort_unstable_by_key(|&(job_id, _)| job_id);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "job {} remaining", x.0);
+            }
+            for v in victims {
+                assert!(!batch.node_up(v));
+            }
+            // Survivors finish on bit-identical schedules.
+            let da = batch.drain();
+            let db = seq.drain();
+            assert_eq!(da.len(), db.len());
+            for (x, y) in da.iter().zip(&db) {
+                assert_eq!(x.job_id, y.job_id);
+                assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fail_nodes_skips_already_down_members() {
+        let mut c = PsCluster::new(3, WeightMode::Static);
+        let a = job(0, 0.0, 100.0, 100.0, 500.0, 1);
+        c.submit(&a, &[1], 0.0);
+        c.fail_node(2, 0.0);
+        let hit = c.fail_nodes(&[1, 2], 10.0);
+        assert_eq!(hit, vec![(0, 90.0)]);
+        assert_eq!(c.up_nodes(), 1);
     }
 
     #[test]

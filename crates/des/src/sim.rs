@@ -123,6 +123,23 @@ impl<E> Simulation<E> {
         }
     }
 
+    /// Batched dispatch: advances the clock to the next pending instant and
+    /// drains *every* event scheduled at exactly that instant into `buf`
+    /// (cleared first, caller-pooled), returning the instant. One call
+    /// replaces a `next()` loop over a burst of simultaneous events, so the
+    /// handler can do its per-instant work once per run instead of once per
+    /// event. Returns `None` when the event list is exhausted.
+    pub fn next_batch(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
+        let t = self.queue.pop_batch(buf)?;
+        debug_assert!(t >= self.clock, "event queue returned a past run");
+        self.clock = t;
+        self.processed += buf.len() as u64;
+        // Attribute the pops to whatever phase is active (no-op unless the
+        // `profile` feature is on; a single thread-local add when it is).
+        ccs_telemetry::profile::count(buf.len() as u64);
+        Some(t)
+    }
+
     /// Time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
@@ -219,6 +236,23 @@ mod tests {
         // Clock did not advance past the horizon check.
         assert_eq!(sim.now(), SimTime::new(1.0));
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn next_batch_advances_clock_once_per_instant() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::new(1.0), "a");
+        sim.schedule_at(SimTime::new(1.0), "b");
+        sim.schedule_at(SimTime::new(4.0), "c");
+        let mut buf = Vec::new();
+        assert_eq!(sim.next_batch(&mut buf), Some(SimTime::new(1.0)));
+        assert_eq!(buf, vec!["a", "b"]);
+        assert_eq!(sim.now(), SimTime::new(1.0));
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(sim.next_batch(&mut buf), Some(SimTime::new(4.0)));
+        assert_eq!(buf, vec!["c"]);
+        assert_eq!(sim.next_batch(&mut buf), None);
+        assert_eq!(sim.events_processed(), 3);
     }
 
     #[test]

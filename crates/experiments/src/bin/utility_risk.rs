@@ -17,7 +17,10 @@
 //! ```
 //!
 //! Every subcommand accepts the shared flags `--quick`, `--quiet`,
-//! `--jobs N`, `--seed S`, `--threads T`, `--out DIR`. `trace` additionally
+//! `--jobs N`, `--seed S`, `--threads T`, `--replicas R` (seed replicas
+//! per grid cell, fanned across the in-process pool; objectives become the
+//! replica mean μ and `sigma_*` store columns record the spread),
+//! `--out DIR`. `trace` additionally
 //! takes `--econ commodity|bid`, `--set A|B`, `--scenario IDX`,
 //! `--value IDX`, `--policy NAME`. Grid subcommands take the crash-safety
 //! flags `--resume JOURNAL`, `--cell-budget N`, `--cell-wall-budget SECS`,
@@ -55,7 +58,7 @@ use ccs_workload::{apply_scenario, WorkloadSummary};
 fn usage() -> ! {
     eprintln!(
         "usage: utility_risk <tables|figure FIG|all|ablations|robustness|summary|dominance|workload|trace|chaos|query|perf> \
-         [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--out DIR] [--telemetry FILE]\n\
+         [--quick] [--quiet] [--jobs N] [--seed S] [--threads T] [--replicas R] [--out DIR] [--telemetry FILE]\n\
          grid subcommands (all/summary/dominance) also take: [--resume JOURNAL] [--cell-budget N] \
          [--cell-wall-budget SECS] [--cell-event-budget N] [--compact-journal]\n\
          multi-process grid: [--workers N] [--retries N] [--backoff-ms MS] [--heartbeat-ms MS]\n\

@@ -39,6 +39,13 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Seed replicas per grid cell (the in-cell ensemble width). Every
+    /// replica re-runs the cell over the *same* memoised workload with an
+    /// independently forked fault-RNG stream; replica 0 keeps the cell's
+    /// own stream, so `replicas == 1` reproduces a plain run exactly. The
+    /// cell's recorded objectives become the replica mean μ and the spread
+    /// σ is tracked alongside. Clamped to at least 1.
+    pub replicas: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -48,6 +55,7 @@ impl Default for ExperimentConfig {
             trace: SdscSp2Model::default(),
             seed: 42,
             threads: 0,
+            replicas: 1,
         }
     }
 }
@@ -65,6 +73,12 @@ impl ExperimentConfig {
     /// Override the number of jobs in the synthetic trace.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.trace.jobs = jobs;
+        self
+    }
+
+    /// Override the in-cell ensemble width (seed replicas per cell).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
         self
     }
 }
@@ -256,8 +270,12 @@ pub struct RawGrid {
     pub policies: Vec<PolicyKind>,
     /// `raw[scenario][value][policy] = [wait, SLA, reliability,
     /// profitability]` — raw objective values (wait in seconds, the rest in
-    /// percent).
+    /// percent). With `replicas > 1` each cell holds the replica mean μ.
     pub raw: Vec<Vec<Vec<[f64; 4]>>>,
+    /// `cell_sigma[scenario][value][policy]` — per-objective population
+    /// standard deviation across the cell's seed replicas. All zeros when
+    /// `replicas == 1` and for skipped cells.
+    pub cell_sigma: Vec<Vec<Vec<[f64; 4]>>>,
     /// `cell_secs[scenario][value][policy]` — wall-clock seconds per cell.
     /// Always populated, independent of the `telemetry` feature.
     pub cell_secs: Vec<Vec<Vec<f64>>>,
@@ -436,6 +454,11 @@ pub fn run_grid_with_base_ctl_observed(
     board: &LiveRiskBoard,
 ) -> RawGrid {
     if ctl.supervisor.is_some() {
+        assert!(
+            cfg.replicas <= 1,
+            "in-cell seed ensembles (replicas > 1) run on the in-process \
+             thread pool; drop the supervisor or set replicas to 1"
+        );
         // Multi-process path: workers synthesise base jobs from cfg.trace
         // themselves, so the caller-provided base is not shipped.
         return crate::supervisor::run_grid_supervised(econ, set, cfg, ctl, board);
@@ -465,6 +488,10 @@ pub fn run_grid_with_base_ctl_observed(
         .collect();
 
     let raw = Mutex::new(vec![
+        vec![vec![[0.0; 4]; policies.len()]; 6];
+        Scenario::ALL.len()
+    ]);
+    let cell_sigma = Mutex::new(vec![
         vec![vec![[0.0; 4]; policies.len()]; 6];
         Scenario::ALL.len()
     ]);
@@ -505,6 +532,7 @@ pub fn run_grid_with_base_ctl_observed(
     std::thread::scope(|scope| {
         for worker in 0..threads {
             let raw = &raw;
+            let cell_sigma = &cell_sigma;
             let cell_secs = &cell_secs;
             let cell_events = &cell_events;
             let cell_costs = &cell_costs;
@@ -547,10 +575,12 @@ pub fn run_grid_with_base_ctl_observed(
                         errors,
                         workload_cache,
                         worker as u64 + 1,
+                        threads,
                     );
                     my_busy += t0.elapsed().as_secs_f64();
                     board.record_point(s, &point.row);
                     raw.lock().unwrap()[s][v] = point.row;
+                    cell_sigma.lock().unwrap()[s][v] = point.sigmas;
                     cell_secs.lock().unwrap()[s][v] = point.secs;
                     cell_events.lock().unwrap()[s][v] = point.events;
                     cell_costs.lock().unwrap()[s][v] = point.costs;
@@ -579,6 +609,7 @@ pub fn run_grid_with_base_ctl_observed(
         set,
         policies,
         raw: raw.into_inner().unwrap(),
+        cell_sigma: cell_sigma.into_inner().unwrap(),
         cell_secs: cell_secs.into_inner().unwrap(),
         cell_events: cell_events.into_inner().unwrap(),
         cell_costs: cell_costs.into_inner().unwrap(),
@@ -775,9 +806,221 @@ pub(crate) fn simulate_cell(
     }
 }
 
+/// Deterministic fork of the fault seed for ensemble replica `replica`
+/// (SplitMix64 finaliser): decorrelates the replicas' failure weather from
+/// the base stream and from each other, while staying a pure function of
+/// `(seed, replica)` so the ensemble is reproducible.
+pub(crate) fn fork_replica_seed(seed: u64, replica: u64) -> u64 {
+    let mut z = seed ^ replica.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One ensemble-simulated cell: the merged [`SimulatedCell`] (objectives =
+/// replica mean μ, events summed) plus the per-objective replica spread σ.
+pub(crate) struct EnsembleCell {
+    /// Merged cell result; `outcome` holds μ objectives on success.
+    pub cell: SimulatedCell,
+    /// Population standard deviation of each objective across replicas.
+    /// Zeros when only one replica ran or any replica failed.
+    pub sigma: [f64; 4],
+}
+
+/// Runs one grid cell as an ensemble of `replicas` seed replicas over one
+/// shared workload, fanned across a scoped pool of at most `pool` threads.
+///
+/// Replica 0 keeps the cell's own fault stream, so `replicas <= 1`
+/// delegates straight to [`simulate_cell`] — byte-identical to a plain
+/// run. Replicas `1..` fork independent fault seeds via
+/// [`fork_replica_seed`]; workload, policy, and budgets are shared.
+/// Results are merged in fixed replica-index order, so μ/σ, event totals,
+/// and cost vectors are byte-identical regardless of `pool` — the same
+/// determinism contract the grid's outer thread pool honours.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_cell_ensemble(
+    kind: PolicyKind,
+    run_cfg: &RunConfig,
+    fault: Option<&FaultConfig>,
+    run_budget: RunBudget,
+    drill: CellDrill,
+    cell_label: &str,
+    replicas: usize,
+    pool: usize,
+    get_jobs: impl FnOnce() -> Arc<Vec<Job>>,
+) -> EnsembleCell {
+    if replicas <= 1 {
+        return EnsembleCell {
+            cell: simulate_cell(
+                kind, run_cfg, fault, run_budget, drill, cell_label, get_jobs,
+            ),
+            sigma: [0.0; 4],
+        };
+    }
+    let t0 = Instant::now();
+    // Synthesise (or fetch) the shared workload once, up front, so every
+    // replica reuses one memoised trace; attribute it to this cell.
+    let cell_phase = ccs_telemetry::profile::enter("cell");
+    let jobs = std::panic::catch_unwind(AssertUnwindSafe(get_jobs));
+    drop(cell_phase);
+    let mut profile = ccs_telemetry::profile::take();
+    let mut cost = CellCost::from_snapshot(&profile);
+    let jobs = match jobs {
+        Ok(jobs) => jobs,
+        Err(payload) => {
+            return EnsembleCell {
+                cell: SimulatedCell {
+                    outcome: Err((CellErrorKind::Panic, panic_message(payload))),
+                    secs: t0.elapsed().as_secs_f64(),
+                    cost,
+                    profile,
+                },
+                sigma: [0.0; 4],
+            }
+        }
+    };
+    let faults: Vec<Option<FaultConfig>> = (0..replicas)
+        .map(|r| {
+            fault.map(|f| {
+                let mut f = *f;
+                if r > 0 {
+                    f.seed = fork_replica_seed(f.seed, r as u64);
+                }
+                f
+            })
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<SimulatedCell>>> =
+        (0..replicas).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let pool = pool.clamp(1, replicas);
+    std::thread::scope(|scope| {
+        for _ in 0..pool {
+            let slots = &slots;
+            let next = &next;
+            let faults = &faults;
+            let jobs = &jobs;
+            scope.spawn(move || loop {
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= replicas {
+                    break;
+                }
+                let sim = simulate_cell(
+                    kind,
+                    run_cfg,
+                    faults[r].as_ref(),
+                    run_budget,
+                    drill,
+                    cell_label,
+                    || Arc::clone(jobs),
+                );
+                *slots[r].lock().unwrap() = Some(sim);
+            });
+        }
+    });
+    let sims: Vec<SimulatedCell> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every replica slot is filled")
+        })
+        .collect();
+    // Merge in fixed replica-index order: sums, profiles, and the
+    // first-error tiebreak never depend on pool interleaving.
+    let mut sum = [0.0f64; 4];
+    let mut events = 0u64;
+    let mut first_err: Option<(CellErrorKind, String)> = None;
+    for sim in &sims {
+        if !sim.profile.is_empty() {
+            profile.merge(&sim.profile);
+        }
+        for (acc, ns) in cost.phase_ns.iter_mut().zip(sim.cost.phase_ns) {
+            *acc += ns;
+        }
+        cost.peak_queue_depth = cost.peak_queue_depth.max(sim.cost.peak_queue_depth);
+        match &sim.outcome {
+            Ok((objectives, n_events)) => {
+                for (acc, x) in sum.iter_mut().zip(objectives) {
+                    *acc += x;
+                }
+                events += n_events;
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e.clone());
+                }
+            }
+        }
+    }
+    let n = replicas as f64;
+    let (outcome, sigma) = match first_err {
+        Some(e) => (Err(e), [0.0; 4]),
+        None => {
+            let mu = [sum[0] / n, sum[1] / n, sum[2] / n, sum[3] / n];
+            let mut sigma = [0.0f64; 4];
+            for (k, s) in sigma.iter_mut().enumerate() {
+                let ss: f64 = sims
+                    .iter()
+                    .map(|sim| {
+                        let x = sim.outcome.as_ref().expect("no replica failed").0[k];
+                        (x - mu[k]) * (x - mu[k])
+                    })
+                    .sum();
+                *s = (ss / n).sqrt();
+            }
+            (Ok((mu, events)), sigma)
+        }
+    };
+    EnsembleCell {
+        cell: SimulatedCell {
+            outcome,
+            secs: t0.elapsed().as_secs_f64(),
+            cost,
+            profile,
+        },
+        sigma,
+    }
+}
+
+/// Runs one policy cell as an in-process seed ensemble over a
+/// caller-provided workload — the public face of
+/// [`simulate_cell_ensemble`] for benchmarks and diagnostics, bypassing
+/// the grid machinery (journals, budgets, drills).
+///
+/// Returns `Ok((mu, sigma, events))` — the replica-mean objectives, their
+/// population spread, and the summed event count — or the first replica
+/// failure, formatted. Deterministic in `(jobs, kind, run_cfg, fault,
+/// replicas)` regardless of `pool`.
+pub fn run_cell_ensemble(
+    jobs: Arc<Vec<Job>>,
+    kind: PolicyKind,
+    run_cfg: &RunConfig,
+    fault: Option<&FaultConfig>,
+    replicas: usize,
+    pool: usize,
+) -> Result<([f64; 4], [f64; 4], u64), String> {
+    let ensemble = simulate_cell_ensemble(
+        kind,
+        run_cfg,
+        fault,
+        RunBudget::unlimited(),
+        CellDrill::default(),
+        "ensemble-cell",
+        replicas.max(1),
+        pool.max(1),
+        move || jobs,
+    );
+    match ensemble.cell.outcome {
+        Ok((mu, events)) => Ok((mu, ensemble.sigma, events)),
+        Err((kind, msg)) => Err(format!("{kind:?}: {msg}")),
+    }
+}
+
 /// Everything one experiment point yields, per policy column.
 struct PointResult {
     row: Vec<[f64; 4]>,
+    sigmas: Vec<[f64; 4]>,
     secs: Vec<f64>,
     events: Vec<u64>,
     costs: Vec<CellCost>,
@@ -807,6 +1050,7 @@ fn run_point(
     errors: &Mutex<Vec<CellError>>,
     cache: &WorkloadCache,
     worker_id: u64,
+    ensemble_pool: usize,
 ) -> PointResult {
     let scenario = Scenario::ALL[scenario_idx];
     let value = scenario.values()[value_idx];
@@ -820,6 +1064,7 @@ fn run_point(
     // the workload cache, let alone pays for synthesis.
     let mut jobs: Option<Arc<Vec<Job>>> = None;
     let mut row = Vec::with_capacity(policies.len());
+    let mut sigmas = Vec::with_capacity(policies.len());
     let mut secs = Vec::with_capacity(policies.len());
     let mut events = Vec::with_capacity(policies.len());
     let mut costs = Vec::with_capacity(policies.len());
@@ -829,6 +1074,7 @@ fn run_point(
         let key = cell_key(econ, set, cfg, scenario_idx, value_idx, kind);
         if let Some(rec) = journal.and_then(|j| j.get(&key)) {
             row.push(rec.objectives);
+            sigmas.push(rec.sigma);
             secs.push(rec.secs);
             events.push(rec.events);
             costs.push(CellCost::default());
@@ -840,6 +1086,7 @@ fn run_point(
                 // Budget spent: leave the cell missing (placeholder, not
                 // journaled) so a resumed run picks it up.
                 row.push([0.0; 4]);
+                sigmas.push([0.0; 4]);
                 secs.push(0.0);
                 events.push(0);
                 costs.push(CellCost::default());
@@ -853,13 +1100,15 @@ fn run_point(
             stall: stall_cell == Some(this_cell.as_str()),
         };
         let jobs_slot = &mut jobs;
-        let sim = simulate_cell(
+        let ensemble = simulate_cell_ensemble(
             kind,
             &run_cfg,
             fault.as_ref(),
             run_budget,
             drill,
             &this_cell,
+            cfg.replicas.max(1),
+            ensemble_pool,
             || {
                 Arc::clone(jobs_slot.get_or_insert_with(|| {
                     cache.get_or_generate(format!("{transform:?}"), || {
@@ -869,6 +1118,7 @@ fn run_point(
                 }))
             },
         );
+        let sim = ensemble.cell;
         if !sim.profile.is_empty() {
             profile.merge(&sim.profile);
         }
@@ -883,12 +1133,14 @@ fn run_point(
                         value_idx,
                         policy: kind.name().to_string(),
                         objectives,
+                        sigma: ensemble.sigma,
                         secs: sim.secs,
                         events: n_events,
                         worker: worker_id,
                     });
                 }
                 row.push(objectives);
+                sigmas.push(ensemble.sigma);
                 events.push(n_events);
             }
             Err((err_kind, message)) => {
@@ -901,6 +1153,7 @@ fn run_point(
                     message,
                 });
                 row.push([0.0; 4]);
+                sigmas.push([0.0; 4]);
                 events.push(0);
             }
         }
@@ -910,6 +1163,7 @@ fn run_point(
     }
     PointResult {
         row,
+        sigmas,
         secs,
         events,
         costs,
@@ -1098,6 +1352,154 @@ mod tests {
         let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &one);
         let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &many);
         assert_eq!(a.raw, b.raw);
+    }
+
+    #[test]
+    fn fork_replica_seed_is_deterministic_and_decorrelated() {
+        assert_eq!(fork_replica_seed(42, 1), fork_replica_seed(42, 1));
+        let forks: std::collections::HashSet<u64> =
+            (1..64).map(|r| fork_replica_seed(42, r)).collect();
+        assert_eq!(forks.len(), 63, "replica forks collide");
+        assert!(!forks.contains(&42), "a fork reproduced the base seed");
+        assert_ne!(fork_replica_seed(42, 1), fork_replica_seed(43, 1));
+    }
+
+    #[test]
+    fn single_replica_grid_has_zero_sigma_and_replicas_clamp() {
+        assert_eq!(ExperimentConfig::default().replicas, 1);
+        assert_eq!(ExperimentConfig::quick().with_replicas(0).replicas, 1);
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let g = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        assert!(g
+            .cell_sigma
+            .iter()
+            .flatten()
+            .flatten()
+            .all(|s| *s == [0.0; 4]));
+    }
+
+    #[test]
+    fn ensemble_grid_is_deterministic_across_thread_counts() {
+        let one = ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::quick().with_jobs(40).with_replicas(3)
+        };
+        let many = ExperimentConfig {
+            threads: 4,
+            ..ExperimentConfig::quick().with_jobs(40).with_replicas(3)
+        };
+        let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &one);
+        let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &many);
+        // The fixed replica-index merge order makes μ, σ, and the event
+        // totals byte-identical no matter how the pools interleave.
+        assert_eq!(a.raw, b.raw);
+        assert_eq!(a.cell_sigma, b.cell_sigma);
+        assert_eq!(a.cell_events, b.cell_events);
+    }
+
+    #[test]
+    fn ensemble_spreads_fault_cells_and_averages_over_replicas() {
+        let single = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(40)
+        };
+        let ensemble = single.with_replicas(3);
+        let a = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &single);
+        let b = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &ensemble);
+        let fr = Scenario::ALL
+            .iter()
+            .position(|s| *s == Scenario::FailureRate)
+            .unwrap();
+        // Fault-free scenarios: every replica re-runs the identical
+        // deterministic simulation, so the spread collapses and the mean
+        // reproduces the single run (up to the mean's last-ulp rounding).
+        for (s, per_value) in b.cell_sigma.iter().enumerate() {
+            if s == fr {
+                continue;
+            }
+            for (v, per_policy) in per_value.iter().enumerate() {
+                for (p, sigma) in per_policy.iter().enumerate() {
+                    assert!(sigma.iter().all(|x| x.abs() < 1e-9), "σ {sigma:?}");
+                    for k in 0..4 {
+                        let (x, mu) = (a.raw[s][v][p][k], b.raw[s][v][p][k]);
+                        assert!(
+                            (x - mu).abs() <= 1e-9 * x.abs().max(1.0),
+                            "[{s}][{v}][{p}][{k}]: {x} vs {mu}"
+                        );
+                    }
+                }
+            }
+        }
+        // Nonzero failure rates: the forked fault streams give the
+        // replicas genuinely different weather, so some spread survives.
+        let spread: f64 = b.cell_sigma[fr][1..]
+            .iter()
+            .flatten()
+            .flat_map(|s| s.iter())
+            .sum();
+        assert!(spread > 0.0, "ensemble produced no spread on fault cells");
+        // Events accumulate across replicas.
+        assert!(b.cell_events[fr][5][0] > a.cell_events[fr][5][0]);
+    }
+
+    #[test]
+    fn ensemble_journal_resume_restores_mean_and_sigma() {
+        let dir = std::env::temp_dir().join("ccs_grid_ensemble_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let cfg = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::quick().with_jobs(30).with_replicas(2)
+        };
+        let full = run_grid(EconomicModel::CommodityMarket, EstimateSet::A, &cfg);
+        let truncated = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: Some(30),
+                ..Default::default()
+            },
+        );
+        assert!(truncated.errors.is_empty());
+        let resumed = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &cfg,
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.raw, full.raw);
+        assert_eq!(resumed.cell_sigma, full.cell_sigma);
+        // An ensemble journal must not satisfy a single-replica run: the
+        // cell keys carry the replica count.
+        let single = run_grid_ctl(
+            EconomicModel::CommodityMarket,
+            EstimateSet::A,
+            &ExperimentConfig { replicas: 1, ..cfg },
+            &GridControl {
+                journal: Some(journal.clone()),
+                cell_budget: Some(0),
+                ..Default::default()
+            },
+        );
+        assert!(
+            single
+                .raw
+                .iter()
+                .flatten()
+                .flatten()
+                .all(|r| *r == [0.0; 4]),
+            "single-replica run reused ensemble journal cells"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -83,8 +83,14 @@ pub struct CellRecord {
     pub value_idx: usize,
     /// Policy display name.
     pub policy: String,
-    /// The cell's objective row `[wait, SLA, reliability, profitability]`.
+    /// The cell's objective row `[wait, SLA, reliability, profitability]` —
+    /// the replica mean μ when the cell ran as a seed ensemble.
     pub objectives: [f64; 4],
+    /// Per-objective population standard deviation across the cell's seed
+    /// replicas (all zeros for single-replica cells). Journals written
+    /// before this field existed fail line-parse and re-run, like any
+    /// schema change.
+    pub sigma: [f64; 4],
     /// Wall-clock seconds the cell originally took.
     pub secs: f64,
     /// Simulation outcomes the cell produced. Journals written before this
@@ -287,7 +293,7 @@ pub fn cell_key(
     let value = scenario.values()[value_idx];
     let fault = scenario.fault(value, cfg.seed);
     let canon = format!(
-        "v1|seed={}|nodes={}|jobs={}|interarrival={}|econ={:?}|set={:?}|scenario={:?}|value={}|policy={:?}|fault={:?}",
+        "v2|seed={}|nodes={}|jobs={}|interarrival={}|econ={:?}|set={:?}|scenario={:?}|value={}|policy={:?}|fault={:?}|replicas={}",
         cfg.seed,
         cfg.nodes,
         cfg.trace.jobs,
@@ -298,6 +304,7 @@ pub fn cell_key(
         value,
         policy,
         fault,
+        cfg.replicas.max(1),
     );
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canon.as_bytes() {
@@ -318,6 +325,7 @@ mod tests {
             value_idx: 1,
             policy: "FCFS-BF".to_string(),
             objectives: [1.0, 2.0, 3.0, 4.0],
+            sigma: [0.0; 4],
             secs: 0.5,
             events: 123,
             worker: 1,
@@ -466,7 +474,16 @@ mod tests {
         );
         let mut other_seed = cfg;
         other_seed.seed += 1;
+        let ensemble = cfg.with_replicas(3);
         let variants = [
+            cell_key(
+                EconomicModel::CommodityMarket,
+                EstimateSet::A,
+                &ensemble,
+                0,
+                0,
+                PolicyKind::FcfsBf,
+            ),
             cell_key(
                 EconomicModel::BidBased,
                 EstimateSet::A,

@@ -49,9 +49,9 @@ pub use analysis::{analyze, analyze_with, GridAnalysis};
 pub use atomic::write_atomic;
 pub use export::EvaluationExport;
 pub use grid::{
-    policies_for, run_grid, run_grid_ctl, run_grid_with_base, run_grid_with_base_ctl,
-    run_grid_with_base_ctl_observed, CellTiming, ExperimentConfig, GridControl, RawGrid,
-    FAIL_CELL_ENV, STALL_CELL_ENV,
+    policies_for, run_cell_ensemble, run_grid, run_grid_ctl, run_grid_with_base,
+    run_grid_with_base_ctl, run_grid_with_base_ctl_observed, CellTiming, ExperimentConfig,
+    GridControl, RawGrid, FAIL_CELL_ENV, STALL_CELL_ENV,
 };
 pub use journal::{cell_key, CellError, CellErrorKind, CellRecord, Journal};
 pub use live::{LiveRiskBoard, LiveRiskSnapshot, PolicyRisk};
@@ -205,8 +205,9 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Parses the tiny CLI convention shared by the experiment binaries:
-/// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--quick`,
-/// `--quiet` (suppress all stderr progress output — see [`progress`]).
+/// `--jobs N`, `--seed S`, `--out DIR`, `--threads T`, `--replicas R`
+/// (seed replicas per grid cell), `--quick`, `--quiet` (suppress all
+/// stderr progress output — see [`progress`]).
 pub fn parse_cli(args: &[String]) -> (ExperimentConfig, std::path::PathBuf) {
     let (cfg, out, _) = parse_cli_ext(args);
     (cfg, out)
@@ -302,6 +303,16 @@ pub fn parse_cli_checked(
                     )
                 })?;
             }
+            "--replicas" => {
+                i += 1;
+                let v = value(args, i, "--replicas")?;
+                cfg.replicas = v.parse().map_err(|_| {
+                    ConfigError::new("--replicas", format!("expected a replica count, got {v:?}"))
+                })?;
+                if cfg.replicas == 0 {
+                    return Err(ConfigError::new("--replicas", "must be at least 1"));
+                }
+            }
             "--out" => {
                 i += 1;
                 out = std::path::PathBuf::from(value(args, i, "--out")?);
@@ -313,8 +324,8 @@ pub fn parse_cli_checked(
             other => {
                 return Err(ConfigError::new(
                     other,
-                    "unknown argument (supported: --quick --quiet --jobs --seed --threads --out \
-                     --telemetry)",
+                    "unknown argument (supported: --quick --quiet --jobs --seed --threads \
+                     --replicas --out --telemetry)",
                 ))
             }
         }

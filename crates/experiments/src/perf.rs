@@ -520,6 +520,8 @@ mod tests {
                 digest: format!("cell{v}"),
                 cost: *cost,
                 worker: (v as u64 % 2) + 1,
+                replicas: 1,
+                sigma: [0.0; 4],
             });
         }
         store

@@ -34,12 +34,14 @@ pub const STORE_FILE: &str = "results_store.json";
 
 /// Store schema version; bump on any column or encoding change.
 ///
-/// v3 added the `worker` attribution column (which worker process/thread
-/// simulated each cell). v2 added the per-cell cost vector:
-/// `events_per_sec`, `peak_queue_depth`, and one `ns_*` self-time column
-/// per profiled phase. v1 and v2 stores load transparently — the new
-/// columns are additive and zero-filled on upgrade.
-pub const STORE_SCHEMA_VERSION: u32 = 3;
+/// v4 added the ensemble columns: `replicas` plus the four `sigma_*`
+/// replica-spread columns. v3 added the `worker` attribution column (which
+/// worker process/thread simulated each cell). v2 added the per-cell cost
+/// vector: `events_per_sec`, `peak_queue_depth`, and one `ns_*` self-time
+/// column per profiled phase. v1–v3 stores load transparently — the new
+/// columns are additive and filled with exactly the values the older
+/// producer would have recorded (σ = 0, replicas = 1 for grid rows).
+pub const STORE_SCHEMA_VERSION: u32 = 4;
 
 /// Row provenance: a normal grid cell, or a chaos-soak finding.
 pub const SOURCE_GRID: u8 = 0;
@@ -117,6 +119,19 @@ pub struct Columns {
     /// unattributed (chaos rows, skipped cells, pre-v3 journal hits).
     /// Schema v3.
     pub worker: Vec<u64>,
+    /// Seed replicas the cell's objectives were averaged over (1 = a plain
+    /// single-replica run); 0 = n/a (chaos rows). Schema v4.
+    pub replicas: Vec<u64>,
+    /// Population σ of the wait objective across the cell's seed replicas
+    /// (0 for single-replica cells). Schema v4, like all `sigma_*` columns.
+    pub sigma_wait: Vec<f64>,
+    /// Population σ of the SLA objective across replicas. Schema v4.
+    pub sigma_sla: Vec<f64>,
+    /// Population σ of the reliability objective across replicas. Schema v4.
+    pub sigma_reliability: Vec<f64>,
+    /// Population σ of the profitability objective across replicas.
+    /// Schema v4.
+    pub sigma_profitability: Vec<f64>,
 }
 
 impl Columns {
@@ -147,6 +162,17 @@ pub struct ResultStore {
     pub policies: Vec<String>,
     /// The column arrays.
     pub columns: Columns,
+}
+
+/// Fill for the schema-v4 ensemble columns when upgrading an older store:
+/// every pre-v4 grid row was a single-replica run (`replicas = 1`, σ = 0);
+/// chaos rows carry `replicas = 0` = n/a. Returns `(replicas, zero-σ)`.
+fn v4_ensemble_fill(source: &[u8]) -> (Vec<u64>, Vec<f64>) {
+    let replicas = source
+        .iter()
+        .map(|&s| if s == SOURCE_GRID { 1 } else { 0 })
+        .collect();
+    (replicas, vec![0.0; source.len()])
 }
 
 /// Schema-v1 mirror of [`Columns`]: the seventeen original arrays, without
@@ -201,6 +227,7 @@ impl StoreV1 {
                 }
             })
             .collect();
+        let (replicas, sigma_zero) = v4_ensemble_fill(&v1.source);
         ResultStore {
             schema_version: STORE_SCHEMA_VERSION,
             scenarios: self.scenarios,
@@ -232,6 +259,11 @@ impl StoreV1 {
                 ns_fault: vec![0; n],
                 ns_collect: vec![0; n],
                 worker: vec![0; n],
+                replicas,
+                sigma_wait: sigma_zero.clone(),
+                sigma_sla: sigma_zero.clone(),
+                sigma_reliability: sigma_zero.clone(),
+                sigma_profitability: sigma_zero,
             },
         }
     }
@@ -284,6 +316,7 @@ impl StoreV2 {
     fn upgrade(self) -> ResultStore {
         let v2 = self.columns;
         let n = v2.source.len();
+        let (replicas, sigma_zero) = v4_ensemble_fill(&v2.source);
         ResultStore {
             schema_version: STORE_SCHEMA_VERSION,
             scenarios: self.scenarios,
@@ -315,13 +348,108 @@ impl StoreV2 {
                 ns_fault: v2.ns_fault,
                 ns_collect: v2.ns_collect,
                 worker: vec![0; n],
+                replicas,
+                sigma_wait: sigma_zero.clone(),
+                sigma_sla: sigma_zero.clone(),
+                sigma_reliability: sigma_zero.clone(),
+                sigma_profitability: sigma_zero,
+            },
+        }
+    }
+}
+
+/// Schema-v3 mirror of [`Columns`]: everything but the v4 ensemble
+/// columns. Kept only so [`ResultStore::load`] can upgrade v3 files;
+/// `Serialize` is derived so tests can author v3 fixtures.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct ColumnsV3 {
+    source: Vec<u8>,
+    econ: Vec<u8>,
+    set: Vec<u8>,
+    scenario: Vec<u32>,
+    value_idx: Vec<u8>,
+    value: Vec<f64>,
+    policy: Vec<u32>,
+    seed: Vec<u64>,
+    wait: Vec<f64>,
+    sla: Vec<f64>,
+    reliability: Vec<f64>,
+    profitability: Vec<f64>,
+    norm_score: Vec<f64>,
+    risk_score: Vec<f64>,
+    secs: Vec<f64>,
+    events: Vec<u64>,
+    digest: Vec<String>,
+    events_per_sec: Vec<f64>,
+    peak_queue_depth: Vec<u64>,
+    ns_workload_gen: Vec<u64>,
+    ns_admission: Vec<u64>,
+    ns_dispatch: Vec<u64>,
+    ns_ps_recompute: Vec<u64>,
+    ns_fault: Vec<u64>,
+    ns_collect: Vec<u64>,
+    worker: Vec<u64>,
+}
+
+/// Schema-v3 mirror of [`ResultStore`] (see [`ColumnsV3`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StoreV3 {
+    schema_version: u32,
+    scenarios: Vec<String>,
+    policies: Vec<String>,
+    columns: ColumnsV3,
+}
+
+impl StoreV3 {
+    /// Upgrades to the current schema: the v4 ensemble columns are
+    /// additive — every v3 grid row ran exactly one replica, so
+    /// `replicas = 1` and σ = 0 (chaos rows get `replicas = 0` = n/a).
+    fn upgrade(self) -> ResultStore {
+        let v3 = self.columns;
+        let (replicas, sigma_zero) = v4_ensemble_fill(&v3.source);
+        ResultStore {
+            schema_version: STORE_SCHEMA_VERSION,
+            scenarios: self.scenarios,
+            policies: self.policies,
+            columns: Columns {
+                source: v3.source,
+                econ: v3.econ,
+                set: v3.set,
+                scenario: v3.scenario,
+                value_idx: v3.value_idx,
+                value: v3.value,
+                policy: v3.policy,
+                seed: v3.seed,
+                wait: v3.wait,
+                sla: v3.sla,
+                reliability: v3.reliability,
+                profitability: v3.profitability,
+                norm_score: v3.norm_score,
+                risk_score: v3.risk_score,
+                secs: v3.secs,
+                events: v3.events,
+                digest: v3.digest,
+                events_per_sec: v3.events_per_sec,
+                peak_queue_depth: v3.peak_queue_depth,
+                ns_workload_gen: v3.ns_workload_gen,
+                ns_admission: v3.ns_admission,
+                ns_dispatch: v3.ns_dispatch,
+                ns_ps_recompute: v3.ns_ps_recompute,
+                ns_fault: v3.ns_fault,
+                ns_collect: v3.ns_collect,
+                worker: v3.worker,
+                replicas,
+                sigma_wait: sigma_zero.clone(),
+                sigma_sla: sigma_zero.clone(),
+                sigma_reliability: sigma_zero.clone(),
+                sigma_profitability: sigma_zero,
             },
         }
     }
 }
 
 /// Every queryable column name, in presentation order.
-pub const COLUMN_NAMES: [&str; 26] = [
+pub const COLUMN_NAMES: [&str; 31] = [
     "source",
     "econ",
     "set",
@@ -348,6 +476,11 @@ pub const COLUMN_NAMES: [&str; 26] = [
     "ns_fault",
     "ns_collect",
     "worker",
+    "replicas",
+    "sigma_wait",
+    "sigma_sla",
+    "sigma_reliability",
+    "sigma_profitability",
 ];
 
 /// The schema-v2 cost-vector columns, in [`crate::grid::PHASE_LEAVES`]
@@ -446,6 +579,10 @@ pub struct Row<'a> {
     pub cost: CellCost,
     /// 1-based worker attribution (0 = unattributed).
     pub worker: u64,
+    /// Seed replicas the objectives were averaged over (0 = n/a).
+    pub replicas: u64,
+    /// Per-objective replica spread `[σ_wait, σ_sla, σ_rel, σ_prof]`.
+    pub sigma: [f64; 4],
 }
 
 impl ResultStore {
@@ -514,6 +651,11 @@ impl ResultStore {
         c.ns_fault.push(row.cost.phase_ns[4]);
         c.ns_collect.push(row.cost.phase_ns[5]);
         c.worker.push(row.worker);
+        c.replicas.push(row.replicas);
+        c.sigma_wait.push(row.sigma[0]);
+        c.sigma_sla.push(row.sigma[1]);
+        c.sigma_reliability.push(row.sigma[2]);
+        c.sigma_profitability.push(row.sigma[3]);
     }
 
     /// Builds the store of a completed evaluation: one row per grid cell
@@ -567,6 +709,8 @@ impl ResultStore {
                             digest: cell_key(grid.econ, grid.set, cfg, s, v, grid.policies[p]),
                             cost: grid.cell_costs[s][v][p],
                             worker: grid.cell_workers[s][v][p],
+                            replicas: cfg.replicas.max(1) as u64,
+                            sigma: grid.cell_sigma[s][v][p],
                         });
                     }
                 }
@@ -599,6 +743,8 @@ impl ResultStore {
                 digest: finding.signature.clone(),
                 cost: CellCost::default(),
                 worker: 0,
+                replicas: 0,
+                sigma: [0.0; 4],
             });
         }
     }
@@ -612,10 +758,10 @@ impl ResultStore {
     }
 
     /// Loads a store, refusing unknown schema versions and ragged columns.
-    /// Schema-v1 (pre cost-vector) and schema-v2 (pre worker-attribution)
-    /// files upgrade transparently: the newer columns are additive and
-    /// zero-filled, exactly the values the older producer would have
-    /// recorded.
+    /// Schema-v1 (pre cost-vector), schema-v2 (pre worker-attribution),
+    /// and schema-v3 (pre ensemble-columns) files upgrade transparently:
+    /// the newer columns are additive and filled with exactly the values
+    /// the older producer would have recorded.
     pub fn load(path: &Path) -> Result<ResultStore, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -623,30 +769,41 @@ impl ResultStore {
             Ok(store) => store,
             // The in-tree serde shim reports any absent struct field as an
             // error, so older files fail the current parse; retry against
-            // the v2 then v1 mirrors before giving up.
-            Err(v3_err) => match serde_json::from_str::<StoreV2>(&text) {
-                Ok(v2) if v2.schema_version == 2 => v2.upgrade(),
-                Ok(v2) => {
+            // the v3, then v2, then v1 mirrors before giving up.
+            Err(v4_err) => match serde_json::from_str::<StoreV3>(&text) {
+                Ok(v3) if v3.schema_version == 3 => v3.upgrade(),
+                Ok(v3) => {
                     return Err(format!(
                         "{}: schema version {} (this build reads {})",
                         path.display(),
-                        v2.schema_version,
+                        v3.schema_version,
                         STORE_SCHEMA_VERSION
                     ));
                 }
-                Err(_) => match serde_json::from_str::<StoreV1>(&text) {
-                    Ok(v1) if v1.schema_version == 1 => v1.upgrade(),
-                    Ok(v1) => {
+                Err(_) => match serde_json::from_str::<StoreV2>(&text) {
+                    Ok(v2) if v2.schema_version == 2 => v2.upgrade(),
+                    Ok(v2) => {
                         return Err(format!(
                             "{}: schema version {} (this build reads {})",
                             path.display(),
-                            v1.schema_version,
+                            v2.schema_version,
                             STORE_SCHEMA_VERSION
                         ));
                     }
-                    Err(_) => {
-                        return Err(format!("cannot parse {}: {v3_err}", path.display()));
-                    }
+                    Err(_) => match serde_json::from_str::<StoreV1>(&text) {
+                        Ok(v1) if v1.schema_version == 1 => v1.upgrade(),
+                        Ok(v1) => {
+                            return Err(format!(
+                                "{}: schema version {} (this build reads {})",
+                                path.display(),
+                                v1.schema_version,
+                                STORE_SCHEMA_VERSION
+                            ));
+                        }
+                        Err(_) => {
+                            return Err(format!("cannot parse {}: {v4_err}", path.display()));
+                        }
+                    },
                 },
             },
         };
@@ -687,6 +844,11 @@ impl ResultStore {
             c.ns_fault.len(),
             c.ns_collect.len(),
             c.worker.len(),
+            c.replicas.len(),
+            c.sigma_wait.len(),
+            c.sigma_sla.len(),
+            c.sigma_reliability.len(),
+            c.sigma_profitability.len(),
         ];
         if lens.iter().any(|&l| l != n) {
             return Err(format!("{}: ragged columns {lens:?}", path.display()));
@@ -724,6 +886,11 @@ impl ResultStore {
             "ns_fault" => Cell::Int(c.ns_fault[i]),
             "ns_collect" => Cell::Int(c.ns_collect[i]),
             "worker" => Cell::Int(c.worker[i]),
+            "replicas" => Cell::Int(c.replicas[i]),
+            "sigma_wait" => Cell::Num(c.sigma_wait[i]),
+            "sigma_sla" => Cell::Num(c.sigma_sla[i]),
+            "sigma_reliability" => Cell::Num(c.sigma_reliability[i]),
+            "sigma_profitability" => Cell::Num(c.sigma_profitability[i]),
             other => unreachable!("column {other} validated before access"),
         }
     }
@@ -1111,6 +1278,68 @@ mod tests {
         };
         let res = store.query(&q).unwrap();
         assert_eq!(res.rows[0], vec!["FCFS-BF", "0"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v3_store_upgrades_on_load() {
+        let dir = std::env::temp_dir().join("ccs_store_v3_upgrade_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Author a two-row v3 fixture (one grid row, one chaos row)
+        // exactly as a pre-ensemble build would have written it.
+        let v3 = StoreV3 {
+            schema_version: 3,
+            scenarios: vec!["% of High Urgency Jobs".to_string()],
+            policies: vec!["FCFS-BF".to_string()],
+            columns: ColumnsV3 {
+                source: vec![SOURCE_GRID, SOURCE_CHAOS],
+                econ: vec![0, 0],
+                set: vec![0, SET_NONE],
+                scenario: vec![0, 0],
+                value_idx: vec![0, 0],
+                value: vec![20.0, 1.0],
+                policy: vec![0, 0],
+                seed: vec![42, 42],
+                wait: vec![1.0, 0.0],
+                sla: vec![90.0, 0.0],
+                reliability: vec![99.0, 0.0],
+                profitability: vec![10.0, 0.0],
+                norm_score: vec![0.5, 0.0],
+                risk_score: vec![0.05, 1.0],
+                secs: vec![0.5, 0.0],
+                events: vec![1000, 0],
+                digest: vec!["k1".to_string(), "sig".to_string()],
+                events_per_sec: vec![2000.0, 0.0],
+                peak_queue_depth: vec![3, 0],
+                ns_workload_gen: vec![7, 0],
+                ns_admission: vec![0, 0],
+                ns_dispatch: vec![0, 0],
+                ns_ps_recompute: vec![0, 0],
+                ns_fault: vec![0, 0],
+                ns_collect: vec![0, 0],
+                worker: vec![2, 0],
+            },
+        };
+        let path = dir.join(STORE_FILE);
+        std::fs::write(&path, serde_json::to_string(&v3).unwrap()).unwrap();
+
+        let store = ResultStore::load(&path).unwrap();
+        assert_eq!(store.schema_version, STORE_SCHEMA_VERSION);
+        assert_eq!(store.len(), 2);
+        // v3 data survives; the ensemble columns fill as a v3 producer
+        // effectively ran: one replica per grid cell, zero spread, n/a
+        // for chaos rows.
+        assert_eq!(store.columns.worker, vec![2, 0]);
+        assert_eq!(store.columns.replicas, vec![1, 0]);
+        assert_eq!(store.columns.sigma_wait, vec![0.0, 0.0]);
+        assert_eq!(store.columns.sigma_profitability, vec![0.0, 0.0]);
+        let q = Query {
+            select: vec!["policy".into(), "replicas".into(), "sigma_sla".into()],
+            ..Default::default()
+        };
+        let res = store.query(&q).unwrap();
+        assert_eq!(res.rows[0], vec!["FCFS-BF", "1", "0.000000"]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

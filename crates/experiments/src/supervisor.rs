@@ -276,6 +276,10 @@ pub fn run_grid_supervised(
     let n_pol = policies.len();
 
     let mut raw = vec![vec![vec![[0.0f64; 4]; n_pol]; 6]; n_scen];
+    // Supervised cells always run one replica (the in-process runner
+    // asserts that before handing over), so the spread stays zero except
+    // where a journal hit restores it.
+    let mut cell_sigma = vec![vec![vec![[0.0f64; 4]; n_pol]; 6]; n_scen];
     let mut cell_secs = vec![vec![vec![0.0f64; n_pol]; 6]; n_scen];
     let mut cell_events = vec![vec![vec![0u64; n_pol]; 6]; n_scen];
     let mut cell_costs = vec![vec![vec![CellCost::default(); n_pol]; 6]; n_scen];
@@ -302,6 +306,7 @@ pub fn run_grid_supervised(
                 let key = cell_key(econ, set, cfg, s, v, kind);
                 if let Some(rec) = journal.as_ref().and_then(|j| j.get(&key)) {
                     raw[s][v][p] = rec.objectives;
+                    cell_sigma[s][v][p] = rec.sigma;
                     cell_secs[s][v][p] = rec.secs;
                     cell_events[s][v][p] = rec.events;
                     cell_workers[s][v][p] = rec.worker;
@@ -588,6 +593,7 @@ pub fn run_grid_supervised(
                                     value_idx: v,
                                     policy: cell.policy.name().to_string(),
                                     objectives,
+                                    sigma: [0.0; 4],
                                     secs,
                                     events,
                                     worker: id,
@@ -731,6 +737,7 @@ pub fn run_grid_supervised(
         set,
         policies,
         raw,
+        cell_sigma,
         cell_secs,
         cell_events,
         cell_costs,

@@ -77,11 +77,14 @@ pub fn worker_main() -> ! {
         unreachable!("matched Hello above");
     };
 
+    // Supervised runs never carry ensembles (the supervisor path asserts
+    // `replicas <= 1`), so workers are pinned to one replica per cell.
     let cfg = ExperimentConfig {
         nodes,
         trace,
         seed,
         threads: 1,
+        replicas: 1,
     };
     let run_budget = RunBudget {
         max_wall_secs: cell_wall_budget,
@@ -191,6 +194,7 @@ pub fn worker_main() -> ! {
                         value_idx: cell.value_idx,
                         policy: cell.policy.name().to_string(),
                         objectives,
+                        sigma: [0.0; 4],
                         secs: sim.secs,
                         events,
                         worker: worker_id,

@@ -87,6 +87,10 @@ pub struct BackfillPolicy {
     queue: Vec<Job>,
     completions: EventQueue<JobId>,
     running: FastHashMap<JobId, RunInfo>,
+    /// Diagnostic counter: scheduling sweeps run so far. The batched fault
+    /// hooks exist precisely to keep this from growing once per node in a
+    /// failure storm; the regression test pins that contract.
+    scheduling_passes: u64,
 }
 
 /// Slack for floating-point comparisons of times.
@@ -120,6 +124,7 @@ impl BackfillPolicy {
             queue: Vec::new(),
             completions: EventQueue::new(),
             running: FastHashMap::default(),
+            scheduling_passes: 0,
         }
     }
 
@@ -141,6 +146,13 @@ impl BackfillPolicy {
     /// Number of jobs currently waiting in the queue (for tests/inspection).
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total scheduling sweeps ([`BackfillPolicy::try_schedule`] runs) so
+    /// far — a cost diagnostic: a batched N-node failure storm should add
+    /// exactly one, not N.
+    pub fn scheduling_passes(&self) -> u64 {
+        self.scheduling_passes
     }
 
     /// The queue's priority relation. Ids break every tie, so this is a
@@ -219,6 +231,7 @@ impl BackfillPolicy {
 
     /// Core scheduling pass: start/reject from the head, then backfill.
     fn try_schedule(&mut self, now: f64, out: &mut Vec<Outcome>) {
+        self.scheduling_passes += 1;
         debug_assert!(
             self.queue
                 .windows(2)
@@ -288,6 +301,29 @@ impl BackfillPolicy {
         }
     }
 
+    /// Takes one processor down, preempting a resident job if the machine
+    /// was full. Returns `false` when every processor is already down (the
+    /// failure is absorbed with nothing to reclaim).
+    fn preempt_one(&mut self, now: f64, interruptions: &mut Vec<Interruption>) -> bool {
+        let Ok(victim) = self.cluster.fail_one() else {
+            return false;
+        };
+        if let Some(victim) = victim {
+            let info = self
+                .running
+                .remove(&victim)
+                .expect("preempted job must be running");
+            self.completions.cancel(info.handle);
+            let elapsed = (now - info.start).max(0.0);
+            interruptions.push(Interruption {
+                job: victim,
+                started_at: info.start,
+                remaining_work: (info.job.runtime - elapsed).max(0.0),
+            });
+        }
+        true
+    }
+
     fn handle_completion(&mut self, job_id: JobId, finish: f64, out: &mut Vec<Outcome>) {
         let info = self
             .running
@@ -347,33 +383,39 @@ impl Policy for BackfillPolicy {
         debug_assert!(self.running.is_empty(), "no job may be left running");
     }
 
-    fn on_node_fail(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+    fn on_node_fail(&mut self, node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        self.on_nodes_fail(&[node], now, out)
+    }
+
+    fn on_node_repair(&mut self, node: u32, now: f64, out: &mut Vec<Outcome>) {
+        self.on_nodes_repair(&[node], now, out)
+    }
+
+    fn on_nodes_fail(
+        &mut self,
+        nodes: &[u32],
+        now: f64,
+        out: &mut Vec<Outcome>,
+    ) -> Vec<Interruption> {
         let mut interruptions = Vec::new();
-        if let Ok(victim) = self.cluster.fail_one() {
-            if let Some(victim) = victim {
-                let info = self
-                    .running
-                    .remove(&victim)
-                    .expect("preempted job must be running");
-                self.completions.cancel(info.handle);
-                let elapsed = (now - info.start).max(0.0);
-                interruptions.push(Interruption {
-                    job: victim,
-                    started_at: info.start,
-                    remaining_work: (info.job.runtime - elapsed).max(0.0),
-                });
-            }
-            // Capacity changed: re-examine the queue. This re-runs the
-            // admission checks, rejecting queued jobs whose deadline can no
-            // longer be met, and may backfill into a preempted job's
-            // surviving processors.
+        let mut capacity_changed = false;
+        for _ in nodes {
+            capacity_changed |= self.preempt_one(now, &mut interruptions);
+        }
+        if capacity_changed {
+            // Capacity changed: re-examine the queue *once* for the whole
+            // batch. This re-runs the admission checks, rejecting queued
+            // jobs whose deadline can no longer be met, and may backfill
+            // into the preempted jobs' surviving processors.
             self.try_schedule(now, out);
         }
         interruptions
     }
 
-    fn on_node_repair(&mut self, _node: u32, now: f64, out: &mut Vec<Outcome>) {
-        self.cluster.repair_one();
+    fn on_nodes_repair(&mut self, nodes: &[u32], now: f64, out: &mut Vec<Outcome>) {
+        for _ in nodes {
+            self.cluster.repair_one();
+        }
         self.try_schedule(now, out);
     }
 
@@ -674,6 +716,46 @@ mod tests {
         let hit = p.on_node_fail(0, 200.0, &mut out);
         assert_eq!(hit[0].job, 0);
         assert!(rejected(&out).contains(&1));
+    }
+
+    #[test]
+    fn simultaneous_failure_storm_runs_one_reclamation_pass() {
+        // A 100-node storm delivered through the batch hook must cost ONE
+        // scheduling sweep (capacity reclamation pass), not one per node —
+        // and still preempt exactly the jobs sequential delivery would.
+        let mut p = BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, 100);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            // Ten 10-proc jobs fill the machine.
+            p.on_submit(&job(i, 0.0, 1000.0, 1000.0, 1e6, 10), 0.0, &mut out);
+        }
+        assert_eq!(p.queued_jobs(), 0, "machine exactly full");
+        let before = p.scheduling_passes();
+        let nodes: Vec<u32> = (0..100).collect();
+        let hit = p.on_nodes_fail(&nodes, 10.0, &mut out);
+        assert_eq!(hit.len(), 10, "every running job preempted");
+        assert_eq!(
+            p.scheduling_passes() - before,
+            1,
+            "one reclamation pass for the whole storm"
+        );
+        // And the batch result matches node-at-a-time delivery exactly.
+        let mut q = BackfillPolicy::new(PriorityOrder::Fcfs, EconomicModel::BidBased, 100);
+        let mut qout = Vec::new();
+        for i in 0..10 {
+            q.on_submit(&job(i, 0.0, 1000.0, 1000.0, 1e6, 10), 0.0, &mut qout);
+        }
+        let seq_before = q.scheduling_passes();
+        let mut seq_hit = Vec::new();
+        for n in 0..100u32 {
+            seq_hit.extend(q.on_node_fail(n, 10.0, &mut qout));
+        }
+        assert_eq!(hit, seq_hit);
+        assert_eq!(
+            q.scheduling_passes() - seq_before,
+            100,
+            "scalar delivery pays a pass per node"
+        );
     }
 
     #[test]

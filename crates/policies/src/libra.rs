@@ -347,11 +347,27 @@ impl Policy for LibraPolicy {
         debug_assert!(self.meta.is_empty(), "all accepted jobs must complete");
     }
 
-    fn on_node_fail(&mut self, node: u32, now: f64, _out: &mut Vec<Outcome>) -> Vec<Interruption> {
-        // The share engine preempts every job with a task on the node
-        // (cluster-wide: a gang-scheduled job cannot run short-handed).
+    fn on_node_fail(&mut self, node: u32, now: f64, out: &mut Vec<Outcome>) -> Vec<Interruption> {
+        self.on_nodes_fail(&[node], now, out)
+    }
+
+    fn on_node_repair(&mut self, node: u32, now: f64, _out: &mut Vec<Outcome>) {
+        self.cluster.repair_node(node as usize, now);
+    }
+
+    fn on_nodes_fail(
+        &mut self,
+        nodes: &[u32],
+        now: f64,
+        _out: &mut Vec<Outcome>,
+    ) -> Vec<Interruption> {
+        // The share engine preempts every job with a task on any failed
+        // node (cluster-wide: a gang-scheduled job cannot run short-handed).
+        // The batch form accrues and recomputes each surviving node's
+        // shares once per storm instead of once per failure event.
+        let failed: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
         self.cluster
-            .fail_node(node as usize, now)
+            .fail_nodes(&failed, now)
             .into_iter()
             .map(|(job_id, remaining_work)| {
                 let meta = self
@@ -365,10 +381,6 @@ impl Policy for LibraPolicy {
                 }
             })
             .collect()
-    }
-
-    fn on_node_repair(&mut self, node: u32, now: f64, _out: &mut Vec<Outcome>) {
-        self.cluster.repair_node(node as usize, now);
     }
 }
 

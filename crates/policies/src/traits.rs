@@ -198,6 +198,34 @@ pub trait Policy {
         let _ = (node, now, out);
     }
 
+    /// Batch form of [`Policy::on_node_fail`]: every listed node goes down
+    /// at the same instant `now`. The default loops the scalar hook, so the
+    /// observable outcome stream is identical either way; policies with a
+    /// per-failure reaction pass (capacity reclamation, a scheduling sweep,
+    /// a share recompute) should override this to run that pass **once per
+    /// batch** instead of once per node. The fault drain in `ccs-simsvc`
+    /// feeds maximal equal-time runs through here.
+    fn on_nodes_fail(
+        &mut self,
+        nodes: &[u32],
+        now: f64,
+        out: &mut Vec<Outcome>,
+    ) -> Vec<Interruption> {
+        let mut interruptions = Vec::new();
+        for &node in nodes {
+            interruptions.extend(self.on_node_fail(node, now, out));
+        }
+        interruptions
+    }
+
+    /// Batch form of [`Policy::on_node_repair`]; same contract as
+    /// [`Policy::on_nodes_fail`]. Default loops the scalar hook.
+    fn on_nodes_repair(&mut self, nodes: &[u32], now: f64, out: &mut Vec<Outcome>) {
+        for &node in nodes {
+            self.on_node_repair(node, now, out);
+        }
+    }
+
     /// Number of admitted jobs waiting to start (0 for policies that run
     /// jobs immediately on admission). The runner uses this during the
     /// drain phase to decide whether future repairs can still unblock work.

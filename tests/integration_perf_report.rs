@@ -61,6 +61,8 @@ fn build_store(mut mutate: impl FnMut(&str, &str, &mut f64, &mut CellCost)) -> R
                     digest: format!("{scenario}/{value_idx}/{policy}"),
                     cost,
                     worker: 0,
+                    replicas: 1,
+                    sigma: [0.0; 4],
                 });
             }
         }
