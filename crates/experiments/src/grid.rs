@@ -300,6 +300,10 @@ pub struct RawGrid {
     /// Busy seconds per worker thread (simulation time, excluding idle
     /// waits on the work queue) — the basis for utilisation reporting.
     pub worker_busy_secs: Vec<f64>,
+    /// Transport label (`"pipe"` / `"tcp"`) per supervised worker,
+    /// indexed like [`RawGrid::worker_busy_secs`] (worker id − 1). Empty
+    /// for in-process runs, whose workers are threads, not links.
+    pub worker_transports: Vec<String>,
     /// End-to-end wall-clock seconds for the whole grid.
     pub wall_secs: f64,
     /// Cells that panicked instead of completing, sorted by (scenario,
@@ -618,6 +622,7 @@ pub fn run_grid_with_base_ctl_observed(
         workload_cache_hits: workload_cache.hits.load(Ordering::Relaxed),
         workload_cache_misses: workload_cache.misses.load(Ordering::Relaxed),
         worker_busy_secs: busy.into_inner().unwrap(),
+        worker_transports: Vec::new(),
         wall_secs,
         errors,
     };

@@ -14,8 +14,10 @@ use std::path::Path;
 
 /// Current [`TelemetryReport::schema_version`]. v2 added the per-cell
 /// phase cost vector to [`CellTiming`]; v3 added worker attribution
-/// (`CellTiming::worker`, 0 when the cell ran in-process).
-pub const SCHEMA_VERSION: u32 = 3;
+/// (`CellTiming::worker`, 0 when the cell ran in-process); v4 added
+/// per-worker transport labels (`GridWallTimes::worker_transports`) and
+/// the `grid.transport.*` counters.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Wall-time table of one grid: seconds per (scenario, policy), summed
 /// over the six scenario values.
@@ -35,6 +37,9 @@ pub struct GridWallTimes {
     pub wall_secs: f64,
     /// Busy seconds per worker thread.
     pub worker_busy_secs: Vec<f64>,
+    /// Transport label (`"pipe"` / `"tcp"`) per supervised worker,
+    /// indexed like `worker_busy_secs`. Empty for in-process runs.
+    pub worker_transports: Vec<String>,
 }
 
 impl GridWallTimes {
@@ -57,6 +62,7 @@ impl GridWallTimes {
             secs,
             wall_secs: grid.wall_secs,
             worker_busy_secs: grid.worker_busy_secs.clone(),
+            worker_transports: grid.worker_transports.clone(),
         }
     }
 }
@@ -117,24 +123,29 @@ impl TelemetryReport {
 /// persists — rather than recomputing its own timings.
 pub fn slowest_cells_summary(grids: &[RawGrid], k: usize) -> String {
     use std::fmt::Write as _;
-    let mut cells: Vec<(String, CellTiming)> = grids
+    let mut cells: Vec<(String, String, CellTiming)> = grids
         .iter()
         .flat_map(|g| {
             let tag = format!("{} / {}", g.econ, g.set.label());
-            g.slowest_cells(k)
-                .into_iter()
-                .map(move |c| (tag.clone(), c))
+            g.slowest_cells(k).into_iter().map(move |c| {
+                // Supervised grids tag each worker with its transport
+                // (`w3/tcp`); in-process workers are plain threads.
+                let worker = if c.worker == 0 {
+                    "w-".to_string()
+                } else {
+                    match g.worker_transports.get((c.worker - 1) as usize) {
+                        Some(t) => format!("w{}/{t}", c.worker),
+                        None => format!("w{}", c.worker),
+                    }
+                };
+                (tag.clone(), worker, c)
+            })
         })
         .collect();
-    cells.sort_by(|a, b| b.1.secs.total_cmp(&a.1.secs));
+    cells.sort_by(|a, b| b.2.secs.total_cmp(&a.2.secs));
     cells.truncate(k);
     let mut s = String::from("slowest cells:\n");
-    for (tag, c) in cells {
-        let worker = if c.worker == 0 {
-            "w-".to_string()
-        } else {
-            format!("w{}", c.worker)
-        };
+    for (tag, worker, c) in cells {
         let _ = write!(
             s,
             "  {:>8.3}s  {:>9.0} ev/s  {worker:>3}  {tag}  {}[{}]  {}",
@@ -200,5 +211,24 @@ mod tests {
             .all(|l| l.contains("  w") && l.contains("ev/s"));
         assert!(tagged, "{text}");
         assert!(text.contains("workload cache:"));
+    }
+
+    #[test]
+    fn summary_tags_supervised_workers_with_their_transport() {
+        let cfg = ExperimentConfig::quick().with_jobs(40);
+        let mut g = run_grid(EconomicModel::BidBased, EstimateSet::B, &cfg);
+        let max_worker = g
+            .cell_workers
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        assert!(max_worker >= 1, "in-process cells are worker-attributed");
+        g.worker_transports = vec!["tcp".to_string(); max_worker];
+        let text = slowest_cells_summary(std::slice::from_ref(&g), 3);
+        let tagged = text.lines().skip(1).take(3).all(|l| l.contains("/tcp"));
+        assert!(tagged, "{text}");
     }
 }
